@@ -1,0 +1,149 @@
+// Package apan is a from-scratch Go implementation of APAN — the
+// Asynchronous Propagation Attention Network for real-time temporal graph
+// embedding (Wang et al., SIGMOD 2021) — together with the full substrate
+// it needs: a temporal graph store, a per-node mailbox, a neural-network
+// engine, the asynchronous serving pipeline, synthetic counterparts of the
+// paper's datasets, every baseline of the paper's evaluation, and a
+// benchmark harness that regenerates each table and figure.
+//
+// The model splits into two links (paper Fig. 2b):
+//
+//   - Synchronous: when a batch of interactions arrives, the attention
+//     encoder reads each node's last embedding z(t−) and mailbox, produces
+//     z(t), and an MLP decoder scores the interaction — with no graph
+//     queries on the critical path.
+//   - Asynchronous: afterwards, a mail summarizing the interaction is
+//     propagated to the k-hop temporal neighbors' mailboxes through the
+//     graph store (behind a bounded queue in serving).
+//
+// Quick start:
+//
+//	ds := apan.Wikipedia(apan.DatasetConfig{Scale: 0.05, Seed: 1})
+//	model, err := apan.New(apan.Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim})
+//	if err != nil { ... }
+//	split := ds.Split(0.70, 0.15)
+//	ns := apan.NewNegSampler(ds.NumNodes)
+//	for epoch := 0; epoch < 10; epoch++ {
+//		model.ResetRuntime()
+//		model.TrainEpoch(split.Train, ns)
+//	}
+//	res := model.EvalStream(split.Test, ns)
+//	fmt.Printf("test AP %.3f\n", res.AP)
+//
+// For online serving, wrap the model in a Pipeline (see NewPipeline): Submit
+// answers on the synchronous link and queues the propagation work.
+package apan
+
+import (
+	"apan/internal/async"
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/mailbox"
+	"apan/internal/tgraph"
+)
+
+// Core model API.
+type (
+	// Config holds APAN hyper-parameters; zero values take the paper's
+	// defaults (batch 200, lr 1e-4, 2 heads, 10 slots, 10 neighbors, k=2).
+	Config = core.Config
+	// Model is the full APAN system.
+	Model = core.Model
+	// Inference is a served batch's synchronous-link output.
+	Inference = core.Inference
+	// StreamResult aggregates a pass over an event stream.
+	StreamResult = core.StreamResult
+	// Explanation reports per-mail attention weights (paper §3.6).
+	Explanation = core.Explanation
+	// PositionalMode selects the mailbox positional encoding.
+	PositionalMode = core.PositionalMode
+)
+
+// Positional-encoding modes.
+const (
+	PositionalLearned = core.PositionalLearned
+	PositionalTime    = core.PositionalTime
+	PositionalNone    = core.PositionalNone
+)
+
+// New builds an APAN model with an in-process temporal graph store.
+func New(cfg Config) (*Model, error) { return core.New(cfg) }
+
+// NewWithDB builds an APAN model over a custom graph-database wrapper, e.g.
+// one with a simulated latency model.
+func NewWithDB(cfg Config, db *GraphDB) (*Model, error) { return core.NewWithDB(cfg, db) }
+
+// Graph substrate.
+type (
+	// Event is one temporal interaction (v_i, v_j, e_ij, t).
+	Event = tgraph.Event
+	// NodeID identifies a node.
+	NodeID = tgraph.NodeID
+	// Graph is the temporal graph store.
+	Graph = tgraph.Graph
+	// GraphDB wraps a Graph with latency simulation and query accounting.
+	GraphDB = gdb.DB
+	// LatencyModel maps a neighbor query to a simulated round-trip cost.
+	LatencyModel = gdb.LatencyModel
+	// Mailbox is the per-node mail store.
+	Mailbox = mailbox.Store
+)
+
+// NewGraph creates an empty temporal graph over numNodes nodes.
+func NewGraph(numNodes int) *Graph { return tgraph.New(numNodes) }
+
+// NewGraphDB wraps g with accounting and no latency.
+func NewGraphDB(g *Graph) *GraphDB { return gdb.New(g) }
+
+// ConstantLatency returns a fixed per-query latency model.
+var ConstantLatency = gdb.Constant
+
+// PerItemLatency returns a base+per-item latency model.
+var PerItemLatency = gdb.PerItem
+
+// Datasets.
+type (
+	// Dataset is a chronologically sorted temporal interaction set.
+	Dataset = dataset.Dataset
+	// DatasetConfig scales and seeds the synthetic generators.
+	DatasetConfig = dataset.Config
+	// Split is a chronological train/val/test partition.
+	Split = dataset.Split
+	// NegSampler draws time-aware negative destinations.
+	NegSampler = dataset.NegSampler
+)
+
+// Wikipedia generates the synthetic stand-in for the JODIE Wikipedia
+// editing graph (see DESIGN.md §1 for the substitution rationale).
+func Wikipedia(cfg DatasetConfig) *Dataset { return dataset.Wikipedia(cfg) }
+
+// Reddit generates the synthetic stand-in for the JODIE Reddit graph.
+func Reddit(cfg DatasetConfig) *Dataset { return dataset.Reddit(cfg) }
+
+// Alipay generates the synthetic stand-in for the paper's industrial
+// transaction dataset, including bursty fraud rings.
+func Alipay(cfg DatasetConfig) *Dataset { return dataset.Alipay(cfg) }
+
+// LoadCSV reads a real dataset in the JODIE CSV format
+// (user,item,timestamp,state_label,features...).
+var LoadCSV = dataset.LoadCSV
+
+// SaveCSV writes a bipartite dataset in the JODIE CSV format, so synthetic
+// streams can be consumed by other implementations.
+var SaveCSV = dataset.SaveCSV
+
+// NewNegSampler creates a negative sampler over numNodes nodes.
+func NewNegSampler(numNodes int) *NegSampler { return dataset.NewNegSampler(numNodes) }
+
+// Serving.
+type (
+	// Pipeline is the deployment architecture: synchronous scoring with an
+	// asynchronous propagation worker behind a bounded queue.
+	Pipeline = async.Pipeline
+	// PipelineStats is a point-in-time view of pipeline health.
+	PipelineStats = async.Stats
+)
+
+// NewPipeline starts the serving pipeline over a trained model.
+func NewPipeline(m *Model, queueCap int) *Pipeline { return async.NewPipeline(m, queueCap) }

@@ -1,0 +1,119 @@
+package apan_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"apan"
+)
+
+// TestEndToEndPublicAPI exercises the full downstream-user journey through
+// the public package only: generate data, train, evaluate, serve through
+// the asynchronous pipeline, checkpoint, restore, keep serving.
+func TestEndToEndPublicAPI(t *testing.T) {
+	ds := apan.Wikipedia(apan.DatasetConfig{Scale: 0.015, Seed: 5})
+	if ds.NumNodes == 0 || ds.EdgeDim != 172 {
+		t.Fatalf("dataset shape: %d nodes, %d dims", ds.NumNodes, ds.EdgeDim)
+	}
+	split := ds.Split(0.70, 0.15)
+
+	db := apan.NewGraphDB(apan.NewGraph(ds.NumNodes))
+	db.Latency = apan.ConstantLatency(50 * time.Microsecond)
+	model, err := apan.NewWithDB(apan.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+		Slots: 5, Neighbors: 5, BatchSize: 100, LR: 1e-3, Seed: 5,
+	}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ns := apan.NewNegSampler(ds.NumNodes)
+	var lastLoss float64
+	for epoch := 0; epoch < 3; epoch++ {
+		model.ResetRuntime()
+		tr := model.TrainEpoch(split.Train, ns)
+		lastLoss = tr.Loss
+	}
+	if lastLoss <= 0 || lastLoss != lastLoss {
+		t.Fatalf("bad training loss %v", lastLoss)
+	}
+
+	val := model.EvalStream(split.Val, ns)
+	if val.AP != val.AP || val.AP <= 0.5 {
+		t.Fatalf("val AP %v", val.AP)
+	}
+
+	// Serve a slice of the test stream through the pipeline.
+	if len(split.Test) < 250 {
+		t.Fatalf("test split too small for the scenario: %d", len(split.Test))
+	}
+	pipe := apan.NewPipeline(model, 16)
+	served := split.Test[:200]
+	for lo := 0; lo < len(served); lo += 50 {
+		scores, lat, err := pipe.Submit(served[lo : lo+50])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scores) != 50 {
+			t.Fatalf("scores: %d", len(scores))
+		}
+		if lat <= 0 {
+			t.Fatal("no sync latency measured")
+		}
+	}
+	pipe.Drain()
+	st := pipe.Stats()
+	if st.Processed != 4 {
+		t.Fatalf("pipeline processed %d", st.Processed)
+	}
+	pipe.Close()
+
+	// Checkpoint and restore into a fresh replica.
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := model.SaveCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	replica, err := apan.NewWithDB(apan.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+		Slots: 5, Neighbors: 5, BatchSize: 100, LR: 1e-3, Seed: 5,
+	}, apan.NewGraphDB(apan.NewGraph(ds.NumNodes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.LoadCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	probe := split.Test[200:250]
+	a := model.InferBatch(probe)
+	b := replica.InferBatch(probe)
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("replica diverged at %d: %v vs %v", i, a.Scores[i], b.Scores[i])
+		}
+	}
+
+	// Interpretability surface.
+	if _, ok := model.Explain(probe[0].Src); !ok {
+		t.Log("probe src had no mailbox history (acceptable)")
+	}
+
+	// Embedding API.
+	emb := model.Embed([]apan.NodeID{0, 1}, []float64{1e6, 1e6})
+	if emb.Rows != 2 || emb.Cols != ds.EdgeDim {
+		t.Fatalf("embed shape %dx%d", emb.Rows, emb.Cols)
+	}
+}
+
+// TestDatasetVariantsPublicAPI covers the other two generators through the
+// public surface.
+func TestDatasetVariantsPublicAPI(t *testing.T) {
+	r := apan.Reddit(apan.DatasetConfig{Scale: 0.002, Seed: 2})
+	if !r.Bipartite || r.Name != "reddit" {
+		t.Fatalf("reddit: %+v", r.Name)
+	}
+	a := apan.Alipay(apan.DatasetConfig{Scale: 0.0005, Seed: 2})
+	if a.Bipartite || a.EdgeDim != 101 {
+		t.Fatalf("alipay: %s dim %d", a.Name, a.EdgeDim)
+	}
+}

@@ -1,0 +1,195 @@
+// Benchmarks regenerating the paper's tables and figures at reduced scale.
+// Each benchmark maps to one table or figure of the evaluation section (see
+// DESIGN.md §3); cmd/apan-bench runs the same experiments at larger scale
+// with more seeds. Absolute numbers differ from the paper (CPU vs GPU,
+// synthetic vs proprietary data); the benchmarks preserve the *shape*:
+// which model wins, by roughly what factor, and where the curves stay flat.
+package apan
+
+import (
+	"testing"
+	"time"
+
+	"apan/internal/bench"
+)
+
+func benchOpts() bench.Options {
+	return bench.Options{
+		Scale:     0.005,
+		Seed:      1,
+		Seeds:     1,
+		Epochs:    2,
+		BatchSize: 100,
+		Fanout:    5,
+		Slots:     5,
+		Hidden:    48,
+	}
+}
+
+// BenchmarkTable1Stats regenerates the dataset-statistics table.
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Wikipedia regenerates the Wikipedia link-prediction column
+// over all twelve models.
+func BenchmarkTable2Wikipedia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(benchOpts(), "wikipedia", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Reddit regenerates the Reddit link-prediction column over
+// the dynamic models (the static family is covered by the Wikipedia run).
+func BenchmarkTable2Reddit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(benchOpts(), "reddit", bench.Table2StreamModels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3NodeClassification regenerates the Wikipedia dynamic
+// node-classification column.
+func BenchmarkTable3NodeClassification(b *testing.B) {
+	o := benchOpts()
+	o.Scale = 0.02 // ban labels are sparse; needs a larger slice
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable3(o, "wikipedia", []string{"JODIE", "TGN", "APAN"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3EdgeClassification regenerates the Alipay fraud
+// edge-classification column.
+func BenchmarkTable3EdgeClassification(b *testing.B) {
+	o := benchOpts()
+	o.Scale = 0.02
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable3(o, "alipay", []string{"JODIE", "TGN", "APAN"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6Inference regenerates the inference-latency vs AP scatter
+// with a simulated graph-database round trip on the synchronous models'
+// critical path.
+func BenchmarkFigure6Inference(b *testing.B) {
+	o := benchOpts()
+	o.DBLatency = 100 * time.Microsecond
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure6(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report := func(model string) {
+			for _, p := range fig.Points {
+				if p.Model == model {
+					b.ReportMetric(p.InferMs, model+"-ms/batch")
+				}
+			}
+		}
+		report("APAN-2layers")
+		report("TGN-2layers")
+	}
+}
+
+// BenchmarkFigure7Training regenerates the training-time vs AP scatter.
+func BenchmarkFigure7Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFigure7(benchOpts(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8BatchSize regenerates the batch-size robustness curves.
+func BenchmarkFigure8BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFigure8(benchOpts(), nil, []int{100, 200, 300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9Grid regenerates the slots × neighbors robustness grid
+// (2×2 here; apan-bench runs the full 4×4).
+func BenchmarkFigure9Grid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFigure9(benchOpts(), []int{5, 10}, []int{5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation of DESIGN.md §5
+// (positional encoding, mail reduction, mailbox update rule, decoder, hops).
+func BenchmarkAblation(b *testing.B) {
+	o := benchOpts()
+	o.Epochs = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDriftAblation quantifies the generator's preference-drift knob:
+// the dynamics that separate temporal from static models.
+func BenchmarkDriftAblation(b *testing.B) {
+	o := benchOpts()
+	o.Epochs = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunDriftAblation(o, []float64{0, 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferBatch measures the synchronous link alone: one batch of 200
+// interactions scored with no graph access — the millisecond path the paper
+// deploys online.
+func BenchmarkInferBatch(b *testing.B) {
+	ds := Wikipedia(DatasetConfig{Scale: 0.01, Seed: 1})
+	m, err := New(Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:1000], nil) // warm state and mailboxes
+	batch := ds.Events[1000:1200]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InferBatch(batch)
+	}
+}
+
+// BenchmarkPropagateBatch measures the asynchronous link alone: graph
+// insert plus 2-hop mail propagation for a 200-event batch.
+func BenchmarkPropagateBatch(b *testing.B) {
+	ds := Wikipedia(DatasetConfig{Scale: 0.01, Seed: 1})
+	m, err := New(Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:1000], nil)
+	batch := ds.Events[1000:1200]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		snap := m.SnapshotRuntime()
+		inf := m.InferBatch(batch)
+		b.StartTimer()
+		m.ApplyInference(inf)
+		b.StopTimer()
+		m.RestoreRuntime(snap)
+		b.StartTimer()
+	}
+}

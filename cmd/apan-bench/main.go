@@ -1,0 +1,109 @@
+// Command apan-bench reproduces the paper's tables and figures. Each
+// experiment prints a table in the shape of the original; DESIGN.md §3 maps
+// experiment ids to modules.
+//
+// Usage:
+//
+//	apan-bench -exp table2 -dataset wikipedia -scale 0.05 -seeds 3 -epochs 5
+//	apan-bench -exp fig6 -db-latency 1ms
+//	apan-bench -exp all -scale 0.02
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"apan/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apan-bench: ")
+
+	var (
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|ablation|drift|all")
+		datasetName = flag.String("dataset", "", "dataset for table2/table3 (default: the paper's)")
+		scale       = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
+		seeds       = flag.Int("seeds", 1, "seeds per cell (paper: 10)")
+		seed        = flag.Int64("seed", 1, "base seed")
+		epochs      = flag.Int("epochs", 5, "max training epochs")
+		batch       = flag.Int("batch", 200, "events per batch")
+		fanout      = flag.Int("fanout", 10, "sampled neighbors")
+		slots       = flag.Int("slots", 10, "mailbox slots")
+		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query (fig6, §4.6)")
+		models      = flag.String("models", "", "comma-separated model subset (default: the paper's)")
+	)
+	flag.Parse()
+
+	o := bench.Options{
+		Scale:     *scale,
+		Seed:      *seed,
+		Seeds:     *seeds,
+		Epochs:    *epochs,
+		BatchSize: *batch,
+		Fanout:    *fanout,
+		Slots:     *slots,
+		DBLatency: *dbLatency,
+		Out:       os.Stdout,
+	}
+	var subset []string
+	if *models != "" {
+		subset = strings.Split(*models, ",")
+	}
+
+	run := func(name string, f func() error) {
+		log.Printf("== %s ==", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		log.Printf("== %s done in %v ==\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("table1", func() error { _, err := bench.RunTable1(o); return err })
+	}
+	if want("table2") {
+		datasets := []string{"wikipedia", "reddit"}
+		if *datasetName != "" {
+			datasets = []string{*datasetName}
+		}
+		for _, d := range datasets {
+			d := d
+			run("table2/"+d, func() error { _, err := bench.RunTable2(o, d, subset); return err })
+		}
+	}
+	if want("table3") {
+		datasets := []string{"wikipedia", "reddit", "alipay"}
+		if *datasetName != "" {
+			datasets = []string{*datasetName}
+		}
+		for _, d := range datasets {
+			d := d
+			run("table3/"+d, func() error { _, err := bench.RunTable3(o, d, subset); return err })
+		}
+	}
+	if want("fig6") {
+		run("fig6", func() error { _, err := bench.RunFigure6(o, subset); return err })
+	}
+	if want("fig7") {
+		run("fig7", func() error { _, err := bench.RunFigure7(o, subset); return err })
+	}
+	if want("fig8") {
+		run("fig8", func() error { _, err := bench.RunFigure8(o, subset, nil); return err })
+	}
+	if want("fig9") {
+		run("fig9", func() error { _, err := bench.RunFigure9(o, nil, nil); return err })
+	}
+	if *exp == "ablation" {
+		run("ablation", func() error { _, err := bench.RunAblation(o); return err })
+	}
+	if *exp == "drift" {
+		run("drift", func() error { _, err := bench.RunDriftAblation(o, nil); return err })
+	}
+}

@@ -1,0 +1,185 @@
+// Command apan-serve demonstrates APAN's deployment architecture: a TCP
+// server whose request path runs only the synchronous link (mailbox read +
+// encoder + decoder) while graph writes and mail propagation happen on the
+// asynchronous worker — the paper's Fig. 2b, with a simulated remote graph
+// database if requested.
+//
+// Protocol: newline-delimited JSON. Request:
+//
+//	{"src": 12, "dst": 9311, "time": 1234.5, "feat": [ ... ]}
+//
+// Response:
+//
+//	{"score": 0.83, "sync_us": 412, "queue_depth": 2}
+//
+// Run a self-contained demo (train briefly, serve, replay the test stream):
+//
+//	apan-serve -demo -scale 0.02 -db-latency 500us
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"apan"
+)
+
+type request struct {
+	Src  int32     `json:"src"`
+	Dst  int32     `json:"dst"`
+	Time float64   `json:"time"`
+	Feat []float32 `json:"feat"`
+}
+
+type response struct {
+	Score      float32 `json:"score"`
+	SyncMicros int64   `json:"sync_us"`
+	QueueDepth int     `json:"queue_depth"`
+	Error      string  `json:"error,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apan-serve: ")
+
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7683", "listen address")
+		scale     = flag.Float64("scale", 0.02, "training dataset scale")
+		epochs    = flag.Int("epochs", 3, "training epochs before serving")
+		dbLatency = flag.Duration("db-latency", 0, "simulated graph-DB latency per query on the async link")
+		demo      = flag.Bool("demo", false, "run a local client replaying the test stream, then exit")
+	)
+	flag.Parse()
+
+	ds := apan.Wikipedia(apan.DatasetConfig{Scale: *scale, Seed: 1})
+	split := ds.Split(0.70, 0.15)
+
+	db := apan.NewGraphDB(apan.NewGraph(ds.NumNodes))
+	if *dbLatency > 0 {
+		db.Latency = apan.ConstantLatency(*dbLatency)
+		db.Sleep = true
+	}
+	model, err := apan.NewWithDB(apan.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("training %d epochs on %d events…", *epochs, len(split.Train))
+	for e := 0; e < *epochs; e++ {
+		model.ResetRuntime()
+		ns := apan.NewNegSampler(ds.NumNodes)
+		tr := model.TrainEpoch(split.Train, ns)
+		log.Printf("epoch %d loss %.4f", e+1, tr.Loss)
+	}
+	// Rebuild streaming state for serving.
+	model.ResetRuntime()
+	model.EvalStream(split.Train, nil)
+	model.EvalStream(split.Val, nil)
+
+	pipe := apan.NewPipeline(model, 64)
+	defer pipe.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("serving on %s (db-latency=%v on async link)", ln.Addr(), *dbLatency)
+
+	go acceptLoop(ln, pipe, ds.EdgeDim)
+
+	if *demo {
+		runDemo(ln.Addr().String(), split.Test, pipe)
+		return
+	}
+	select {} // serve forever
+}
+
+func acceptLoop(ln net.Listener, pipe *apan.Pipeline, edgeDim int) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handle(conn, pipe, edgeDim)
+	}
+}
+
+func handle(conn net.Conn, pipe *apan.Pipeline, edgeDim int) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(response{Error: err.Error()})
+			continue
+		}
+		if len(req.Feat) != edgeDim {
+			_ = enc.Encode(response{Error: fmt.Sprintf("feat dim %d, want %d", len(req.Feat), edgeDim)})
+			continue
+		}
+		ev := apan.Event{Src: req.Src, Dst: req.Dst, Time: req.Time, Feat: req.Feat}
+		scores, lat, err := pipe.Submit([]apan.Event{ev})
+		if err != nil {
+			_ = enc.Encode(response{Error: err.Error()})
+			continue
+		}
+		_ = enc.Encode(response{
+			Score:      scores[0],
+			SyncMicros: lat.Microseconds(),
+			QueueDepth: pipe.Stats().QueueDepth,
+		})
+	}
+}
+
+func runDemo(addr string, events []apan.Event, pipe *apan.Pipeline) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	n := len(events)
+	if n > 500 {
+		n = 500
+	}
+	start := time.Now()
+	var worst time.Duration
+	for i := 0; i < n; i++ {
+		ev := events[i]
+		if err := enc.Encode(request{Src: ev.Src, Dst: ev.Dst, Time: ev.Time, Feat: ev.Feat}); err != nil {
+			log.Fatal(err)
+		}
+		if !sc.Scan() {
+			log.Fatal("server closed connection")
+		}
+		var resp response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			log.Fatal(err)
+		}
+		if resp.Error != "" {
+			log.Fatalf("server error: %s", resp.Error)
+		}
+		if d := time.Duration(resp.SyncMicros) * time.Microsecond; d > worst {
+			worst = d
+		}
+	}
+	elapsed := time.Since(start)
+	pipe.Drain()
+	st := pipe.Stats()
+	fmt.Printf("demo: %d events in %v (%.0f ev/s)\n", n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	fmt.Printf("sync latency: mean %v p99 %v worst %v\n", st.SyncMean, st.SyncP99, worst)
+	fmt.Printf("async propagation: mean %v, max queue depth %d\n", st.AsyncMean, st.MaxQueueDepth)
+}

@@ -1,0 +1,148 @@
+// Fraud detection: the paper's motivating Alipay scenario (§1). An APAN
+// encoder is trained self-supervised on a transaction stream, a fraud
+// decoder is fitted on labeled interactions from the training window, and
+// the combined system is served through the asynchronous pipeline — scoring
+// transactions in real time while a simulated remote graph database sits
+// only on the propagation path.
+//
+//	go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"apan"
+	"apan/internal/eval"
+	"apan/internal/nn"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+func main() {
+	// Synthetic transaction network with bursty fraud rings (~0.4% of
+	// edges), 101-dim features, 14 days.
+	ds := apan.Alipay(apan.DatasetConfig{Scale: 0.004, Seed: 7})
+	var frauds int
+	for _, e := range ds.Events {
+		if e.Label == 1 {
+			frauds++
+		}
+	}
+	fmt.Printf("transactions: %d (%d fraudulent, %.2f%%)\n",
+		len(ds.Events), frauds, 100*float64(frauds)/float64(len(ds.Events)))
+
+	// The remote graph DB costs 300µs per neighbor query — but only the
+	// asynchronous propagator talks to it.
+	db := apan.NewGraphDB(apan.NewGraph(ds.NumNodes))
+	db.Latency = apan.ConstantLatency(300 * time.Microsecond)
+
+	model, err := apan.NewWithDB(apan.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Heads: 1, // 101 dims
+		Seed: 7,
+	}, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: self-supervised encoder training (10d-2d-2d split, §4.1).
+	split := ds.Split(10.0/14, 2.0/14)
+	ns := apan.NewNegSampler(ds.NumNodes)
+	for epoch := 1; epoch <= 3; epoch++ {
+		model.ResetRuntime()
+		tr := model.TrainEpoch(split.Train, ns)
+		fmt.Printf("encoder epoch %d: loss %.4f\n", epoch, tr.Loss)
+	}
+
+	// Phase 2: collect embeddings at labeled interactions and fit the fraud
+	// decoder MLP([z_src ‖ e ‖ z_dst]) on the training window.
+	type sample struct {
+		x     []float32
+		label bool
+		t     float64
+	}
+	var samples []sample
+	model.ResetRuntime()
+	model.CollectStream(ds.Events, nil, func(ev *tgraph.Event, zsrc, zdst []float32) {
+		x := make([]float32, 0, len(zsrc)+len(ev.Feat)+len(zdst))
+		x = append(x, zsrc...)
+		x = append(x, ev.Feat...)
+		x = append(x, zdst...)
+		samples = append(samples, sample{x: x, label: ev.Label == 1, t: ev.Time})
+	})
+
+	var trainPos, trainNeg []sample
+	var testSet []sample
+	for _, s := range samples {
+		switch {
+		case s.t > split.TrainEnd:
+			testSet = append(testSet, s)
+		case s.label:
+			trainPos = append(trainPos, s)
+		default:
+			trainNeg = append(trainNeg, s)
+		}
+	}
+	fmt.Printf("decoder training: %d fraud / %d clean; eval on %d\n",
+		len(trainPos), len(trainNeg), len(testSet))
+
+	rng := rand.New(rand.NewSource(7))
+	inDim := len(samples[0].x)
+	dec := nn.NewMLP(inDim, 80, 1, 0.1, rng)
+	opt := nn.NewAdam(dec.Params(), 1e-3)
+	for step := 0; step < 400; step++ {
+		const half = 16
+		x := tensor.New(2*half, inDim)
+		targets := make([]float32, 2*half)
+		for i := 0; i < half; i++ {
+			copy(x.Row(i), trainPos[rng.Intn(len(trainPos))].x)
+			targets[i] = 1
+			copy(x.Row(half+i), trainNeg[rng.Intn(len(trainNeg))].x)
+		}
+		tp := nn.NewTrainingTape(rng)
+		loss := tp.BCEWithLogits(dec.Forward(tp, tp.Input(x)), targets)
+		tp.Backward(loss)
+		opt.Step()
+		opt.ZeroGrad()
+	}
+
+	scores := make([]float32, len(testSet))
+	labels := make([]bool, len(testSet))
+	for i, s := range testSet {
+		x := tensor.FromSlice(1, inDim, s.x)
+		tp := nn.NewTape()
+		scores[i] = tensor.Sigmoid32(dec.Forward(tp, tp.Input(x)).Value().Data[0])
+		labels[i] = s.label
+	}
+	fmt.Printf("fraud detection AUC on future window: %.4f\n", eval.ROCAUC(scores, labels))
+
+	// Phase 3: serve the future window through the asynchronous pipeline.
+	// The decision path never waits for the 300µs-per-query graph DB.
+	model.ResetRuntime()
+	db.Sleep = true // now the latency model really blocks the async worker
+	model.EvalStream(split.Train, nil)
+	pipe := apan.NewPipeline(model, 128)
+	defer pipe.Close()
+
+	served := split.Test
+	if len(served) > 600 {
+		served = served[:600]
+	}
+	for lo := 0; lo < len(served); lo += 50 {
+		hi := lo + 50
+		if hi > len(served) {
+			hi = len(served)
+		}
+		if _, _, err := pipe.Submit(served[lo:hi]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pipe.Drain()
+	st := pipe.Stats()
+	fmt.Printf("served %d batches: sync mean %v p99 %v | async mean %v | max queue %d\n",
+		st.Processed, st.SyncMean, st.SyncP99, st.AsyncMean, st.MaxQueueDepth)
+	fmt.Println("graph DB time was paid entirely off the decision path:",
+		db.Stats().Simulated.Round(time.Millisecond))
+}

@@ -1,0 +1,166 @@
+// Streaming robustness and interpretability: the §3.6 properties that set
+// the asynchronous CTDG framework apart. This example (1) feeds APAN and a
+// TGN baseline the same stream in-order and shuffled-within-windows and
+// compares how much their scores drift — the mailbox's timestamp-sorted
+// readout absorbs out-of-order arrival that RNN-memory models cannot — and
+// (2) asks APAN which past interaction its attention relied on.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"apan"
+	"apan/internal/baselines"
+	"apan/internal/gdb"
+	"apan/internal/tensor"
+)
+
+func main() {
+	ds := apan.Wikipedia(apan.DatasetConfig{Scale: 0.01, Seed: 3})
+	split := ds.Split(0.70, 0.15)
+	probe := split.Val[:200]
+
+	// --- Part 1: out-of-order delivery ----------------------------------
+	// In a distributed stream, events inside a small window arrive in any
+	// order. APAN's mailbox sorts mails by timestamp at readout (§3.6);
+	// TGN's GRU memory consumes events in arrival order.
+	shuffled := append([]apan.Event(nil), split.Train...)
+	shuffleWithinWindows(shuffled, 50, rand.New(rand.NewSource(9)))
+
+	model, err := apan.New(apan.Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns := apan.NewNegSampler(ds.NumNodes)
+	for epoch := 0; epoch < 3; epoch++ {
+		model.ResetRuntime()
+		model.TrainEpoch(split.Train, ns)
+	}
+	apanDrift := drift(scoreAPAN(model, split.Train, probe), scoreAPAN(model, shuffled, probe))
+
+	tgn := baselines.NewTGN(baselines.TGNConfig{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200, Seed: 3,
+	}, gdb.New(apan.NewGraph(ds.NumNodes)))
+	for epoch := 0; epoch < 3; epoch++ {
+		tgn.ResetRuntime()
+		tgn.TrainEpoch(split.Train, apan.NewNegSampler(ds.NumNodes))
+	}
+	tgnDrift := drift(scoreTGN(tgn, split.Train, probe), scoreTGN(tgn, shuffled, probe))
+
+	// Both implementations here apply batch-level message dedup, so both
+	// stay stable; APAN additionally guarantees *exact* invariance at the
+	// mailbox level, demonstrated below.
+	fmt.Printf("score drift after shuffling arrival order within 50-event windows\n")
+	fmt.Printf("  APAN: mean |Δscore| = %.5f\n", apanDrift)
+	fmt.Printf("  TGN:  mean |Δscore| = %.5f\n", tgnDrift)
+
+	// Mailbox-level invariance (§3.6): delivering the same mails in any
+	// order yields bit-identical embeddings, because readout sorts by
+	// timestamp.
+	a, _ := apan.New(apan.Config{NumNodes: 4, EdgeDim: ds.EdgeDim, Seed: 3})
+	b, _ := apan.New(apan.Config{NumNodes: 4, EdgeDim: ds.EdgeDim, Seed: 3})
+	m1, m2, m3 := mail(ds.EdgeDim, 1), mail(ds.EdgeDim, 2), mail(ds.EdgeDim, 3)
+	a.Mailbox().Deliver(0, m1, 1)
+	a.Mailbox().Deliver(0, m2, 2)
+	a.Mailbox().Deliver(0, m3, 3)
+	b.Mailbox().Deliver(0, m3, 3) // reversed arrival
+	b.Mailbox().Deliver(0, m2, 2)
+	b.Mailbox().Deliver(0, m1, 1)
+	za := a.Embed([]apan.NodeID{0}, []float64{4})
+	zb := b.Embed([]apan.NodeID{0}, []float64{4})
+	identical := true
+	for i := range za.Data {
+		if za.Data[i] != zb.Data[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("mailbox invariance: reversed mail arrival gives identical embedding: %v\n", identical)
+
+	// --- Part 2: interpretability ----------------------------------------
+	// Mails store the full interaction detail (z_i, e_ij, z_j), so attention
+	// weights identify the historical interaction behind a prediction —
+	// something models that only keep compressed memory cannot offer.
+	model.ResetRuntime()
+	model.EvalStream(split.Train, nil)
+	var target *apan.Event
+	for i := range probe {
+		if model.Mailbox().Len(probe[i].Src) >= 3 {
+			target = &probe[i]
+			break
+		}
+	}
+	if target == nil {
+		fmt.Println("\nno probe node with enough mail history")
+		return
+	}
+	model.InferBatch([]apan.Event{*target})
+	if ex, ok := model.Explain(target.Src); ok {
+		fmt.Printf("\nnode %d attended over %d mails:\n", ex.Node, len(ex.MailWeights))
+		best := 0
+		for i, w := range ex.MailWeights {
+			fmt.Printf("  mail %d (oldest-first): weight %.3f\n", i, w)
+			if w > ex.MailWeights[best] {
+				best = i
+			}
+		}
+		fmt.Printf("=> the interaction behind mail %d dominated this embedding\n", best)
+	}
+}
+
+func scoreAPAN(m *apan.Model, warmup, probe []apan.Event) []float32 {
+	m.ResetRuntime()
+	m.EvalStream(warmup, nil)
+	return m.InferBatch(probe).Scores
+}
+
+// scoreTGN captures embedding-similarity scores for the probe interactions.
+// TGN has no side-effect-free serving path, so the deterministic
+// CollectStream pathway stands in for it.
+func scoreTGN(m *baselines.TGN, warmup, probe []apan.Event) []float32 {
+	m.ResetRuntime()
+	m.EvalStream(warmup, nil)
+	out := make([]float32, 0, len(probe))
+	m.CollectStream(probe, nil, func(_ *apan.Event, zsrc, zdst []float32) {
+		var dot float32
+		for i := range zsrc {
+			dot += zsrc[i] * zdst[i]
+		}
+		out = append(out, tensor.Sigmoid32(dot))
+	})
+	return out
+}
+
+func mail(dim int, v float32) []float32 {
+	m := make([]float32, dim)
+	m[0] = v
+	return m
+}
+
+func drift(a, b []float32) float64 {
+	var sum float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a))
+}
+
+func shuffleWithinWindows(evs []apan.Event, window int, rng *rand.Rand) {
+	for lo := 0; lo < len(evs); lo += window {
+		hi := lo + window
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		rng.Shuffle(hi-lo, func(i, j int) {
+			evs[lo+i], evs[lo+j] = evs[lo+j], evs[lo+i]
+		})
+	}
+}

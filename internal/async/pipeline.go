@@ -1,0 +1,152 @@
+// Package async implements APAN's deployment architecture (paper Fig. 2b):
+// a synchronous inference stage that answers in milliseconds without
+// touching the graph, and an asynchronous propagation stage that performs
+// the graph writes, k-hop queries and mail deliveries behind a bounded
+// queue. The queue isolates the online decision system from graph-database
+// load spikes (the "Black Friday" problem of §1).
+package async
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/eval"
+	"apan/internal/tgraph"
+)
+
+// Pipeline connects a core.Model's synchronous and asynchronous links.
+// Submit runs inference inline and enqueues propagation; a single worker
+// goroutine drains the queue, serializing all state mutation so the model's
+// stores never see concurrent writers.
+type Pipeline struct {
+	model *core.Model
+
+	queue chan *core.Inference
+	done  chan struct{}
+
+	mu        sync.Mutex
+	syncHist  eval.LatencyHist
+	asyncHist eval.LatencyHist
+	submitted int64
+	processed int64
+	maxDepth  int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("async: pipeline closed")
+
+// NewPipeline starts a pipeline with the given propagation queue capacity.
+// Capacity bounds memory during event bursts; Submit blocks (backpressure)
+// once the asynchronous link falls that many batches behind.
+func NewPipeline(m *core.Model, queueCap int) *Pipeline {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pipeline{
+		model: m,
+		queue: make(chan *core.Inference, queueCap),
+		done:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.worker()
+	return p
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for inf := range p.queue {
+		start := time.Now()
+		p.model.ApplyInference(inf)
+		d := time.Since(start)
+		p.mu.Lock()
+		p.asyncHist.Add(d)
+		p.processed++
+		p.mu.Unlock()
+	}
+	close(p.done)
+}
+
+// Submit scores a batch of interactions on the synchronous link and
+// enqueues the asynchronous work. The returned latency covers only the
+// synchronous part — what a caller of the online decision system observes.
+func (p *Pipeline) Submit(events []tgraph.Event) ([]float32, time.Duration, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	p.submitted++
+	p.mu.Unlock()
+
+	start := time.Now()
+	inf := p.model.InferBatch(events)
+	lat := time.Since(start)
+
+	p.mu.Lock()
+	p.syncHist.Add(lat)
+	if d := len(p.queue) + 1; d > p.maxDepth {
+		p.maxDepth = d
+	}
+	p.mu.Unlock()
+
+	p.queue <- inf
+	return inf.Scores, lat, nil
+}
+
+// Drain blocks until every enqueued batch has been propagated.
+func (p *Pipeline) Drain() {
+	for {
+		p.mu.Lock()
+		behind := p.submitted - p.processed
+		p.mu.Unlock()
+		if behind == 0 {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close drains the queue, stops the worker and releases resources. The
+// pipeline cannot be reused.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	<-p.done
+	p.wg.Wait()
+}
+
+// Stats is a point-in-time view of pipeline health.
+type Stats struct {
+	Submitted     int64
+	Processed     int64
+	QueueDepth    int
+	MaxQueueDepth int
+	SyncMean      time.Duration
+	SyncP99       time.Duration
+	AsyncMean     time.Duration
+}
+
+// Stats reports instrumentation counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Submitted:     p.submitted,
+		Processed:     p.processed,
+		QueueDepth:    len(p.queue),
+		MaxQueueDepth: p.maxDepth,
+		SyncMean:      p.syncHist.Mean(),
+		SyncP99:       p.syncHist.Quantile(0.99),
+		AsyncMean:     p.asyncHist.Mean(),
+	}
+}

@@ -1,0 +1,174 @@
+package async
+
+import (
+	"testing"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+func testModel(t *testing.T, latency gdb.LatencyModel) *core.Model {
+	t.Helper()
+	db := gdb.New(tgraph.New(8))
+	db.Latency = latency
+	db.Sleep = latency != nil
+	cfg := core.Config{
+		NumNodes: 8, EdgeDim: 8, Slots: 4, Neighbors: 4,
+		Hops: 2, Heads: 2, Hidden: 16, BatchSize: 4, Seed: 1,
+	}
+	m, err := core.NewWithDB(cfg, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func feat() []float32 { return make([]float32, 8) }
+
+func TestPipelineMatchesSynchronousApply(t *testing.T) {
+	// The pipeline must produce exactly the state a direct
+	// InferBatch+ApplyInference sequence produces.
+	ma := testModel(t, nil)
+	mb := testModel(t, nil)
+
+	batches := [][]tgraph.Event{
+		{{Src: 0, Dst: 1, Time: 1, Feat: feat()}},
+		{{Src: 1, Dst: 2, Time: 2, Feat: feat()}},
+		{{Src: 2, Dst: 3, Time: 3, Feat: feat()}},
+	}
+
+	p := NewPipeline(ma, 4)
+	var pipeScores []float32
+	for _, b := range batches {
+		scores, _, err := p.Submit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipeScores = append(pipeScores, scores...)
+		p.Drain() // serialize so both runs see identical state evolution
+	}
+	p.Close()
+
+	var directScores []float32
+	for _, b := range batches {
+		inf := mb.InferBatch(b)
+		directScores = append(directScores, inf.Scores...)
+		mb.ApplyInference(inf)
+	}
+
+	for i := range pipeScores {
+		if pipeScores[i] != directScores[i] {
+			t.Fatalf("score %d: pipeline %v direct %v", i, pipeScores[i], directScores[i])
+		}
+	}
+	for n := int32(0); n < 4; n++ {
+		if ma.Mailbox().Len(n) != mb.Mailbox().Len(n) {
+			t.Fatalf("node %d mail counts differ", n)
+		}
+	}
+}
+
+func TestSyncLatencyExcludesGraphQueryCost(t *testing.T) {
+	// With a slow simulated graph DB, the synchronous submit latency must
+	// stay far below the asynchronous propagation latency — the core claim
+	// of the paper's architecture.
+	const perQuery = 2 * time.Millisecond
+	m := testModel(t, gdb.Constant(perQuery))
+	p := NewPipeline(m, 8)
+	defer p.Close()
+
+	for i := 0; i < 5; i++ {
+		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 1) % 4), Time: float64(i + 1), Feat: feat()}}
+		if _, lat, err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		} else if lat > perQuery {
+			t.Fatalf("sync latency %v not decoupled from DB latency %v", lat, perQuery)
+		}
+	}
+	p.Drain()
+	st := p.Stats()
+	if st.Processed != 5 || st.Submitted != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.AsyncMean <= st.SyncMean {
+		t.Fatalf("async mean %v should exceed sync mean %v behind a slow DB", st.AsyncMean, st.SyncMean)
+	}
+	if m.DB().Stats().Simulated == 0 {
+		t.Fatal("no simulated latency recorded")
+	}
+}
+
+func TestPipelineBackpressureAndClose(t *testing.T) {
+	m := testModel(t, gdb.Constant(time.Millisecond))
+	p := NewPipeline(m, 1)
+	for i := 0; i < 4; i++ {
+		ev := []tgraph.Event{{Src: 0, Dst: 1, Time: float64(i + 1), Feat: feat()}}
+		if _, _, err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	st := p.Stats()
+	if st.Processed != 4 {
+		t.Fatalf("close must drain: processed %d", st.Processed)
+	}
+	if st.MaxQueueDepth < 1 {
+		t.Fatalf("queue depth never observed: %+v", st)
+	}
+	if _, _, err := p.Submit([]tgraph.Event{{Src: 0, Dst: 1, Time: 9, Feat: feat()}}); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPipelineToleratesOutOfOrderBatches(t *testing.T) {
+	// Distributed collectors deliver slightly out-of-order batches; the
+	// pipeline must stay consistent (sorted mailbox readout + sorted
+	// incidence insertion) and never corrupt state.
+	m := testModel(t, nil)
+	p := NewPipeline(m, 8)
+	defer p.Close()
+	batches := [][]tgraph.Event{
+		{{Src: 0, Dst: 1, Time: 5, Feat: feat()}},
+		{{Src: 1, Dst: 2, Time: 3, Feat: feat()}}, // late arrival
+		{{Src: 2, Dst: 3, Time: 4, Feat: feat()}},
+	}
+	for _, b := range batches {
+		if _, _, err := p.Submit(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if m.DB().G.NumEvents() != 3 {
+		t.Fatalf("events: %d", m.DB().G.NumEvents())
+	}
+	// Node 1's incidence list must be time-sorted despite arrival order.
+	incs := m.DB().G.MostRecentNeighbors(1, 100, 10, nil)
+	if len(incs) != 2 || incs[0].Time != 5 || incs[1].Time != 3 {
+		t.Fatalf("incidences not time-sorted: %+v", incs)
+	}
+}
+
+func TestPipelineConcurrentDrainSafety(t *testing.T) {
+	m := testModel(t, nil)
+	p := NewPipeline(m, 16)
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Drain()
+	}()
+	for i := 0; i < 20; i++ {
+		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 2) % 4), Time: float64(i + 1), Feat: feat()}}
+		if _, _, err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	<-done
+	if got := p.Stats().Processed; got != 20 {
+		t.Fatalf("processed %d", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation (§4.3): the synchronous CTDG models TGAT, TGN, JODIE and
+// DyRep; the static GNNs GAT and GraphSAGE; the graph autoencoders GAE and
+// VGAE; and the random-walk family DeepWalk, Node2Vec and CTDNE. The
+// dynamic models share the chronological streaming protocol of
+// internal/core so results are directly comparable.
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/eval"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// StreamModel is the protocol shared by APAN and the dynamic baselines: a
+// temporal model trained and evaluated on a chronological event stream.
+type StreamModel interface {
+	Name() string
+	ResetRuntime()
+	TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult
+	EvalStream(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult
+	CollectStream(events []tgraph.Event, ns *dataset.NegSampler, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.StreamResult
+}
+
+// batchFunc processes one batch and reports scores/loss/sync-latency.
+type batchFunc func(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.BatchResult
+
+// runStream drives a batchFunc over the stream in chronological batches,
+// mirroring core.Model's loop so all models share eval mechanics.
+func runStream(process batchFunc, batchSize int, events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.StreamResult {
+	var res core.StreamResult
+	var scores []float32
+	var labels []bool
+	start := time.Now()
+	for lo := 0; lo < len(events); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(events) {
+			hi = len(events)
+		}
+		br := process(events[lo:hi], ns, train, collect)
+		res.Loss += br.Loss
+		res.Batches++
+		res.SyncHist.Add(br.SyncTime)
+		for i := range br.PosScores {
+			scores = append(scores, br.PosScores[i], br.NegScores[i])
+			labels = append(labels, true, false)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Batches > 0 {
+		res.Loss /= float64(res.Batches)
+	}
+	res.Accuracy = eval.Accuracy(scores, labels, 0.5)
+	res.AP = eval.AveragePrecision(scores, labels)
+	return res
+}
+
+// plan deduplicates the nodes of a batch and assigns per-event rows,
+// optionally drawing one negative destination per event.
+type plan struct {
+	nodes  []tgraph.NodeID
+	times  []float64
+	srcRow []int32
+	dstRow []int32
+	negRow []int32
+}
+
+func planBatch(events []tgraph.Event, ns *dataset.NegSampler, rng *rand.Rand, numNodes int, withNegs bool) *plan {
+	p := &plan{}
+	rowOf := make(map[tgraph.NodeID]int, 3*len(events))
+	row := func(n tgraph.NodeID, t float64) int32 {
+		if r, ok := rowOf[n]; ok {
+			if t > p.times[r] {
+				p.times[r] = t
+			}
+			return int32(r)
+		}
+		r := len(p.nodes)
+		rowOf[n] = r
+		p.nodes = append(p.nodes, n)
+		p.times = append(p.times, t)
+		return int32(r)
+	}
+	for _, ev := range events {
+		p.srcRow = append(p.srcRow, row(ev.Src, ev.Time))
+		p.dstRow = append(p.dstRow, row(ev.Dst, ev.Time))
+	}
+	if withNegs {
+		for _, ev := range events {
+			var neg tgraph.NodeID
+			if ns != nil {
+				neg = ns.Sample(rng, ev.Dst)
+			} else {
+				neg = tgraph.NodeID(rng.Intn(numNodes))
+			}
+			p.negRow = append(p.negRow, row(neg, ev.Time))
+		}
+	}
+	return p
+}
+
+// sigmoidScores converts an n×1 logit matrix into probabilities.
+func sigmoidScores(logits *tensor.Matrix) []float32 {
+	out := make([]float32, logits.Rows)
+	for i := range out {
+		out[i] = tensor.Sigmoid32(logits.Data[i])
+	}
+	return out
+}
+
+// onesZeros returns constant target slices of length n.
+func onesZeros(n int) (ones, zeros []float32) {
+	ones = make([]float32, n)
+	zeros = make([]float32, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return ones, zeros
+}

@@ -1,0 +1,246 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/nn"
+	"apan/internal/state"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// DyRepConfig configures the DyRep baseline.
+type DyRepConfig struct {
+	NumNodes  int
+	EdgeDim   int
+	Fanout    int // neighbors aggregated for the localized message
+	Hidden    int
+	Dropout   float32
+	LR        float32
+	BatchSize int
+	Seed      int64
+}
+
+func (c *DyRepConfig) normalize() {
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 80
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.1
+	}
+	if c.LR == 0 {
+		c.LR = 1e-4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 200
+	}
+}
+
+// DyRep is Trivedi et al. (ICLR 2019): a recurrent node memory whose update
+// message carries *localized embedding propagation* — the aggregated memory
+// of the interaction partner's temporal neighborhood — with an identity
+// readout (the embedding is the memory itself).
+type DyRep struct {
+	cfg     DyRepConfig
+	rng     *rand.Rand
+	db      *gdb.DB
+	gru     *nn.GRUCell // input [agg(peer nbrs) ‖ e ‖ Φ(Δt)] (3d), hidden d
+	timeEnc *nn.TimeEncoder
+	dec     *core.LinkDecoder
+	mem     *state.Store
+	pending map[tgraph.NodeID]pendingEvent
+	opt     *nn.Adam
+}
+
+// NewDyRep builds a DyRep baseline over the given graph database.
+func NewDyRep(cfg DyRepConfig, db *gdb.DB) *DyRep {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.EdgeDim
+	m := &DyRep{
+		cfg:     cfg,
+		rng:     rng,
+		db:      db,
+		gru:     nn.NewGRUCell(3*d, d, rng),
+		timeEnc: nn.NewTimeEncoder(d, rng),
+		dec:     core.NewLinkDecoder(d, cfg.Hidden, cfg.Dropout, rng),
+		mem:     state.New(cfg.NumNodes, d),
+		pending: make(map[tgraph.NodeID]pendingEvent),
+	}
+	m.opt = nn.NewAdam(m.Params(), cfg.LR)
+	return m
+}
+
+// Name identifies the model.
+func (m *DyRep) Name() string { return "DyRep" }
+
+// Params returns all trainable tensors.
+func (m *DyRep) Params() []*nn.Tensor {
+	ps := append(m.gru.Params(), m.timeEnc.Params()...)
+	return append(ps, m.dec.Params()...)
+}
+
+// DB exposes the graph database wrapper.
+func (m *DyRep) DB() *gdb.DB { return m.db }
+
+// ResetRuntime clears memory, pending updates and the temporal graph.
+func (m *DyRep) ResetRuntime() {
+	m.mem.Reset()
+	m.pending = make(map[tgraph.NodeID]pendingEvent)
+	m.db.G = tgraph.New(m.cfg.NumNodes)
+	m.db.ResetStats()
+}
+
+// aggPeer returns the mean memory of peer and its most-recent temporal
+// neighbors at time t — DyRep's localized propagation term. This is a graph
+// query on the critical path.
+func (m *DyRep) aggPeer(peer tgraph.NodeID, t float64) []float32 {
+	d := m.cfg.EdgeDim
+	out := make([]float32, d)
+	copy(out, m.mem.Get(peer))
+	incs := m.db.MostRecentNeighbors(peer, t, m.cfg.Fanout, nil)
+	for _, inc := range incs {
+		tensor.Axpy(out, m.mem.Get(inc.Peer), 1)
+	}
+	inv := 1 / float32(len(incs)+1)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// updateMemory applies pending updates for the batch nodes on tape.
+func (m *DyRep) updateMemory(tp *nn.Tape, nodes []tgraph.NodeID) *Overlay {
+	var upd []tgraph.NodeID
+	for _, n := range nodes {
+		if _, ok := m.pending[n]; ok {
+			upd = append(upd, n)
+		}
+	}
+	if len(upd) == 0 {
+		return nil
+	}
+	d := m.cfg.EdgeDim
+	memRows := tensor.New(len(upd), d)
+	aggRows := tensor.New(len(upd), d)
+	feats := tensor.New(len(upd), d)
+	dts := make([]float32, len(upd))
+	idx := make(map[tgraph.NodeID]int32, len(upd))
+	for i, n := range upd {
+		pe := m.pending[n]
+		copy(memRows.Row(i), m.mem.Get(n))
+		copy(aggRows.Row(i), m.aggPeer(pe.peer, pe.t))
+		copy(feats.Row(i), pe.feat)
+		dt := pe.t - m.mem.LastTime(n)
+		if dt < 0 {
+			dt = 0
+		}
+		dts[i] = float32(dt)
+		idx[n] = int32(i)
+	}
+	x := tp.Concat3Cols(tp.Input(aggRows), tp.Input(feats), m.timeEnc.Forward(tp, dts))
+	newMem := m.gru.Forward(tp, x, tp.Input(memRows))
+	return &Overlay{Rows: newMem, IndexOf: idx}
+}
+
+func (m *DyRep) commitMemory(ov *Overlay, events []tgraph.Event) {
+	if ov != nil {
+		for n, i := range ov.IndexOf {
+			m.mem.Set(n, ov.Rows.Value().Row(int(i)), m.pending[n].t)
+			delete(m.pending, n)
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		m.pending[ev.Src] = pendingEvent{peer: ev.Dst, feat: ev.Feat, t: ev.Time}
+		m.pending[ev.Dst] = pendingEvent{peer: ev.Src, feat: ev.Feat, t: ev.Time}
+	}
+}
+
+func (m *DyRep) processBatch(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.BatchResult {
+	p := planBatch(events, ns, m.rng, m.cfg.NumNodes, true)
+
+	var tp *nn.Tape
+	if train {
+		tp = nn.NewTrainingTape(m.rng)
+	} else {
+		tp = nn.NewTape()
+	}
+
+	start := time.Now()
+	ov := m.updateMemory(tp, p.nodes)
+	d := m.cfg.EdgeDim
+	memRows := tensor.New(len(p.nodes), d)
+	for i, n := range p.nodes {
+		copy(memRows.Row(i), m.mem.Get(n))
+	}
+	z := tp.Input(memRows)
+	if ov != nil {
+		var rows, srcIdx []int32
+		for i, n := range p.nodes {
+			if u, ok := ov.IndexOf[n]; ok {
+				rows = append(rows, int32(i))
+				srcIdx = append(srcIdx, u)
+			}
+		}
+		z = tp.OverlayRows(z, tp.Gather(ov.Rows, srcIdx), rows)
+	}
+	zsrc := tp.Gather(z, p.srcRow)
+	zdst := tp.Gather(z, p.dstRow)
+	zneg := tp.Gather(z, p.negRow)
+	posLogits := m.dec.Forward(tp, zsrc, zdst)
+	negLogits := m.dec.Forward(tp, zsrc, zneg)
+	syncTime := time.Since(start)
+
+	ones, zeros := onesZeros(len(events))
+	loss := tp.Scale(tp.Add(tp.BCEWithLogits(posLogits, ones), tp.BCEWithLogits(negLogits, zeros)), 0.5)
+	if train {
+		tp.Backward(loss)
+		nn.ClipGradNorm(m.Params(), 5)
+		m.opt.Step()
+		m.opt.ZeroGrad()
+	}
+
+	if collect != nil {
+		for i := range events {
+			collect(&events[i], zsrc.Value().Row(i), zdst.Value().Row(i))
+		}
+	}
+	m.commitMemory(ov, events)
+	for _, ev := range events {
+		m.db.AddEvent(ev)
+	}
+	if ns != nil {
+		for i := range events {
+			ns.Observe(&events[i])
+		}
+	}
+	return core.BatchResult{
+		Loss:      float64(loss.Value().Data[0]),
+		PosScores: sigmoidScores(posLogits.Value()),
+		NegScores: sigmoidScores(negLogits.Value()),
+		SyncTime:  syncTime,
+	}
+}
+
+// TrainEpoch trains one chronological pass.
+func (m *DyRep) TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, true, nil)
+}
+
+// EvalStream evaluates link prediction without training.
+func (m *DyRep) EvalStream(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, nil)
+}
+
+// CollectStream runs inference invoking collect per event.
+func (m *DyRep) CollectStream(events []tgraph.Event, ns *dataset.NegSampler, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, collect)
+}

@@ -1,0 +1,195 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"apan/internal/dataset"
+	"apan/internal/nn"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// GAEConfig configures the GAE / VGAE baselines.
+type GAEConfig struct {
+	Variational bool
+	Hidden      int
+	Latent      int
+	LR          float32
+	Epochs      int
+	PairsPerEp  int // reconstruction pairs sampled per epoch
+	Seed        int64
+}
+
+func (c *GAEConfig) normalize() {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.Latent == 0 {
+		c.Latent = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.PairsPerEp == 0 {
+		c.PairsPerEp = 4096
+	}
+}
+
+// GAE is the (variational) graph autoencoder of Kipf & Welling (2016): a
+// two-layer full-batch GCN encoder over the symmetrically normalized static
+// adjacency, trained to reconstruct edges with an inner-product decoder.
+// Being unsupervised and time-blind, it anchors the bottom of Table 2.
+type GAE struct {
+	cfg GAEConfig
+	rng *rand.Rand
+
+	adj  *nn.SparseMatrix
+	x    *tensor.Matrix
+	w1   *nn.Linear
+	wMu  *nn.Linear
+	wSig *nn.Linear // VGAE only
+	opt  *nn.Adam
+
+	z *tensor.Matrix // cached latent embeddings after Fit
+}
+
+// NewGAE builds an untrained GAE/VGAE for data with the given feature dim.
+func NewGAE(cfg GAEConfig, edgeDim int) *GAE {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &GAE{
+		cfg: cfg,
+		rng: rng,
+		w1:  nn.NewLinear(edgeDim, cfg.Hidden, rng),
+		wMu: nn.NewLinear(cfg.Hidden, cfg.Latent, rng),
+	}
+	params := append(m.w1.Params(), m.wMu.Params()...)
+	if cfg.Variational {
+		m.wSig = nn.NewLinear(cfg.Hidden, cfg.Latent, rng)
+		params = append(params, m.wSig.Params()...)
+	}
+	m.opt = nn.NewAdam(params, cfg.LR)
+	return m
+}
+
+// Name identifies the model.
+func (m *GAE) Name() string {
+	if m.cfg.Variational {
+		return "VGAE"
+	}
+	return "GAE"
+}
+
+// normalizedAdjacency builds Â = D^{-1/2}(A+I)D^{-1/2} from the snapshot.
+func normalizedAdjacency(csr *tgraph.CSR) *nn.SparseMatrix {
+	n := csr.NumNodes
+	deg := make([]float32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = float32(csr.Degree(tgraph.NodeID(v))) + 1 // self loop
+	}
+	inv := make([]float32, n)
+	for v := range inv {
+		inv[v] = 1 / tensor.Sqrt32(deg[v])
+	}
+	s := &nn.SparseMatrix{N: n, RowPtr: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		s.RowPtr[v] = int32(len(s.Col))
+		// Self loop first, then neighbors (CSR cols are sorted).
+		s.Col = append(s.Col, int32(v))
+		s.Val = append(s.Val, inv[v]*inv[v])
+		for _, u := range csr.Neighbors(tgraph.NodeID(v)) {
+			s.Col = append(s.Col, u)
+			s.Val = append(s.Val, inv[v]*inv[u])
+		}
+	}
+	s.RowPtr[n] = int32(len(s.Col))
+	return s
+}
+
+// encode runs the GCN encoder on tape, returning (z, kl) where kl is nil
+// for the plain GAE.
+func (m *GAE) encode(tp *nn.Tape) (*nn.Tensor, *nn.Tensor) {
+	h := tp.ReLU(m.w1.Forward(tp, tp.SpMM(m.adj, tp.Input(m.x))))
+	h = tp.SpMM(m.adj, h)
+	mu := m.wMu.Forward(tp, h)
+	if !m.cfg.Variational {
+		return mu, nil
+	}
+	logvar := m.wSig.Forward(tp, h)
+	// Reparameterization: z = μ + ε·exp(logvar/2).
+	eps := tensor.New(mu.Value().Rows, mu.Value().Cols)
+	eps.RandN(m.rng, 1)
+	std := tp.Exp(tp.Scale(logvar, 0.5))
+	z := tp.Add(mu, tp.Mul(tp.Input(eps), std))
+	// KL(q‖N(0,1)) = −½ Σ (1 + logvar − μ² − e^{logvar}) / N.
+	one := tp.AddConst(tp.Sub(logvar, tp.Add(tp.Square(mu), tp.Exp(logvar))), 1)
+	kl := tp.Scale(tp.MeanAll(one), -0.5)
+	return z, kl
+}
+
+// Fit trains the autoencoder on the training window's static snapshot.
+func (m *GAE) Fit(d *dataset.Dataset, split *dataset.Split) {
+	g := tgraph.New(d.NumNodes)
+	for _, ev := range split.Train {
+		g.AddEvent(ev)
+	}
+	csr := g.StaticSnapshot(split.TrainEnd + 1)
+	m.adj = normalizedAdjacency(csr)
+	m.x = nodeInputFeatures(d, split.Train)
+
+	ns := dataset.NewNegSampler(d.NumNodes)
+	for i := range split.Train {
+		ns.Observe(&split.Train[i])
+	}
+
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		tp := nn.NewTrainingTape(m.rng)
+		z, kl := m.encode(tp)
+		// Reconstruction on sampled positive/negative pairs.
+		nPairs := m.cfg.PairsPerEp
+		if nPairs > len(split.Train) {
+			nPairs = len(split.Train)
+		}
+		srcRow := make([]int32, 0, 2*nPairs)
+		dstRow := make([]int32, 0, 2*nPairs)
+		targets := make([]float32, 0, 2*nPairs)
+		for i := 0; i < nPairs; i++ {
+			ev := &split.Train[m.rng.Intn(len(split.Train))]
+			srcRow = append(srcRow, int32(ev.Src))
+			dstRow = append(dstRow, int32(ev.Dst))
+			targets = append(targets, 1)
+			srcRow = append(srcRow, int32(ev.Src))
+			dstRow = append(dstRow, int32(ns.Sample(m.rng, ev.Dst)))
+			targets = append(targets, 0)
+		}
+		logits := tp.RowDot(tp.Gather(z, srcRow), tp.Gather(z, dstRow))
+		loss := tp.BCEWithLogits(logits, targets)
+		if kl != nil {
+			loss = tp.Add(loss, tp.Scale(kl, 1e-2))
+		}
+		tp.Backward(loss)
+		m.opt.Step()
+		m.opt.ZeroGrad()
+	}
+
+	// Cache deterministic embeddings (μ for VGAE).
+	tp := nn.NewTape()
+	h := tp.ReLU(m.w1.Forward(tp, tp.SpMM(m.adj, tp.Input(m.x))))
+	h = tp.SpMM(m.adj, h)
+	m.z = m.wMu.Forward(tp, h).Value().Clone()
+}
+
+// Score returns σ(z_u·z_v) for each pair.
+func (m *GAE) Score(pairs [][2]tgraph.NodeID) []float32 {
+	out := make([]float32, len(pairs))
+	for i, pr := range pairs {
+		out[i] = tensor.Sigmoid32(tensor.Dot(m.z.Row(int(pr[0])), m.z.Row(int(pr[1]))))
+	}
+	return out
+}
+
+// Embedding returns the latent embedding of node n.
+func (m *GAE) Embedding(n tgraph.NodeID) []float32 { return m.z.Row(int(n)) }

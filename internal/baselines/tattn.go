@@ -1,0 +1,150 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"apan/internal/gdb"
+	"apan/internal/nn"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// BaseFunc provides the detached layer-0 features of a set of (node, time)
+// pairs: zeros for TGAT (node features are absent in the datasets, §4.1),
+// the node memory for TGN.
+type BaseFunc func(nodes []tgraph.NodeID, times []float64) *tensor.Matrix
+
+// Overlay lets a model substitute on-tape layer-0 rows for specific nodes so
+// gradients reach the module that produced them (TGN's memory updater).
+type Overlay struct {
+	Rows    *nn.Tensor              // U: one row per overridden node
+	IndexOf map[tgraph.NodeID]int32 // node → row in Rows
+}
+
+// TemporalAttnStack is the k-hop temporal graph attention of TGAT (Xu et
+// al., ICLR 2020), reused by TGN as its embedding module. Layer l computes
+//
+//	h_l(n,t) = FFN([ MHA(q=[h_{l−1}(n,t) ‖ Φ(0)],
+//	                      kv=[h_{l−1}(u,t_u) ‖ e_{nu} ‖ Φ(t−t_u)]) ‖ h_{l−1}(n,t) ])
+//
+// over the fan-out most-recent temporal neighbors u of n, with the harmonic
+// time encoding Φ. Every neighbor query goes through the graph database —
+// the cost that sits on the inference critical path of synchronous models.
+type TemporalAttnStack struct {
+	dim    int
+	fanout int
+	layers int
+	heads  int
+
+	db      *gdb.DB
+	timeEnc *nn.TimeEncoder
+	wq      []*nn.Linear // per layer: 2d → d
+	wk      []*nn.Linear // per layer: 3d → d
+	wv      []*nn.Linear // per layer: 3d → d
+	ffn     []*nn.MLP    // per layer: 2d → hidden → d
+}
+
+// NewTemporalAttnStack builds an L-layer stack over model dimension dim.
+func NewTemporalAttnStack(dim, layers, fanout, heads, hidden int, dropout float32, db *gdb.DB, rng *rand.Rand) *TemporalAttnStack {
+	s := &TemporalAttnStack{
+		dim:     dim,
+		fanout:  fanout,
+		layers:  layers,
+		heads:   heads,
+		db:      db,
+		timeEnc: nn.NewTimeEncoder(dim, rng),
+	}
+	for l := 0; l < layers; l++ {
+		s.wq = append(s.wq, nn.NewLinear(2*dim, dim, rng))
+		s.wk = append(s.wk, nn.NewLinear(3*dim, dim, rng))
+		s.wv = append(s.wv, nn.NewLinear(3*dim, dim, rng))
+		s.ffn = append(s.ffn, nn.NewMLP(2*dim, hidden, dim, dropout, rng))
+	}
+	return s
+}
+
+// SetDB swaps the graph database (used when the runtime is reset).
+func (s *TemporalAttnStack) SetDB(db *gdb.DB) { s.db = db }
+
+// Params returns all trainable tensors of the stack.
+func (s *TemporalAttnStack) Params() []*nn.Tensor {
+	ps := s.timeEnc.Params()
+	for l := 0; l < s.layers; l++ {
+		ps = append(ps, s.wq[l].Params()...)
+		ps = append(ps, s.wk[l].Params()...)
+		ps = append(ps, s.wv[l].Params()...)
+		ps = append(ps, s.ffn[l].Params()...)
+	}
+	return ps
+}
+
+// Reprs computes the top-layer representations of (nodes, times). base
+// supplies detached layer-0 features; overlay (optional) substitutes
+// on-tape rows for specific nodes at layer 0.
+func (s *TemporalAttnStack) Reprs(tp *nn.Tape, nodes []tgraph.NodeID, times []float64, base BaseFunc, overlay *Overlay) *nn.Tensor {
+	return s.reprs(tp, nodes, times, s.layers, base, overlay)
+}
+
+func (s *TemporalAttnStack) reprs(tp *nn.Tape, nodes []tgraph.NodeID, times []float64, layer int, base BaseFunc, overlay *Overlay) *nn.Tensor {
+	if layer == 0 {
+		t0 := tp.Input(base(nodes, times))
+		if overlay != nil {
+			var rows []int32
+			var srcIdx []int32
+			for i, n := range nodes {
+				if u, ok := overlay.IndexOf[n]; ok {
+					rows = append(rows, int32(i))
+					srcIdx = append(srcIdx, u)
+				}
+			}
+			if len(rows) > 0 {
+				t0 = tp.OverlayRows(t0, tp.Gather(overlay.Rows, srcIdx), rows)
+			}
+		}
+		return t0
+	}
+
+	b := len(nodes)
+	k := s.fanout
+	neighNodes := make([]tgraph.NodeID, b*k)
+	neighTimes := make([]float64, b*k)
+	dts := make([]float32, b*k)
+	counts := make([]int, b)
+	edgeFeats := tensor.New(b*k, s.dim)
+	var scratch []tgraph.Incidence
+	for i, n := range nodes {
+		if times[i] <= 0 {
+			// Nothing can precede t=0; also skips the padded slots of the
+			// layer above without charging graph-DB queries for them.
+			continue
+		}
+		scratch = s.db.MostRecentNeighbors(n, times[i], k, scratch[:0])
+		counts[i] = len(scratch)
+		for j, inc := range scratch {
+			neighNodes[i*k+j] = inc.Peer
+			neighTimes[i*k+j] = inc.Time
+			dts[i*k+j] = float32(times[i] - inc.Time)
+			feat := s.db.G.Event(inc.Event).Feat
+			copy(edgeFeats.Row(i*k+j), feat)
+		}
+		// Padded slots keep node 0 at time 0; the attention mask hides them.
+	}
+
+	selfPrev := s.reprs(tp, nodes, times, layer-1, base, overlay)
+	neighPrev := s.reprs(tp, neighNodes, neighTimes, layer-1, base, overlay)
+
+	l := layer - 1
+	q := s.wq[l].Forward(tp, tp.ConcatCols(selfPrev, s.timeEnc.Forward(tp, make([]float32, b))))
+	kvIn := tp.Concat3Cols(neighPrev, tp.Input(edgeFeats), s.timeEnc.Forward(tp, dts))
+	kT := s.wk[l].Forward(tp, kvIn)
+	vT := s.wv[l].Forward(tp, kvIn)
+	att := tp.MaskedMHA(q, kT, vT, s.heads, counts)
+	return s.ffn[l].Forward(tp, tp.ConcatCols(att.Out, selfPrev))
+}
+
+// ZeroBase returns a BaseFunc producing zero features of width dim.
+func ZeroBase(dim int) BaseFunc {
+	return func(nodes []tgraph.NodeID, _ []float64) *tensor.Matrix {
+		return tensor.New(len(nodes), dim)
+	}
+}

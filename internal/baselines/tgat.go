@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/nn"
+	"apan/internal/tgraph"
+)
+
+// TGATConfig configures the TGAT baseline.
+type TGATConfig struct {
+	NumNodes  int
+	EdgeDim   int
+	Layers    int // temporal attention layers (1 or 2 in the paper's figures)
+	Fanout    int // sampled neighbors per hop (default 10)
+	Heads     int // attention heads (default 2)
+	Hidden    int // FFN hidden width (default 80)
+	Dropout   float32
+	LR        float32
+	BatchSize int
+	Seed      int64
+}
+
+func (c *TGATConfig) normalize() {
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 80
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.1
+	}
+	if c.LR == 0 {
+		c.LR = 1e-4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 200
+	}
+}
+
+// TGAT is the synchronous CTDG baseline of Xu et al. (ICLR 2020): k-hop
+// temporal graph attention with a harmonic time encoding, no node memory.
+// Every inference must query the graph database for its temporal subgraph —
+// the serial "graph querying then model inference" workflow of Fig. 2a.
+type TGAT struct {
+	cfg   TGATConfig
+	rng   *rand.Rand
+	db    *gdb.DB
+	stack *TemporalAttnStack
+	dec   *core.LinkDecoder
+	opt   *nn.Adam
+}
+
+// NewTGAT builds a TGAT baseline over the given graph database.
+func NewTGAT(cfg TGATConfig, db *gdb.DB) *TGAT {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &TGAT{
+		cfg:   cfg,
+		rng:   rng,
+		db:    db,
+		stack: NewTemporalAttnStack(cfg.EdgeDim, cfg.Layers, cfg.Fanout, cfg.Heads, cfg.Hidden, cfg.Dropout, db, rng),
+		dec:   core.NewLinkDecoder(cfg.EdgeDim, cfg.Hidden, cfg.Dropout, rng),
+	}
+	m.opt = nn.NewAdam(m.Params(), cfg.LR)
+	return m
+}
+
+// Name identifies the model variant, e.g. "TGAT-2layers".
+func (m *TGAT) Name() string {
+	if m.cfg.Layers == 1 {
+		return "TGAT-1layer"
+	}
+	return "TGAT-2layers"
+}
+
+// Params returns all trainable tensors.
+func (m *TGAT) Params() []*nn.Tensor {
+	return append(m.stack.Params(), m.dec.Params()...)
+}
+
+// DB exposes the graph database wrapper.
+func (m *TGAT) DB() *gdb.DB { return m.db }
+
+// ResetRuntime clears the temporal graph (TGAT keeps no other state).
+func (m *TGAT) ResetRuntime() {
+	m.db.G = tgraph.New(m.cfg.NumNodes)
+	m.db.ResetStats()
+	m.stack.SetDB(m.db)
+}
+
+func (m *TGAT) processBatch(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.BatchResult {
+	p := planBatch(events, ns, m.rng, m.cfg.NumNodes, true)
+
+	var tp *nn.Tape
+	if train {
+		tp = nn.NewTrainingTape(m.rng)
+	} else {
+		tp = nn.NewTape()
+	}
+
+	// Synchronous critical path: graph queries + aggregation + decode.
+	start := time.Now()
+	z := m.stack.Reprs(tp, p.nodes, p.times, ZeroBase(m.cfg.EdgeDim), nil)
+	zsrc := tp.Gather(z, p.srcRow)
+	zdst := tp.Gather(z, p.dstRow)
+	zneg := tp.Gather(z, p.negRow)
+	posLogits := m.dec.Forward(tp, zsrc, zdst)
+	negLogits := m.dec.Forward(tp, zsrc, zneg)
+	syncTime := time.Since(start)
+
+	ones, zeros := onesZeros(len(events))
+	loss := tp.Scale(tp.Add(tp.BCEWithLogits(posLogits, ones), tp.BCEWithLogits(negLogits, zeros)), 0.5)
+	if train {
+		tp.Backward(loss)
+		nn.ClipGradNorm(m.Params(), 5)
+		m.opt.Step()
+		m.opt.ZeroGrad()
+	}
+
+	if collect != nil {
+		for i := range events {
+			collect(&events[i], zsrc.Value().Row(i), zdst.Value().Row(i))
+		}
+	}
+	for _, ev := range events {
+		m.db.AddEvent(ev)
+	}
+	if ns != nil {
+		for i := range events {
+			ns.Observe(&events[i])
+		}
+	}
+	return core.BatchResult{
+		Loss:      float64(loss.Value().Data[0]),
+		PosScores: sigmoidScores(posLogits.Value()),
+		NegScores: sigmoidScores(negLogits.Value()),
+		SyncTime:  syncTime,
+	}
+}
+
+// TrainEpoch trains one chronological pass.
+func (m *TGAT) TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, true, nil)
+}
+
+// EvalStream evaluates link prediction without training.
+func (m *TGAT) EvalStream(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, nil)
+}
+
+// CollectStream runs inference invoking collect per event.
+func (m *TGAT) CollectStream(events []tgraph.Event, ns *dataset.NegSampler, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, collect)
+}

@@ -1,0 +1,253 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/nn"
+	"apan/internal/state"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// TGNConfig configures the TGN baseline.
+type TGNConfig struct {
+	NumNodes  int
+	EdgeDim   int
+	Layers    int // attention layers in the embedding module
+	Fanout    int
+	Heads     int
+	Hidden    int
+	Dropout   float32
+	LR        float32
+	BatchSize int
+	Seed      int64
+}
+
+func (c *TGNConfig) normalize() {
+	if c.Layers == 0 {
+		c.Layers = 1
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 80
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.1
+	}
+	if c.LR == 0 {
+		c.LR = 1e-4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 200
+	}
+}
+
+// pendingEvent is the most recent interaction of a node whose memory update
+// has not been applied yet. TGN applies updates lazily at the start of the
+// next batch that touches the node, so the GRU receives gradients from the
+// link-prediction loss (Rossi et al., 2020 §3.2, "memory update at the
+// start of the batch").
+type pendingEvent struct {
+	peer tgraph.NodeID
+	feat []float32
+	t    float64
+}
+
+// TGN is Temporal Graph Networks (Rossi et al., 2020): a GRU node memory
+// driven by interaction messages plus a temporal-attention embedding module.
+// Like TGAT it must query the graph database on the inference critical path.
+type TGN struct {
+	cfg     TGNConfig
+	rng     *rand.Rand
+	db      *gdb.DB
+	stack   *TemporalAttnStack
+	dec     *core.LinkDecoder
+	gru     *nn.GRUCell // input [mem_peer ‖ e ‖ Φ(Δt)] (3d), hidden d
+	msgTime *nn.TimeEncoder
+	mem     *state.Store
+	pending map[tgraph.NodeID]pendingEvent
+	opt     *nn.Adam
+}
+
+// NewTGN builds a TGN baseline over the given graph database.
+func NewTGN(cfg TGNConfig, db *gdb.DB) *TGN {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.EdgeDim
+	m := &TGN{
+		cfg:     cfg,
+		rng:     rng,
+		db:      db,
+		stack:   NewTemporalAttnStack(d, cfg.Layers, cfg.Fanout, cfg.Heads, cfg.Hidden, cfg.Dropout, db, rng),
+		dec:     core.NewLinkDecoder(d, cfg.Hidden, cfg.Dropout, rng),
+		gru:     nn.NewGRUCell(3*d, d, rng),
+		msgTime: nn.NewTimeEncoder(d, rng),
+		mem:     state.New(cfg.NumNodes, d),
+		pending: make(map[tgraph.NodeID]pendingEvent),
+	}
+	m.opt = nn.NewAdam(m.Params(), cfg.LR)
+	return m
+}
+
+// Name identifies the model variant, e.g. "TGN-1layer".
+func (m *TGN) Name() string {
+	if m.cfg.Layers == 1 {
+		return "TGN-1layer"
+	}
+	return "TGN-2layers"
+}
+
+// Params returns all trainable tensors.
+func (m *TGN) Params() []*nn.Tensor {
+	ps := append(m.stack.Params(), m.dec.Params()...)
+	ps = append(ps, m.gru.Params()...)
+	return append(ps, m.msgTime.Params()...)
+}
+
+// DB exposes the graph database wrapper.
+func (m *TGN) DB() *gdb.DB { return m.db }
+
+// ResetRuntime clears memory, pending messages and the temporal graph.
+func (m *TGN) ResetRuntime() {
+	m.mem.Reset()
+	m.pending = make(map[tgraph.NodeID]pendingEvent)
+	m.db.G = tgraph.New(m.cfg.NumNodes)
+	m.db.ResetStats()
+	m.stack.SetDB(m.db)
+}
+
+// memBase reads detached memory rows for the attention stack.
+func (m *TGN) memBase(nodes []tgraph.NodeID, _ []float64) *tensor.Matrix {
+	out := tensor.New(len(nodes), m.cfg.EdgeDim)
+	for i, n := range nodes {
+		copy(out.Row(i), m.mem.Get(n))
+	}
+	return out
+}
+
+// updateMemory applies pending messages for the batch nodes on tape,
+// returning the overlay of fresh memory rows (or nil when nothing pending).
+func (m *TGN) updateMemory(tp *nn.Tape, nodes []tgraph.NodeID) *Overlay {
+	var upd []tgraph.NodeID
+	for _, n := range nodes {
+		if _, ok := m.pending[n]; ok {
+			upd = append(upd, n)
+		}
+	}
+	if len(upd) == 0 {
+		return nil
+	}
+	d := m.cfg.EdgeDim
+	memRows := tensor.New(len(upd), d)
+	peerRows := tensor.New(len(upd), d)
+	feats := tensor.New(len(upd), d)
+	dts := make([]float32, len(upd))
+	idx := make(map[tgraph.NodeID]int32, len(upd))
+	for i, n := range upd {
+		pe := m.pending[n]
+		copy(memRows.Row(i), m.mem.Get(n))
+		copy(peerRows.Row(i), m.mem.Get(pe.peer))
+		copy(feats.Row(i), pe.feat)
+		dt := pe.t - m.mem.LastTime(n)
+		if dt < 0 {
+			dt = 0
+		}
+		dts[i] = float32(dt)
+		idx[n] = int32(i)
+	}
+	x := tp.Concat3Cols(tp.Input(peerRows), tp.Input(feats), m.msgTime.Forward(tp, dts))
+	newMem := m.gru.Forward(tp, x, tp.Input(memRows))
+	return &Overlay{Rows: newMem, IndexOf: idx}
+}
+
+// commitMemory writes the overlay's values back to the store and records the
+// new pending events of this batch.
+func (m *TGN) commitMemory(ov *Overlay, events []tgraph.Event) {
+	if ov != nil {
+		for n, i := range ov.IndexOf {
+			m.mem.Set(n, ov.Rows.Value().Row(int(i)), m.pending[n].t)
+			delete(m.pending, n)
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		m.pending[ev.Src] = pendingEvent{peer: ev.Dst, feat: ev.Feat, t: ev.Time}
+		m.pending[ev.Dst] = pendingEvent{peer: ev.Src, feat: ev.Feat, t: ev.Time}
+	}
+}
+
+func (m *TGN) processBatch(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.BatchResult {
+	p := planBatch(events, ns, m.rng, m.cfg.NumNodes, true)
+
+	var tp *nn.Tape
+	if train {
+		tp = nn.NewTrainingTape(m.rng)
+	} else {
+		tp = nn.NewTape()
+	}
+
+	// Synchronous critical path: memory update + graph queries + attention.
+	start := time.Now()
+	ov := m.updateMemory(tp, p.nodes)
+	z := m.stack.Reprs(tp, p.nodes, p.times, m.memBase, ov)
+	zsrc := tp.Gather(z, p.srcRow)
+	zdst := tp.Gather(z, p.dstRow)
+	zneg := tp.Gather(z, p.negRow)
+	posLogits := m.dec.Forward(tp, zsrc, zdst)
+	negLogits := m.dec.Forward(tp, zsrc, zneg)
+	syncTime := time.Since(start)
+
+	ones, zeros := onesZeros(len(events))
+	loss := tp.Scale(tp.Add(tp.BCEWithLogits(posLogits, ones), tp.BCEWithLogits(negLogits, zeros)), 0.5)
+	if train {
+		tp.Backward(loss)
+		nn.ClipGradNorm(m.Params(), 5)
+		m.opt.Step()
+		m.opt.ZeroGrad()
+	}
+
+	if collect != nil {
+		for i := range events {
+			collect(&events[i], zsrc.Value().Row(i), zdst.Value().Row(i))
+		}
+	}
+	m.commitMemory(ov, events)
+	for _, ev := range events {
+		m.db.AddEvent(ev)
+	}
+	if ns != nil {
+		for i := range events {
+			ns.Observe(&events[i])
+		}
+	}
+	return core.BatchResult{
+		Loss:      float64(loss.Value().Data[0]),
+		PosScores: sigmoidScores(posLogits.Value()),
+		NegScores: sigmoidScores(negLogits.Value()),
+		SyncTime:  syncTime,
+	}
+}
+
+// TrainEpoch trains one chronological pass.
+func (m *TGN) TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, true, nil)
+}
+
+// EvalStream evaluates link prediction without training.
+func (m *TGN) EvalStream(events []tgraph.Event, ns *dataset.NegSampler) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, nil)
+}
+
+// CollectStream runs inference invoking collect per event.
+func (m *TGN) CollectStream(events []tgraph.Event, ns *dataset.NegSampler, collect func(ev *tgraph.Event, zsrc, zdst []float32)) core.StreamResult {
+	return runStream(m.processBatch, m.cfg.BatchSize, events, ns, false, collect)
+}

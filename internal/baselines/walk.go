@@ -1,0 +1,339 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"apan/internal/dataset"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// WalkKind selects the random-walk strategy.
+type WalkKind int
+
+const (
+	// KindDeepWalk uses uniform first-order walks (Perozzi et al., 2014).
+	KindDeepWalk WalkKind = iota
+	// KindNode2Vec uses (p,q)-biased second-order walks (Grover & Leskovec, 2016).
+	KindNode2Vec
+	// KindCTDNE uses temporal walks with non-decreasing timestamps
+	// (Nguyen et al., 2018) — the only walk baseline that respects time.
+	KindCTDNE
+)
+
+// WalkConfig configures the random-walk embedding baselines.
+type WalkConfig struct {
+	Kind      WalkKind
+	Dim       int     // embedding dimension (default 64)
+	WalkLen   int     // steps per walk (default 20)
+	WalksPer  int     // walks per node / per start edge (default 6)
+	Window    int     // skip-gram window (default 4)
+	Negatives int     // negative samples per pair (default 4)
+	LR        float32 // SGD learning rate (default 0.025)
+	P, Q      float64 // node2vec return / in-out parameters (default 1, 0.5)
+	Seed      int64
+}
+
+func (c *WalkConfig) normalize() {
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.WalkLen == 0 {
+		c.WalkLen = 20
+	}
+	if c.WalksPer == 0 {
+		c.WalksPer = 6
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 4
+	}
+	if c.LR == 0 {
+		c.LR = 0.025
+	}
+	if c.P == 0 {
+		c.P = 1
+	}
+	if c.Q == 0 {
+		c.Q = 0.5
+	}
+}
+
+// WalkEmbedding is the shared skip-gram-with-negative-sampling trainer over
+// the three walk strategies. Scoring calibrates σ(a·emb_u·emb_v + b) on
+// training pairs so accuracy thresholds are meaningful.
+type WalkEmbedding struct {
+	cfg WalkConfig
+	rng *rand.Rand
+
+	emb *tensor.Matrix // input (node) vectors — the embeddings
+	ctx *tensor.Matrix // output (context) vectors
+	// logistic calibration for Score
+	calA, calB float32
+}
+
+// NewWalkEmbedding builds an untrained walk baseline.
+func NewWalkEmbedding(cfg WalkConfig) *WalkEmbedding {
+	cfg.normalize()
+	return &WalkEmbedding{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name identifies the model.
+func (m *WalkEmbedding) Name() string {
+	switch m.cfg.Kind {
+	case KindNode2Vec:
+		return "Node2vec"
+	case KindCTDNE:
+		return "CTDNE"
+	default:
+		return "DeepWalk"
+	}
+}
+
+// Fit generates walks over the training window and trains SGNS.
+func (m *WalkEmbedding) Fit(d *dataset.Dataset, split *dataset.Split) {
+	g := tgraph.New(d.NumNodes)
+	for _, ev := range split.Train {
+		g.AddEvent(ev)
+	}
+	var walks [][]tgraph.NodeID
+	if m.cfg.Kind == KindCTDNE {
+		walks = m.temporalWalks(g, split.Train)
+	} else {
+		csr := g.StaticSnapshot(split.TrainEnd + 1)
+		walks = m.staticWalks(csr)
+	}
+	m.trainSGNS(d.NumNodes, walks)
+	m.calibrate(d, split)
+}
+
+func (m *WalkEmbedding) staticWalks(csr *tgraph.CSR) [][]tgraph.NodeID {
+	var walks [][]tgraph.NodeID
+	for v := 0; v < csr.NumNodes; v++ {
+		if csr.Degree(tgraph.NodeID(v)) == 0 {
+			continue
+		}
+		for w := 0; w < m.cfg.WalksPer; w++ {
+			walks = append(walks, m.oneStaticWalk(csr, tgraph.NodeID(v)))
+		}
+	}
+	return walks
+}
+
+func (m *WalkEmbedding) oneStaticWalk(csr *tgraph.CSR, start tgraph.NodeID) []tgraph.NodeID {
+	walk := make([]tgraph.NodeID, 0, m.cfg.WalkLen)
+	walk = append(walk, start)
+	cur := start
+	var prev tgraph.NodeID = -1
+	for len(walk) < m.cfg.WalkLen {
+		nbrs := csr.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		var next tgraph.NodeID
+		if m.cfg.Kind == KindDeepWalk || prev < 0 {
+			next = nbrs[m.rng.Intn(len(nbrs))]
+		} else {
+			next = m.node2vecStep(csr, prev, cur, nbrs)
+		}
+		walk = append(walk, next)
+		prev, cur = cur, next
+	}
+	return walk
+}
+
+// node2vecStep draws the next node with unnormalized weights 1/p (return),
+// 1 (shared neighbor), 1/q (exploration) via rejection sampling.
+func (m *WalkEmbedding) node2vecStep(csr *tgraph.CSR, prev, cur tgraph.NodeID, nbrs []tgraph.NodeID) tgraph.NodeID {
+	maxW := 1.0
+	if 1/m.cfg.P > maxW {
+		maxW = 1 / m.cfg.P
+	}
+	if 1/m.cfg.Q > maxW {
+		maxW = 1 / m.cfg.Q
+	}
+	prevNbrs := csr.Neighbors(prev)
+	isPrevNbr := func(x tgraph.NodeID) bool {
+		i := sort.Search(len(prevNbrs), func(i int) bool { return prevNbrs[i] >= x })
+		return i < len(prevNbrs) && prevNbrs[i] == x
+	}
+	for tries := 0; tries < 32; tries++ {
+		cand := nbrs[m.rng.Intn(len(nbrs))]
+		var w float64
+		switch {
+		case cand == prev:
+			w = 1 / m.cfg.P
+		case isPrevNbr(cand):
+			w = 1
+		default:
+			w = 1 / m.cfg.Q
+		}
+		if m.rng.Float64() < w/maxW {
+			return cand
+		}
+	}
+	return nbrs[m.rng.Intn(len(nbrs))]
+}
+
+// temporalWalks builds CTDNE walks: start at a random training event and
+// keep moving along events with non-decreasing timestamps.
+func (m *WalkEmbedding) temporalWalks(g *tgraph.Graph, train []tgraph.Event) [][]tgraph.NodeID {
+	nWalks := len(train) / 4 * m.cfg.WalksPer / 6
+	if nWalks < len(train)/8 {
+		nWalks = len(train) / 8
+	}
+	if nWalks == 0 {
+		nWalks = len(train)
+	}
+	var walks [][]tgraph.NodeID
+	for w := 0; w < nWalks; w++ {
+		ev := &train[m.rng.Intn(len(train))]
+		walk := []tgraph.NodeID{ev.Src, ev.Dst}
+		cur := ev.Dst
+		curT := ev.Time
+		for len(walk) < m.cfg.WalkLen {
+			next, nextT, ok := m.temporalStep(g, cur, curT)
+			if !ok {
+				break
+			}
+			walk = append(walk, next)
+			cur, curT = next, nextT
+		}
+		if len(walk) >= 2 {
+			walks = append(walks, walk)
+		}
+	}
+	return walks
+}
+
+// temporalStep samples uniformly among cur's events with Time ≥ t.
+func (m *WalkEmbedding) temporalStep(g *tgraph.Graph, cur tgraph.NodeID, t float64) (tgraph.NodeID, float64, bool) {
+	// Degree before +inf minus degree before t = future incidences.
+	total := g.Degree(cur, 1e18)
+	past := g.Degree(cur, t)
+	if total == past {
+		return 0, 0, false
+	}
+	// Most-recent list is newest-first over (t, +inf): index uniformly.
+	incs := g.MostRecentNeighbors(cur, 1e18, total-past, nil)
+	inc := incs[m.rng.Intn(len(incs))]
+	return inc.Peer, inc.Time, true
+}
+
+// trainSGNS runs skip-gram with negative sampling over the walks using
+// manual gradients (the classic word2vec update).
+func (m *WalkEmbedding) trainSGNS(numNodes int, walks [][]tgraph.NodeID) {
+	dim := m.cfg.Dim
+	m.emb = tensor.New(numNodes, dim)
+	m.ctx = tensor.New(numNodes, dim)
+	m.emb.RandUniform(m.rng, -0.5/float64(dim), 0.5/float64(dim))
+
+	// Negative table by occurrence^0.75.
+	counts := make([]float64, numNodes)
+	for _, w := range walks {
+		for _, n := range w {
+			counts[n]++
+		}
+	}
+	var negPool []tgraph.NodeID
+	for n, c := range counts {
+		if c == 0 {
+			continue
+		}
+		reps := int(math.Pow(c, 0.75)) + 1
+		for r := 0; r < reps && r < 64; r++ {
+			negPool = append(negPool, tgraph.NodeID(n))
+		}
+	}
+	if len(negPool) == 0 {
+		return
+	}
+
+	lr := m.cfg.LR
+	gradC := make([]float32, dim)
+	for _, walk := range walks {
+		for i, center := range walk {
+			lo := i - m.cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + m.cfg.Window
+			if hi >= len(walk) {
+				hi = len(walk) - 1
+			}
+			ce := m.emb.Row(int(center))
+			for j := lo; j <= hi; j++ {
+				if j == i {
+					continue
+				}
+				for k := range gradC {
+					gradC[k] = 0
+				}
+				// Positive pair.
+				m.sgnsPair(ce, m.ctx.Row(int(walk[j])), 1, lr, gradC)
+				// Negatives.
+				for neg := 0; neg < m.cfg.Negatives; neg++ {
+					nv := negPool[m.rng.Intn(len(negPool))]
+					if nv == walk[j] {
+						continue
+					}
+					m.sgnsPair(ce, m.ctx.Row(int(nv)), 0, lr, gradC)
+				}
+				tensor.Axpy(ce, gradC, 1)
+			}
+		}
+	}
+}
+
+// sgnsPair applies one (center, context, label) update to the context
+// vector and accumulates the center gradient.
+func (m *WalkEmbedding) sgnsPair(center, context []float32, label float32, lr float32, gradC []float32) {
+	g := (label - tensor.Sigmoid32(tensor.Dot(center, context))) * lr
+	tensor.Axpy(gradC, context, g)
+	tensor.Axpy(context, center, g)
+}
+
+// calibrate fits the 2-parameter logistic σ(a·dot+b) on training pairs so
+// Score produces calibrated probabilities.
+func (m *WalkEmbedding) calibrate(d *dataset.Dataset, split *dataset.Split) {
+	m.calA, m.calB = 1, 0
+	ns := dataset.NewNegSampler(d.NumNodes)
+	for i := range split.Train {
+		ns.Observe(&split.Train[i])
+	}
+	const iters = 3000
+	lr := float32(0.05)
+	for it := 0; it < iters; it++ {
+		ev := &split.Train[m.rng.Intn(len(split.Train))]
+		for _, s := range []struct {
+			dst   tgraph.NodeID
+			label float32
+		}{
+			{ev.Dst, 1},
+			{ns.Sample(m.rng, ev.Dst), 0},
+		} {
+			dot := tensor.Dot(m.emb.Row(int(ev.Src)), m.emb.Row(int(s.dst)))
+			p := tensor.Sigmoid32(m.calA*dot + m.calB)
+			g := (s.label - p) * lr
+			m.calA += g * dot
+			m.calB += g
+		}
+	}
+}
+
+// Score returns calibrated probabilities for node pairs.
+func (m *WalkEmbedding) Score(pairs [][2]tgraph.NodeID) []float32 {
+	out := make([]float32, len(pairs))
+	for i, pr := range pairs {
+		dot := tensor.Dot(m.emb.Row(int(pr[0])), m.emb.Row(int(pr[1])))
+		out[i] = tensor.Sigmoid32(m.calA*dot + m.calB)
+	}
+	return out
+}
+
+// Embedding returns the learned vector of node n.
+func (m *WalkEmbedding) Embedding(n tgraph.NodeID) []float32 { return m.emb.Row(int(n)) }

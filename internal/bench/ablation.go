@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+// AblationResult is one design-choice variant's link-prediction quality.
+type AblationResult struct {
+	Variant string
+	TestAcc float64
+	TestAP  float64
+}
+
+// ablationVariants enumerates the design choices DESIGN.md §5 calls out:
+// the positional encoding of mailbox slots, the mail reduction ρ, the
+// mailbox update rule ψ, the link decoder, and the propagation depth.
+func ablationVariants(base core.Config) []struct {
+	name string
+	cfg  core.Config
+} {
+	mk := func(name string, mut func(*core.Config)) struct {
+		name string
+		cfg  core.Config
+	} {
+		c := base
+		mut(&c)
+		return struct {
+			name string
+			cfg  core.Config
+		}{name, c}
+	}
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		mk("baseline (learned-pos, mean, FIFO, dot)", func(c *core.Config) {}),
+		mk("positional=time-encoding", func(c *core.Config) { c.Positional = core.PositionalTime }),
+		mk("positional=none", func(c *core.Config) { c.Positional = core.PositionalNone }),
+		mk("reduce=latest", func(c *core.Config) { c.Reduce = core.ReduceLatest }),
+		mk("mailbox=key-value", func(c *core.Config) { c.KeyValueMailbox = true }),
+		mk("decoder=MLP", func(c *core.Config) { c.MLPDecoder = true }),
+		mk("hops=1", func(c *core.Config) { c.Hops = 1 }),
+		mk("hops=3", func(c *core.Config) { c.Hops = 3 }),
+	}
+}
+
+// RunAblation trains one APAN variant per design choice on Wikipedia and
+// reports test accuracy/AP, quantifying how much each §3 module contributes.
+func RunAblation(o Options) ([]AblationResult, error) {
+	o.normalize()
+	d, err := o.MakeDataset("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(0.70, 0.15)
+
+	base := core.Config{
+		NumNodes: d.NumNodes, EdgeDim: d.EdgeDim,
+		Slots: o.Slots, Neighbors: o.Fanout, Hops: 2, Heads: 2,
+		Hidden: o.Hidden, BatchSize: o.BatchSize, LR: o.LR, Seed: o.Seed,
+	}
+
+	var out []AblationResult
+	for _, v := range ablationVariants(base) {
+		var acc, ap float64
+		for s := 0; s < o.Seeds; s++ {
+			cfg := v.cfg
+			cfg.Seed = o.Seed + int64(s)
+			db := gdb.New(tgraph.New(d.NumNodes))
+			m, err := core.NewWithDB(cfg, db)
+			if err != nil {
+				return nil, err
+			}
+			r := o.TrainEval(m, db, split, d.NumNodes)
+			acc += r.TestAcc
+			ap += r.TestAP
+		}
+		n := float64(o.Seeds)
+		out = append(out, AblationResult{Variant: v.name, TestAcc: acc / n, TestAP: ap / n})
+	}
+
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Ablation (wikipedia link prediction, scale=%.3g, %d seed(s))\n", o.Scale, o.Seeds)
+	fmt.Fprintln(w, "Variant\tAccuracy\tAP")
+	for _, r := range out {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", r.Variant, r.TestAcc, r.TestAP)
+	}
+	return out, w.Flush()
+}
+
+// RunDriftAblation quantifies the dataset-drift knob: static snapshots keep
+// up when preferences are stationary and fall behind as drift grows — the
+// dynamics motivating CTDG models (§1).
+func RunDriftAblation(o Options, drifts []float64) (map[float64]map[string]float64, error) {
+	o.normalize()
+	if drifts == nil {
+		drifts = []float64{0, 0.4, 0.8}
+	}
+	models := []string{"SAGE", "APAN"}
+	out := make(map[float64]map[string]float64, len(drifts))
+	for _, drift := range drifts {
+		cfg := dataset.Config{Scale: o.Scale, Seed: o.Seed + 1000, Drift: drift, NoDrift: drift == 0}
+		d := dataset.Wikipedia(cfg)
+		split := d.Split(0.70, 0.15)
+		out[drift] = make(map[string]float64, len(models))
+		for _, name := range models {
+			if isStaticModel(name) {
+				m, err := o.NewStaticModel(name, d, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				out[drift][name] = o.staticEval(m, d, split, o.Seed).TestAP
+			} else {
+				m, db, err := o.NewStreamModel(name, d, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				out[drift][name] = o.TrainEval(m, db, split, d.NumNodes).TestAP
+			}
+		}
+	}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Drift ablation (wikipedia, test AP %%, scale=%.3g)\n", o.Scale)
+	fmt.Fprint(w, "drift")
+	for _, m := range models {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, drift := range drifts {
+		fmt.Fprintf(w, "%.1f", drift)
+		for _, m := range models {
+			fmt.Fprintf(w, "\t%.2f", out[drift][m])
+		}
+		fmt.Fprintln(w)
+	}
+	return out, w.Flush()
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Scale:     0.006,
+		Seed:      1,
+		Seeds:     1,
+		Epochs:    2,
+		BatchSize: 100,
+		Fanout:    4,
+		Slots:     5,
+		Hidden:    32,
+		Out:       buf,
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunTable1(fastOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(res.Stats))
+	}
+	names := []string{"wikipedia", "reddit", "alipay"}
+	for i, s := range res.Stats {
+		if s.Name != names[i] {
+			t.Fatalf("dataset %d: %s", i, s.Name)
+		}
+		if s.Edges == 0 || s.Nodes == 0 {
+			t.Fatalf("empty stats: %+v", s)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Edges", "Unseen nodes", "Label type", "transaction ban"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable2Subset(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunTable2(fastOpts(&buf), "wikipedia", []string{"CTDNE", "JODIE", "APAN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if math.IsNaN(r.AP) || r.AP <= 40 || r.AP > 100 {
+			t.Fatalf("%s AP out of range: %v", r.Model, r.AP)
+		}
+	}
+	// At this micro scale (2 epochs, ~1k events) only sanity ordering holds:
+	// the trained APAN must clearly beat chance. Cross-model ordering claims
+	// are checked by the full-scale runs recorded in EXPERIMENTS.md.
+	for _, r := range res.Rows {
+		if r.Model == "APAN" && r.AP < 55 {
+			t.Fatalf("APAN AP %.2f barely above chance", r.AP)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("missing table header")
+	}
+}
+
+func TestRunTable3NodeClassification(t *testing.T) {
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	// The ban labels are sparse by design (Table 1: 217 of 157k events), so
+	// a larger slice is needed for positives on both sides of the split. At
+	// this scale only a handful of eval positives exist, so this test checks
+	// the pipeline end to end rather than a quality bar (EXPERIMENTS.md
+	// records full-scale AUCs).
+	o.Scale = 0.05
+	res, err := RunTable3(o, "wikipedia", []string{"APAN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Task != "node" || len(res.Rows) != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	auc := res.Rows[0].AUC
+	if auc <= 0 || auc > 100 {
+		t.Fatalf("APAN node-classification AUC %.2f", auc)
+	}
+}
+
+func TestRunTable3EdgeClassification(t *testing.T) {
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Scale = 0.02
+	res, err := RunTable3(o, "alipay", []string{"APAN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Task != "edge" {
+		t.Fatalf("task: %s", res.Task)
+	}
+	auc := res.Rows[0].AUC
+	if auc <= 55 || auc > 100 {
+		t.Fatalf("APAN edge-classification AUC %.2f", auc)
+	}
+}
+
+func TestRunFigure6SpeedOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.DBLatency = 200 * time.Microsecond
+	fig, err := RunFigure6(o, []string{"TGAT-2layers", "TGN-1layer", "APAN-2layers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apan, tgat, tgn float64
+	for _, p := range fig.Points {
+		switch p.Model {
+		case "APAN-2layers":
+			apan = p.InferMs
+		case "TGAT-2layers":
+			tgat = p.InferMs
+		case "TGN-1layer":
+			tgn = p.InferMs
+		}
+	}
+	// The paper's headline: APAN's inference is far faster because graph
+	// queries are off its critical path.
+	if apan >= tgn || apan >= tgat {
+		t.Fatalf("APAN %.3fms should undercut TGN %.3fms and TGAT %.3fms", apan, tgn, tgat)
+	}
+	if tgat <= tgn {
+		t.Fatalf("TGAT-2layers (%.3f) should cost more than TGN-1layer (%.3f)", tgat, tgn)
+	}
+}
+
+func TestRunFigure7TrainingParity(t *testing.T) {
+	var buf bytes.Buffer
+	fig, err := RunFigure7(fastOpts(&buf), []string{"TGN-1layer", "APAN-2layers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apan, tgn float64
+	for _, p := range fig.Points {
+		if p.EpochSec <= 0 {
+			t.Fatalf("%s: no training time measured", p.Model)
+		}
+		switch p.Model {
+		case "APAN-2layers":
+			apan = p.EpochSec
+		case "TGN-1layer":
+			tgn = p.EpochSec
+		}
+	}
+	// In training APAN does comparable work to TGN (paper: "almost the same
+	// speed"); allow a generous band.
+	if apan > 5*tgn {
+		t.Fatalf("APAN training %.3fs should be within 5x of TGN %.3fs", apan, tgn)
+	}
+}
+
+func TestRunFigure8Shapes(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFigure8(fastOpts(&buf), []string{"APAN"}, []int{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AP["APAN"]; len(got) != 2 {
+		t.Fatalf("AP series: %v", got)
+	}
+	for _, ap := range res.AP["APAN"] {
+		if ap <= 40 {
+			t.Fatalf("degenerate AP: %v", res.AP["APAN"])
+		}
+	}
+}
+
+func TestRunFigure9Grid(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFigure9(fastOpts(&buf), []int{4, 8}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AP) != 1 || len(res.AP[0]) != 2 {
+		t.Fatalf("grid shape: %+v", res.AP)
+	}
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRunAblationVariants(t *testing.T) {
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Epochs = 1
+	res, err := RunAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("want 8 variants, got %d", len(res))
+	}
+	seen := map[string]bool{}
+	for _, r := range res {
+		if seen[r.Variant] {
+			t.Fatalf("duplicate variant %q", r.Variant)
+		}
+		seen[r.Variant] = true
+		if math.IsNaN(r.TestAP) || r.TestAP <= 0 {
+			t.Fatalf("%s: bad AP %v", r.Variant, r.TestAP)
+		}
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRunDriftAblation(t *testing.T) {
+	var buf bytes.Buffer
+	o := fastOpts(&buf)
+	o.Epochs = 1
+	res, err := RunDriftAblation(o, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0]["APAN"] == 0 || res[0.5]["SAGE"] == 0 {
+		t.Fatalf("drift results incomplete: %+v", res)
+	}
+}
+
+func TestOptionsUnknowns(t *testing.T) {
+	o := Options{}
+	o.normalize()
+	if _, err := o.MakeDataset("nope"); err == nil {
+		t.Fatal("want dataset error")
+	}
+	d, _ := o.MakeDataset("wikipedia")
+	if _, _, err := o.NewStreamModel("nope", d, 1); err == nil {
+		t.Fatal("want stream model error")
+	}
+	if _, err := o.NewStaticModel("nope", d, 1); err == nil {
+		t.Fatal("want static model error")
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	runs := []RunMetrics{
+		{TestAcc: 80, TestAP: 90, EpochSec: 1, InferMs: 10},
+		{TestAcc: 84, TestAP: 94, EpochSec: 3, InferMs: 30},
+	}
+	row := aggregateRuns("m", runs)
+	if row.Acc != 82 || row.AP != 92 {
+		t.Fatalf("means: %+v", row)
+	}
+	if row.AccStd < 2.8 || row.AccStd > 2.9 {
+		t.Fatalf("std: %v", row.AccStd)
+	}
+	if row.EpochSec != 2 || row.InferMs != 20 {
+		t.Fatalf("speeds: %+v", row)
+	}
+}
+
+func TestMeanStdSkipNaN(t *testing.T) {
+	m, s := meanStdSkipNaN([]float64{math.NaN(), 4, 6})
+	if m != 5 || s <= 0 {
+		t.Fatalf("got %v %v", m, s)
+	}
+	m, s = meanStdSkipNaN([]float64{math.NaN()})
+	if m != 0 || s != 0 {
+		t.Fatalf("all-NaN should be zeros: %v %v", m, s)
+	}
+}
+
+func TestDatasetScalesInFactory(t *testing.T) {
+	o := Options{Scale: 0.02, Seed: 9}
+	o.normalize()
+	w, _ := o.MakeDataset("wikipedia")
+	a, _ := o.MakeDataset("alipay")
+	if len(a.Events) >= len(w.Events)*18 {
+		t.Fatal("alipay bench scaling cap not applied")
+	}
+	if w.EdgeDim != 172 || a.EdgeDim != 101 {
+		t.Fatalf("dims: %d %d", w.EdgeDim, a.EdgeDim)
+	}
+}
+
+func TestIsAsyncModel(t *testing.T) {
+	for name, want := range map[string]bool{
+		"APAN-1layer": true, "APAN-2layers": true, "APAN": true,
+		"TGAT-2layers": false, "TGN-1layer": false, "JODIE": false, "DyRep": false,
+	} {
+		if isAsyncModel(name) != want {
+			t.Fatalf("isAsyncModel(%s) != %v", name, want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"apan/internal/eval"
+	"apan/internal/nn"
+	"apan/internal/tensor"
+)
+
+// downstreamTask selects the decoder input of the Table-3 classifiers.
+type downstreamTask int
+
+const (
+	// taskNode classifies a node's dynamic state from z_i alone
+	// (Wikipedia/Reddit ban prediction).
+	taskNode downstreamTask = iota
+	// taskEdge classifies an interaction from [z_i ‖ e_ij ‖ z_j]
+	// (Alipay fraud detection).
+	taskEdge
+)
+
+// downstreamAUC trains an MLP decoder on the labeled samples whose time is
+// within the training window and reports ROC-AUC on the rest — the paper's
+// dynamic classification protocol (decoder on frozen encoder embeddings,
+// AUC because labels are heavily skewed).
+func downstreamAUC(samples []labeledSample, trainEnd float64, task downstreamTask, hidden int, seed int64) float64 {
+	return downstreamAUCImpl(samples, trainEnd, task, hidden, seed, 600)
+}
+
+func downstreamAUCImpl(samples []labeledSample, trainEnd float64, task downstreamTask, hidden int, seed int64, steps int) float64 {
+	var train, test []labeledSample
+	for _, s := range samples {
+		if s.time <= trainEnd {
+			train = append(train, s)
+		} else {
+			test = append(test, s)
+		}
+	}
+	if len(train) == 0 || len(test) == 0 {
+		return math.NaN()
+	}
+	var pos, neg []labeledSample
+	for _, s := range train {
+		if s.label == 1 {
+			pos = append(pos, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return math.NaN()
+	}
+
+	input := func(s *labeledSample) []float32 {
+		if task == taskNode {
+			return s.z
+		}
+		row := make([]float32, 0, len(s.z)+len(s.feat)+len(s.zPeer))
+		row = append(row, s.z...)
+		row = append(row, s.feat...)
+		return append(row, s.zPeer...)
+	}
+	inDim := len(input(&train[0]))
+
+	// Per-dimension standardization from training statistics: the input mixes
+	// embeddings (~unit scale) with raw feature channels whose scales differ
+	// by orders of magnitude.
+	mean := make([]float32, inDim)
+	std := make([]float32, inDim)
+	for i := range train {
+		for j, v := range input(&train[i]) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float32(len(train))
+	}
+	for i := range train {
+		for j, v := range input(&train[i]) {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = tensor.Sqrt32(std[j]/float32(len(train))) + 1e-6
+	}
+	rawInput := input
+	input = func(s *labeledSample) []float32 {
+		raw := rawInput(s)
+		// Copy before normalizing: for taskNode the raw input aliases the
+		// sample's own slice, and repeated in-place standardization of
+		// resampled rows would corrupt the training set.
+		row := make([]float32, len(raw))
+		for j, v := range raw {
+			row[j] = (v - mean[j]) / std[j]
+		}
+		return row
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	mlp := nn.NewMLP(inDim, hidden, 1, 0.3, rng)
+	opt := nn.NewAdam(mlp.Params(), 1e-3)
+
+	// Class-balanced minibatches compensate the heavy label skew; input
+	// dropout and weight decay keep the decoder from memorizing the tiny
+	// positive set through its noise dimensions.
+	const half = 16
+	const weightDecay = 1e-3
+	for step := 0; step < steps; step++ {
+		x := tensor.New(2*half, inDim)
+		targets := make([]float32, 2*half)
+		for i := 0; i < half; i++ {
+			copy(x.Row(i), input(&pos[rng.Intn(len(pos))]))
+			targets[i] = 1
+			copy(x.Row(half+i), input(&neg[rng.Intn(len(neg))]))
+		}
+		tp := nn.NewTrainingTape(rng)
+		in := tp.Dropout(tp.Input(x), 0.2)
+		loss := tp.BCEWithLogits(mlp.Forward(tp, in), targets)
+		tp.Backward(loss)
+		opt.Step()
+		opt.ZeroGrad()
+		for _, p := range mlp.Params() {
+			p.Value().Scale(1 - weightDecay)
+		}
+	}
+
+	scores := make([]float32, len(test))
+	labels := make([]bool, len(test))
+	for i := range test {
+		x := tensor.New(1, inDim)
+		copy(x.Row(0), input(&test[i]))
+		tp := nn.NewTape()
+		out := mlp.Forward(tp, tp.Input(x))
+		scores[i] = tensor.Sigmoid32(out.Value().Data[0])
+		labels[i] = test[i].label == 1
+	}
+	return eval.ROCAUC(scores, labels)
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+)
+
+// FigureModels are the models plotted in Figures 6 and 7.
+var FigureModels = []string{
+	"TGAT-1layer", "TGAT-2layers",
+	"TGN-1layer", "TGN-2layers",
+	"APAN-1layer", "APAN-2layers",
+	"JODIE", "DyRep",
+}
+
+// FigurePoint is one model's (speed, quality) coordinate.
+type FigurePoint struct {
+	Model    string
+	AP       float64 // %
+	InferMs  float64 // Figure 6 axis
+	EpochSec float64 // Figure 7 axis
+}
+
+// Figure holds a speed-vs-AP scatter.
+type Figure struct {
+	Title  string
+	Points []FigurePoint
+}
+
+// runFigurePoints trains every figure model once per seed on Wikipedia and
+// collects speed/AP coordinates.
+func runFigurePoints(o Options, models []string) ([]FigurePoint, error) {
+	d, err := o.MakeDataset("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(0.70, 0.15)
+	var pts []FigurePoint
+	for _, name := range models {
+		var aps, inferMs, epochSec float64
+		for s := 0; s < o.Seeds; s++ {
+			m, db, err := o.NewStreamModel(name, d, o.Seed+int64(s))
+			if err != nil {
+				return nil, err
+			}
+			r := o.TrainEval(m, db, split, d.NumNodes)
+			aps += r.TestAP
+			inferMs += r.InferMs
+			epochSec += r.EpochSec
+		}
+		n := float64(o.Seeds)
+		pts = append(pts, FigurePoint{Model: name, AP: aps / n, InferMs: inferMs / n, EpochSec: epochSec / n})
+	}
+	return pts, nil
+}
+
+// RunFigure6 reproduces the inference-speed vs AP scatter (Wikipedia link
+// prediction). Set Options.DBLatency to model the distributed graph
+// database of the §4.6 deployment discussion: synchronous models pay it per
+// query on the critical path, APAN does not.
+func RunFigure6(o Options, models []string) (*Figure, error) {
+	o.normalize()
+	if models == nil {
+		models = FigureModels
+	}
+	pts, err := runFigurePoints(o, models)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Title: "Figure 6: inference time (ms/batch) vs AP (%)", Points: pts}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s  [db-latency=%v scale=%.3g]\n", fig.Title, o.DBLatency, o.Scale)
+	fmt.Fprintln(w, "Model\tInference ms/batch\tAP")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\n", p.Model, p.InferMs, p.AP)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if tgn, apan := findPoint(pts, "TGN-2layers"), findPoint(pts, "APAN-2layers"); tgn != nil && apan != nil && apan.InferMs > 0 {
+		fmt.Fprintf(o.Out, "speedup APAN-2layers vs TGN-2layers: %.1f x (paper: 8.7x)\n", tgn.InferMs/apan.InferMs)
+	}
+	return fig, nil
+}
+
+// RunFigure7 reproduces the training-speed vs AP scatter: in training APAN
+// performs the same work as the synchronous models, so it clusters with
+// TGN rather than beating it.
+func RunFigure7(o Options, models []string) (*Figure, error) {
+	o.normalize()
+	o.DBLatency = 0 // training runs against the in-memory store
+	if models == nil {
+		models = FigureModels
+	}
+	pts, err := runFigurePoints(o, models)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Title: "Figure 7: training time (s/epoch) vs AP (%)", Points: pts}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s  [scale=%.3g]\n", fig.Title, o.Scale)
+	fmt.Fprintln(w, "Model\tTraining s/epoch\tAP")
+	for _, p := range fig.Points {
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\n", p.Model, p.EpochSec, p.AP)
+	}
+	return fig, w.Flush()
+}
+
+func findPoint(pts []FigurePoint, model string) *FigurePoint {
+	for i := range pts {
+		if pts[i].Model == model {
+			return &pts[i]
+		}
+	}
+	return nil
+}
+
+// Figure8 holds AP as a function of training batch size per model.
+type Figure8 struct {
+	BatchSizes []int
+	// AP[model][i] is the test AP (%) at BatchSizes[i].
+	AP map[string][]float64
+}
+
+// Figure8Models are the lines of Figure 8.
+var Figure8Models = []string{"TGAT", "TGN", "APAN"}
+
+// RunFigure8 reproduces the batch-size robustness experiment: APAN's AP
+// stays flat as the batch grows because its inference never depends on the
+// newest in-batch subgraph, while TGAT/TGN degrade.
+func RunFigure8(o Options, models []string, batchSizes []int) (*Figure8, error) {
+	o.normalize()
+	if models == nil {
+		models = Figure8Models
+	}
+	if batchSizes == nil {
+		batchSizes = []int{100, 200, 300, 400, 500}
+	}
+	d, err := o.MakeDataset("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(0.70, 0.15)
+	res := &Figure8{BatchSizes: batchSizes, AP: map[string][]float64{}}
+	for _, name := range models {
+		for _, bs := range batchSizes {
+			opts := o
+			opts.BatchSize = bs
+			var ap float64
+			for s := 0; s < o.Seeds; s++ {
+				m, db, err := opts.NewStreamModel(name, d, o.Seed+int64(s))
+				if err != nil {
+					return nil, err
+				}
+				ap += opts.TrainEval(m, db, split, d.NumNodes).TestAP
+			}
+			res.AP[name] = append(res.AP[name], ap/float64(o.Seeds))
+		}
+	}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Figure 8: AP (%%) vs batch size, Wikipedia  [scale=%.3g]\n", o.Scale)
+	fmt.Fprint(w, "Model")
+	for _, bs := range batchSizes {
+		fmt.Fprintf(w, "\t%d", bs)
+	}
+	fmt.Fprintln(w)
+	for _, name := range models {
+		fmt.Fprint(w, name)
+		for _, ap := range res.AP[name] {
+			fmt.Fprintf(w, "\t%.2f", ap)
+		}
+		fmt.Fprintln(w)
+	}
+	return res, w.Flush()
+}
+
+// Figure9 is the mailbox-slots × sampled-neighbors AP grid.
+type Figure9 struct {
+	Slots     []int
+	Neighbors []int
+	// AP[i][j] is the test AP (%) at Neighbors[i] × Slots[j].
+	AP [][]float64
+}
+
+// RunFigure9 reproduces the hyper-parameter robustness grid: across the
+// 4×4 grid the paper's best and worst APs differ by only ~0.6%.
+func RunFigure9(o Options, slots, neighbors []int) (*Figure9, error) {
+	o.normalize()
+	if slots == nil {
+		slots = []int{5, 10, 15, 20}
+	}
+	if neighbors == nil {
+		neighbors = []int{5, 10, 15, 20}
+	}
+	d, err := o.MakeDataset("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(0.70, 0.15)
+	res := &Figure9{Slots: slots, Neighbors: neighbors}
+	for _, nb := range neighbors {
+		row := make([]float64, 0, len(slots))
+		for _, sl := range slots {
+			opts := o
+			opts.Slots = sl
+			opts.Fanout = nb
+			var ap float64
+			for s := 0; s < o.Seeds; s++ {
+				m, db, err := opts.NewStreamModel("APAN", d, o.Seed+int64(s))
+				if err != nil {
+					return nil, err
+				}
+				ap += opts.TrainEval(m, db, split, d.NumNodes).TestAP
+			}
+			row = append(row, ap/float64(o.Seeds))
+		}
+		res.AP = append(res.AP, row)
+	}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Figure 9: AP (%%) grid, mailbox slots x sampled neighbors, Wikipedia  [scale=%.3g]\n", o.Scale)
+	fmt.Fprint(w, "neighbors\\slots")
+	for _, sl := range slots {
+		fmt.Fprintf(w, "\t%d", sl)
+	}
+	fmt.Fprintln(w)
+	for i, nb := range neighbors {
+		fmt.Fprintf(w, "%d", nb)
+		for _, ap := range res.AP[i] {
+			fmt.Fprintf(w, "\t%.2f", ap)
+		}
+		fmt.Fprintln(w)
+	}
+	return res, w.Flush()
+}

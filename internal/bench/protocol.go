@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"apan/internal/baselines"
+	"apan/internal/dataset"
+	"apan/internal/eval"
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+// RunMetrics is the outcome of one trained model under one seed.
+type RunMetrics struct {
+	Model    string
+	TestAcc  float64 // %
+	TestAP   float64 // %
+	ValAP    float64 // %
+	EpochSec float64 // mean training seconds per epoch
+	// InferMs is the mean synchronous inference time per test batch in
+	// milliseconds, including simulated graph-DB latency for models that
+	// query the graph on the critical path.
+	InferMs float64
+	Epochs  int
+}
+
+// isAsyncModel reports whether the model keeps graph queries off the
+// synchronous inference path (only APAN does).
+func isAsyncModel(name string) bool {
+	return len(name) >= 4 && name[:4] == "APAN"
+}
+
+// TrainEval runs the full §4.4 protocol on one dynamic model: train with
+// early stopping on validation AP, then replay the stream for a clean
+// val/test measurement.
+func (o *Options) TrainEval(m baselines.StreamModel, db *gdb.DB, split *dataset.Split, numNodes int) RunMetrics {
+	stopper := eval.NewEarlyStopper(o.Patience)
+	var trainSecs []float64
+	epochs := 0
+	for e := 0; e < o.Epochs; e++ {
+		m.ResetRuntime()
+		ns := dataset.NewNegSampler(numNodes)
+		tr := m.TrainEpoch(split.Train, ns)
+		trainSecs = append(trainSecs, tr.Elapsed.Seconds())
+		val := m.EvalStream(split.Val, ns)
+		epochs++
+		if stop, _ := stopper.Step(val.AP); stop {
+			break
+		}
+	}
+
+	// Clean measurement pass: rebuild streaming state without gradients,
+	// then score validation and test.
+	m.ResetRuntime()
+	ns := dataset.NewNegSampler(numNodes)
+	m.EvalStream(split.Train, ns)
+	val := m.EvalStream(split.Val, ns)
+	db.ResetStats()
+	test := m.EvalStream(split.Test, ns)
+	dbStats := db.Stats()
+
+	inferMs := test.SyncHist.Mean().Seconds() * 1e3
+	if !isAsyncModel(m.Name()) && test.Batches > 0 {
+		// Synchronous models pay the graph-DB round trips before answering.
+		inferMs += dbStats.Simulated.Seconds() * 1e3 / float64(test.Batches)
+	}
+	meanSec, _ := eval.MeanStd(trainSecs)
+	return RunMetrics{
+		Model:    m.Name(),
+		TestAcc:  test.Accuracy * 100,
+		TestAP:   test.AP * 100,
+		ValAP:    val.AP * 100,
+		EpochSec: meanSec,
+		InferMs:  inferMs,
+		Epochs:   epochs,
+	}
+}
+
+// staticEval fits a static model and scores it under the shared protocol.
+func (o *Options) staticEval(m baselines.StaticModel, d *dataset.Dataset, split *dataset.Split, seed int64) RunMetrics {
+	start := time.Now()
+	m.Fit(d, split)
+	fitSec := time.Since(start).Seconds()
+
+	ns := dataset.NewNegSampler(d.NumNodes)
+	for i := range split.Train {
+		ns.Observe(&split.Train[i])
+	}
+	rng := rand.New(rand.NewSource(seed + 17))
+	_, _ = baselines.EvalStaticLinkPrediction(m, split.Val, ns, rng) // advance pool over val
+	start = time.Now()
+	acc, ap := baselines.EvalStaticLinkPrediction(m, split.Test, ns, rng)
+	inferSec := time.Since(start).Seconds()
+	batches := (len(split.Test) + o.BatchSize - 1) / o.BatchSize
+	if batches == 0 {
+		batches = 1
+	}
+	return RunMetrics{
+		Model:    m.Name(),
+		TestAcc:  acc * 100,
+		TestAP:   ap * 100,
+		EpochSec: fitSec,
+		InferMs:  inferSec * 1e3 / float64(batches),
+		Epochs:   1,
+	}
+}
+
+// aggregate folds per-seed runs into a mean/std row.
+type aggRow struct {
+	Model             string
+	Acc, AccStd       float64
+	AP, APStd         float64
+	AUC, AUCStd       float64
+	EpochSec, InferMs float64
+	HasAcc, HasAUC    bool
+}
+
+func aggregateRuns(model string, runs []RunMetrics) aggRow {
+	accs := make([]float64, len(runs))
+	aps := make([]float64, len(runs))
+	var epochSec, inferMs float64
+	for i, r := range runs {
+		accs[i] = r.TestAcc
+		aps[i] = r.TestAP
+		epochSec += r.EpochSec
+		inferMs += r.InferMs
+	}
+	accM, accS := eval.MeanStd(accs)
+	apM, apS := eval.MeanStd(aps)
+	n := float64(len(runs))
+	return aggRow{
+		Model: model, HasAcc: true,
+		Acc: accM, AccStd: accS,
+		AP: apM, APStd: apS,
+		EpochSec: epochSec / n, InferMs: inferMs / n,
+	}
+}
+
+// labeledSample is one (embedding, edge feature, label) observation for the
+// downstream classification tasks of Table 3.
+type labeledSample struct {
+	z     []float32
+	zPeer []float32
+	feat  []float32
+	label int8
+	time  float64
+}
+
+// collectLabeled streams the full dataset through a trained dynamic model
+// and captures embeddings at every labeled interaction.
+func collectLabeledDynamic(m baselines.StreamModel, d *dataset.Dataset) []labeledSample {
+	m.ResetRuntime()
+	var out []labeledSample
+	m.CollectStream(d.Events, nil, func(ev *tgraph.Event, zsrc, zdst []float32) {
+		if ev.Label < 0 {
+			return
+		}
+		out = append(out, labeledSample{
+			z:     append([]float32(nil), zsrc...),
+			zPeer: append([]float32(nil), zdst...),
+			feat:  ev.Feat,
+			label: ev.Label,
+			time:  ev.Time,
+		})
+	})
+	return out
+}
+
+// collectLabeledStatic does the same with a static model's fixed embeddings.
+func collectLabeledStatic(m baselines.StaticModel, d *dataset.Dataset) []labeledSample {
+	var out []labeledSample
+	for i := range d.Events {
+		ev := &d.Events[i]
+		if ev.Label < 0 {
+			continue
+		}
+		out = append(out, labeledSample{
+			z:     append([]float32(nil), m.Embedding(ev.Src)...),
+			zPeer: append([]float32(nil), m.Embedding(ev.Dst)...),
+			feat:  ev.Feat,
+			label: ev.Label,
+			time:  ev.Time,
+		})
+	}
+	return out
+}

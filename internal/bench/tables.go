@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"apan/internal/dataset"
+	"apan/internal/eval"
+)
+
+// Table2StreamModels are the dynamic rows of Tables 2 and 3, in paper order.
+var Table2StreamModels = []string{"DyRep", "JODIE", "TGAT", "TGN", "APAN"}
+
+// Table2StaticModels are the static rows of Table 2, in paper order.
+var Table2StaticModels = []string{"GAE", "VGAE", "DeepWalk", "Node2vec", "GAT", "SAGE", "CTDNE"}
+
+// Table1 regenerates the dataset-statistics table.
+type Table1 struct {
+	Stats []dataset.Stats
+}
+
+// RunTable1 generates the three datasets and prints their statistics in the
+// shape of the paper's Table 1.
+func RunTable1(o Options) (*Table1, error) {
+	o.normalize()
+	res := &Table1{}
+	for _, name := range []string{"wikipedia", "reddit", "alipay"} {
+		d, err := o.MakeDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		if name == "alipay" {
+			res.Stats = append(res.Stats, d.Stats(10.0/14, 2.0/14))
+		} else {
+			res.Stats = append(res.Stats, d.Stats(0.70, 0.15))
+		}
+	}
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 1: dataset statistics (scale=%.3g)\n", o.Scale)
+	fmt.Fprint(w, "\t")
+	for _, s := range res.Stats {
+		fmt.Fprintf(w, "%s\t", s.Name)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, f func(dataset.Stats) string) {
+		fmt.Fprintf(w, "%s\t", label)
+		for _, s := range res.Stats {
+			fmt.Fprintf(w, "%s\t", f(s))
+		}
+		fmt.Fprintln(w)
+	}
+	row("Edges", func(s dataset.Stats) string { return fmt.Sprint(s.Edges) })
+	row("Nodes", func(s dataset.Stats) string { return fmt.Sprint(s.Nodes) })
+	row("Edge feature dim", func(s dataset.Stats) string { return fmt.Sprint(s.EdgeDim) })
+	row("Nodes in train.", func(s dataset.Stats) string { return fmt.Sprint(s.NodesInTrain) })
+	row("Old nodes in val+test", func(s dataset.Stats) string { return fmt.Sprint(s.OldNodesInValTest) })
+	row("Unseen nodes in val+test", func(s dataset.Stats) string { return fmt.Sprint(s.UnseenNodesInValTest) })
+	row("Timespan (days)", func(s dataset.Stats) string { return fmt.Sprintf("%.1f", s.TimespanDays) })
+	row("Interactions with labels", func(s dataset.Stats) string { return fmt.Sprint(s.LabeledInteractions) })
+	row("Label type", func(s dataset.Stats) string { return s.LabelName })
+	return res, w.Flush()
+}
+
+// Table2 holds per-dataset link-prediction rows.
+type Table2 struct {
+	Dataset string
+	Rows    []aggRow
+}
+
+// RunTable2 reproduces the link-prediction comparison (accuracy and AP with
+// standard deviations over seeds) on one of the public datasets.
+func RunTable2(o Options, datasetName string, models []string) (*Table2, error) {
+	o.normalize()
+	if models == nil {
+		models = append(append([]string{}, Table2StaticModels...), Table2StreamModels...)
+	}
+	d, err := o.MakeDataset(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(0.70, 0.15)
+	res := &Table2{Dataset: datasetName}
+	for _, name := range models {
+		var runs []RunMetrics
+		for s := 0; s < o.Seeds; s++ {
+			seed := o.Seed + int64(s)
+			if isStaticModel(name) {
+				m, err := o.NewStaticModel(name, d, seed)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, o.staticEval(m, d, split, seed))
+			} else {
+				m, db, err := o.NewStreamModel(name, d, seed)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, o.TrainEval(m, db, split, d.NumNodes))
+			}
+		}
+		res.Rows = append(res.Rows, aggregateRuns(name, runs))
+	}
+
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 2 (%s): link prediction, %d seed(s), scale=%.3g\n", datasetName, o.Seeds, o.Scale)
+	fmt.Fprintln(w, "Model\tAccuracy\tAP")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.2f (%.1f)\t%.2f (%.1f)\n", r.Model, r.Acc, r.AccStd, r.AP, r.APStd)
+	}
+	return res, w.Flush()
+}
+
+func isStaticModel(name string) bool {
+	for _, s := range Table2StaticModels {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Table3 holds one classification column (a dataset) of the paper's
+// Table 3.
+type Table3 struct {
+	Dataset string
+	Task    string // "node" or "edge"
+	Rows    []aggRow
+}
+
+// RunTable3 reproduces a dynamic node-classification column (wikipedia,
+// reddit) or the edge-classification column (alipay): train the
+// self-supervised encoder, freeze it, train the task decoder on embeddings
+// collected in the training window, report AUC on the rest.
+func RunTable3(o Options, datasetName string, models []string) (*Table3, error) {
+	o.normalize()
+	task := taskNode
+	taskName := "node"
+	trainFrac, valFrac := 0.70, 0.15
+	if datasetName == "alipay" {
+		task = taskEdge
+		taskName = "edge"
+		trainFrac, valFrac = 10.0/14, 2.0/14
+	}
+	if models == nil {
+		models = append([]string{"GAT", "SAGE", "CTDNE"}, Table2StreamModels...)
+	}
+	d, err := o.MakeDataset(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	split := d.Split(trainFrac, valFrac)
+	res := &Table3{Dataset: datasetName, Task: taskName}
+	for _, name := range models {
+		aucs := make([]float64, 0, o.Seeds)
+		for s := 0; s < o.Seeds; s++ {
+			seed := o.Seed + int64(s)
+			var samples []labeledSample
+			if isStaticModel(name) {
+				m, err := o.NewStaticModel(name, d, seed)
+				if err != nil {
+					return nil, err
+				}
+				m.Fit(d, split)
+				samples = collectLabeledStatic(m, d)
+			} else {
+				m, db, err := o.NewStreamModel(name, d, seed)
+				if err != nil {
+					return nil, err
+				}
+				o.TrainEval(m, db, split, d.NumNodes)
+				samples = collectLabeledDynamic(m, d)
+			}
+			aucs = append(aucs, downstreamAUC(samples, split.TrainEnd, task, o.Hidden, seed)*100)
+		}
+		row := aggRow{Model: name, HasAUC: true}
+		row.AUC, row.AUCStd = meanStdSkipNaN(aucs)
+		res.Rows = append(res.Rows, row)
+	}
+
+	w := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Table 3 (%s, %s classification): AUC %%, %d seed(s), scale=%.3g\n", datasetName, taskName, o.Seeds, o.Scale)
+	fmt.Fprintln(w, "Model\tAUC")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.2f (%.1f)\n", r.Model, r.AUC, r.AUCStd)
+	}
+	return res, w.Flush()
+}
+
+func meanStdSkipNaN(xs []float64) (float64, float64) {
+	var clean []float64
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return 0, 0
+	}
+	return eval.MeanStd(clean)
+}

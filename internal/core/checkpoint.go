@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"apan/internal/nn"
+	"apan/internal/tgraph"
+)
+
+// Checkpointing lets a trained and warmed model survive restarts: the
+// parameters plus the full streaming state (node embeddings, mailboxes and
+// the temporal graph) are written in one versioned binary blob, so a
+// serving replica can resume exactly where the previous one stopped.
+const (
+	ckptMagic   = "APCK"
+	ckptVersion = 1
+)
+
+// SaveParams writes only the trained parameters (encoder + decoder).
+func (m *Model) SaveParams(w io.Writer) error {
+	return nn.SaveParams(w, m.Params())
+}
+
+// LoadParams restores parameters saved by SaveParams into a model built
+// with an identical Config.
+func (m *Model) LoadParams(r io.Reader) error {
+	return nn.LoadParams(r, m.Params())
+}
+
+// SaveCheckpoint writes parameters and streaming state.
+func (m *Model) SaveCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, ckptMagic); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(ckptVersion)); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if err := m.SaveParams(bw); err != nil {
+		return err
+	}
+
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+
+	// Node state: dim, numNodes, then z / lastTime / touched per node.
+	if err := binary.Write(bw, le, uint32(m.Cfg.NumNodes)); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if err := binary.Write(bw, le, uint32(m.Cfg.EdgeDim)); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	for n := int32(0); n < int32(m.Cfg.NumNodes); n++ {
+		if err := writeF32s(bw, m.st.Get(n)); err != nil {
+			return fmt.Errorf("core: save checkpoint state: %w", err)
+		}
+		if err := binary.Write(bw, le, m.st.LastTime(n)); err != nil {
+			return fmt.Errorf("core: save checkpoint state: %w", err)
+		}
+		touched := uint8(0)
+		if m.st.Touched(n) {
+			touched = 1
+		}
+		if err := binary.Write(bw, le, touched); err != nil {
+			return fmt.Errorf("core: save checkpoint state: %w", err)
+		}
+	}
+
+	// Mailboxes: per node, count then (timestamp, mail) sorted entries.
+	slots := m.Cfg.Slots
+	buf := make([]float32, slots*m.Cfg.EdgeDim)
+	ts := make([]float64, slots)
+	for n := int32(0); n < int32(m.Cfg.NumNodes); n++ {
+		c := m.mbox.ReadSorted(n, buf, ts)
+		if err := binary.Write(bw, le, uint32(c)); err != nil {
+			return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+		}
+		for i := 0; i < c; i++ {
+			if err := binary.Write(bw, le, ts[i]); err != nil {
+				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+			}
+			if err := writeF32s(bw, buf[i*m.Cfg.EdgeDim:(i+1)*m.Cfg.EdgeDim]); err != nil {
+				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+			}
+		}
+	}
+
+	// Temporal graph: event log in arrival order.
+	g := m.db.G
+	if err := binary.Write(bw, le, uint64(g.NumEvents())); err != nil {
+		return fmt.Errorf("core: save checkpoint graph: %w", err)
+	}
+	for id := int64(0); id < int64(g.NumEvents()); id++ {
+		ev := g.Event(id)
+		if err := binary.Write(bw, le, ev.Src); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+		if err := binary.Write(bw, le, ev.Dst); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+		if err := binary.Write(bw, le, ev.Time); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+		if err := binary.Write(bw, le, int8(ev.Label)); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+		if err := binary.Write(bw, le, uint32(len(ev.Feat))); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+		if err := writeF32s(bw, ev.Feat); err != nil {
+			return fmt.Errorf("core: save checkpoint graph: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint into a
+// model built with an identical Config.
+func (m *Model) LoadCheckpoint(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("core: load checkpoint: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version uint32
+	if err := binary.Read(br, le, &version); err != nil {
+		return fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("core: load checkpoint: unsupported version %d", version)
+	}
+	if err := m.LoadParams(br); err != nil {
+		return err
+	}
+
+	var numNodes, dim uint32
+	if err := binary.Read(br, le, &numNodes); err != nil {
+		return fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if err := binary.Read(br, le, &dim); err != nil {
+		return fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	if int(numNodes) != m.Cfg.NumNodes || int(dim) != m.Cfg.EdgeDim {
+		return fmt.Errorf("core: load checkpoint: shape %dx%d, model %dx%d",
+			numNodes, dim, m.Cfg.NumNodes, m.Cfg.EdgeDim)
+	}
+
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
+	m.st.Reset()
+	m.mbox.Reset()
+
+	z := make([]float32, dim)
+	for n := int32(0); n < int32(numNodes); n++ {
+		if err := readF32s(br, z); err != nil {
+			return fmt.Errorf("core: load checkpoint state: %w", err)
+		}
+		var lastT float64
+		if err := binary.Read(br, le, &lastT); err != nil {
+			return fmt.Errorf("core: load checkpoint state: %w", err)
+		}
+		var touched uint8
+		if err := binary.Read(br, le, &touched); err != nil {
+			return fmt.Errorf("core: load checkpoint state: %w", err)
+		}
+		if touched == 1 {
+			m.st.Set(n, z, lastT)
+		}
+	}
+
+	mail := make([]float32, dim)
+	for n := int32(0); n < int32(numNodes); n++ {
+		var c uint32
+		if err := binary.Read(br, le, &c); err != nil {
+			return fmt.Errorf("core: load checkpoint mailbox: %w", err)
+		}
+		if int(c) > m.Cfg.Slots {
+			return fmt.Errorf("core: load checkpoint mailbox: node %d has %d mails, max %d", n, c, m.Cfg.Slots)
+		}
+		for i := 0; i < int(c); i++ {
+			var ts float64
+			if err := binary.Read(br, le, &ts); err != nil {
+				return fmt.Errorf("core: load checkpoint mailbox: %w", err)
+			}
+			if err := readF32s(br, mail); err != nil {
+				return fmt.Errorf("core: load checkpoint mailbox: %w", err)
+			}
+			m.mbox.Deliver(n, mail, ts)
+		}
+	}
+
+	var numEvents uint64
+	if err := binary.Read(br, le, &numEvents); err != nil {
+		return fmt.Errorf("core: load checkpoint graph: %w", err)
+	}
+	g := tgraph.New(m.Cfg.NumNodes)
+	for i := uint64(0); i < numEvents; i++ {
+		var ev tgraph.Event
+		if err := binary.Read(br, le, &ev.Src); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		if err := binary.Read(br, le, &ev.Dst); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		if err := binary.Read(br, le, &ev.Time); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		var label int8
+		if err := binary.Read(br, le, &label); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		ev.Label = label
+		var featLen uint32
+		if err := binary.Read(br, le, &featLen); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		if featLen > 1<<20 {
+			return fmt.Errorf("core: load checkpoint graph: absurd feature length %d", featLen)
+		}
+		ev.Feat = make([]float32, featLen)
+		if err := readF32s(br, ev.Feat); err != nil {
+			return fmt.Errorf("core: load checkpoint graph: %w", err)
+		}
+		g.AddEvent(ev)
+	}
+	m.db.G = g
+	return nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path atomically (temp + rename).
+func (m *Model) SaveCheckpointFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := m.SaveCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile restores a checkpoint from path.
+func (m *Model) LoadCheckpointFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return m.LoadCheckpoint(f)
+}
+
+func writeF32s(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		le.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readF32s(r io.Reader, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] = math.Float32frombits(le.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+var le = binary.LittleEndian

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+
+	"apan/internal/mailbox"
+	"apan/internal/nn"
+	"apan/internal/state"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// Encoder is APAN's attention-based encoder (paper §3.3): positional
+// encoding over the mailbox, multi-head attention with the last embedding
+// z(t−) as query, residual connection, layer normalization, and an MLP that
+// emits the new temporal embedding z(t).
+type Encoder struct {
+	cfg  Config
+	attn *nn.MultiHeadAttention
+	pos  *nn.PositionTable
+	time *nn.TimeEncoder
+	ln   *nn.LayerNorm
+	mlp  *nn.MLP
+}
+
+// NewEncoder builds the encoder for cfg.
+func NewEncoder(cfg Config, rng *rand.Rand) *Encoder {
+	d := cfg.EdgeDim
+	e := &Encoder{
+		cfg:  cfg,
+		attn: nn.NewMultiHeadAttention(d, cfg.Heads, rng),
+		ln:   nn.NewLayerNorm(d),
+		mlp:  nn.NewMLP(d, cfg.Hidden, d, cfg.Dropout, rng),
+	}
+	switch cfg.Positional {
+	case PositionalLearned:
+		e.pos = nn.NewPositionTable(cfg.Slots, d, rng)
+	case PositionalTime:
+		e.time = nn.NewTimeEncoder(d, rng)
+	}
+	return e
+}
+
+// Params returns the encoder's trainable tensors.
+func (e *Encoder) Params() []*nn.Tensor {
+	ps := nn.CollectParams(e.attn, e.ln, e.mlp)
+	if e.pos != nil {
+		ps = append(ps, e.pos.Params()...)
+	}
+	if e.time != nil {
+		ps = append(ps, e.time.Params()...)
+	}
+	return ps
+}
+
+// EncodeInput is the per-batch input bundle read from the state and mailbox
+// stores for a set of unique nodes.
+type EncodeInput struct {
+	Nodes  []tgraph.NodeID
+	Times  []float64      // per-node query time (for the PositionalTime mode)
+	ZPrev  *tensor.Matrix // B×d last embeddings z(t−), detached
+	Mails  *tensor.Matrix // (B·m)×d sorted mailbox contents, detached
+	DTs    []float32      // (B·m) time deltas t_now − t_mail (0 for empty slots)
+	Counts []int          // valid mails per node
+}
+
+// ReadInputs gathers z(t−) and the timestamp-sorted mailboxes of nodes into
+// an EncodeInput. times[i] is the query time of nodes[i].
+func ReadInputs(st *state.Store, mb *mailbox.Store, nodes []tgraph.NodeID, times []float64) *EncodeInput {
+	b := len(nodes)
+	d := st.Dim()
+	m := mb.Slots()
+	in := &EncodeInput{
+		Nodes:  nodes,
+		Times:  times,
+		ZPrev:  tensor.New(b, d),
+		Mails:  tensor.New(b*m, d),
+		DTs:    make([]float32, b*m),
+		Counts: make([]int, b),
+	}
+	ts := make([]float64, m)
+	for i, n := range nodes {
+		copy(in.ZPrev.Row(i), st.Get(n))
+		c := mb.ReadSorted(n, in.Mails.Data[i*m*d:(i+1)*m*d], ts)
+		in.Counts[i] = c
+		for s := 0; s < c; s++ {
+			dt := times[i] - ts[s]
+			if dt < 0 {
+				dt = 0
+			}
+			in.DTs[i*m+s] = float32(dt)
+		}
+	}
+	return in
+}
+
+// Forward computes z(t) for every node in the batch and returns the
+// embedding tensor plus the attention record for interpretability.
+func (e *Encoder) Forward(tp *nn.Tape, in *EncodeInput) (*nn.Tensor, *nn.Attention) {
+	zPrev := tp.Input(in.ZPrev)
+	mails := tp.Input(in.Mails)
+
+	var kv *nn.Tensor
+	switch {
+	case e.pos != nil:
+		kv = e.pos.Forward(tp, mails)
+	case e.time != nil:
+		kv = tp.Add(mails, e.time.Forward(tp, in.DTs))
+	default:
+		kv = mails
+	}
+
+	attOut, att := e.attn.Forward(tp, zPrev, kv, in.Counts)
+	res := tp.Add(attOut, zPrev) // shortcut addition ⊕ (eq. 5)
+	normed := e.ln.Forward(tp, res)
+	z := e.mlp.Forward(tp, normed)
+	return z, att
+}

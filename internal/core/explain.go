@@ -1,0 +1,50 @@
+package core
+
+import "apan/internal/tgraph"
+
+// Explanation reports, for one node of the most recent inference, how much
+// each mailbox mail contributed to the node's new embedding — the
+// interpretability mechanism of paper §3.6: because mails store the full
+// interaction detail (z_i, e_ij, z_j), the attention weight over a mail
+// identifies which past interaction drove the decision.
+type Explanation struct {
+	Node tgraph.NodeID
+	// MailWeights[i] is the attention probability on the i-th mail (oldest
+	// first, timestamp order), averaged over heads. Sums to 1 when the node
+	// had any mail.
+	MailWeights []float32
+	// PerHead[h][i] is the unaveraged weight of head h on mail i.
+	PerHead [][]float32
+}
+
+// Explain returns the attention explanation for node n from the most recent
+// forward pass (training, evaluation or serving). ok is false when n was not
+// part of that batch or no pass has run.
+func (m *Model) Explain(n tgraph.NodeID) (*Explanation, bool) {
+	if m.lastAtt == nil {
+		return nil, false
+	}
+	row := -1
+	for i, node := range m.lastNodes {
+		if node == n {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		return nil, false
+	}
+	count := m.lastCounts[row]
+	ex := &Explanation{Node: n, MailWeights: make([]float32, count)}
+	heads := m.Cfg.Heads
+	ex.PerHead = make([][]float32, heads)
+	for h := 0; h < heads; h++ {
+		ex.PerHead[h] = make([]float32, count)
+		for i := 0; i < count; i++ {
+			w := m.lastAtt.Weight(row, h, i)
+			ex.PerHead[h][i] = w
+			ex.MailWeights[i] += w / float32(heads)
+		}
+	}
+	return ex, true
+}

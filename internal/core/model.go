@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"apan/internal/dataset"
+	"apan/internal/eval"
+	"apan/internal/gdb"
+	"apan/internal/mailbox"
+	"apan/internal/nn"
+	"apan/internal/state"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// Model is the full APAN system: attention encoder and link decoder on the
+// synchronous path, mail propagator on the asynchronous path, with the
+// node-state and mailbox stores in between.
+type Model struct {
+	Cfg Config
+
+	rng  *rand.Rand
+	enc  *Encoder
+	dec  *LinkDecoder
+	st   *state.Store
+	mbox *mailbox.Store
+	db   *gdb.DB
+	prop *Propagator
+	opt  *nn.Adam
+
+	// storeMu guards the state and mailbox stores so the synchronous
+	// inference path can read them while the asynchronous link writes (the
+	// concurrent pattern of async.Pipeline). The encoder works on copies, so
+	// the lock is held only while inputs are gathered or stores mutated.
+	storeMu sync.RWMutex
+
+	lastAtt    *nn.Attention
+	lastNodes  []tgraph.NodeID
+	lastCounts []int
+}
+
+// New builds an APAN model with a fresh in-process graph store.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	return NewWithDB(cfg, gdb.New(tgraph.New(cfg.NumNodes)))
+}
+
+// NewWithDB builds an APAN model on top of an existing graph database
+// wrapper (e.g. one with a simulated latency model).
+func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dec := NewLinkDecoder(cfg.EdgeDim, cfg.Hidden, cfg.Dropout, rng)
+	if cfg.MLPDecoder {
+		dec = NewMLPLinkDecoder(cfg.EdgeDim, cfg.Hidden, cfg.Dropout, rng)
+	}
+	m := &Model{
+		Cfg:  cfg,
+		rng:  rng,
+		enc:  NewEncoder(cfg, rng),
+		dec:  dec,
+		st:   state.New(cfg.NumNodes, cfg.EdgeDim),
+		mbox: mailbox.New(cfg.NumNodes, cfg.Slots, cfg.EdgeDim),
+		db:   db,
+	}
+	if cfg.KeyValueMailbox {
+		m.mbox.SetRule(mailbox.UpdateKeyValue)
+	}
+	m.prop = NewPropagator(cfg, db, m.mbox)
+	m.opt = nn.NewAdam(m.Params(), cfg.LR)
+	return m, nil
+}
+
+// Name identifies the model variant by propagation depth, matching the
+// labels of the paper's figures.
+func (m *Model) Name() string {
+	if m.Cfg.Hops == 1 {
+		return "APAN-1layer"
+	}
+	return "APAN-2layers"
+}
+
+// Params returns every trainable tensor of the model.
+func (m *Model) Params() []*nn.Tensor {
+	return append(m.enc.Params(), m.dec.Params()...)
+}
+
+// DB exposes the underlying graph database wrapper (for accounting).
+func (m *Model) DB() *gdb.DB { return m.db }
+
+// Mailbox exposes the mailbox store (read-only use expected).
+func (m *Model) Mailbox() *mailbox.Store { return m.mbox }
+
+// State exposes the node-state store (read-only use expected).
+func (m *Model) State() *state.Store { return m.st }
+
+// Propagator exposes the asynchronous-link implementation.
+func (m *Model) Propagator() *Propagator { return m.prop }
+
+// ResetRuntime clears all streaming state — node embeddings, mailboxes and
+// the temporal graph — as done at the start of every training epoch. Model
+// parameters are kept.
+func (m *Model) ResetRuntime() {
+	m.st.Reset()
+	m.mbox.Reset()
+	m.db.G = tgraph.New(m.Cfg.NumNodes)
+	m.db.ResetStats()
+}
+
+// Snapshot captures the streaming state for later Restore (parameters are
+// not included; they are shared).
+type Snapshot struct {
+	st   *state.Snapshot
+	mb   *mailbox.Snapshot
+	gcut int // number of graph events at snapshot time
+}
+
+// SnapshotRuntime captures state, mailbox and the graph watermark.
+func (m *Model) SnapshotRuntime() *Snapshot {
+	return &Snapshot{st: m.st.Snapshot(), mb: m.mbox.Snapshot(), gcut: m.db.G.NumEvents()}
+}
+
+// RestoreRuntime rolls the streaming state back to snap. The graph is
+// rebuilt from its event log prefix.
+func (m *Model) RestoreRuntime(snap *Snapshot) {
+	m.st.Restore(snap.st)
+	m.mbox.Restore(snap.mb)
+	old := m.db.G
+	g := tgraph.New(m.Cfg.NumNodes)
+	for i := int64(0); i < int64(snap.gcut); i++ {
+		g.AddEvent(*old.Event(i))
+	}
+	m.db.G = g
+}
+
+// batchPlan is the node bookkeeping for one batch of events.
+type batchPlan struct {
+	nodes  []tgraph.NodeID
+	times  []float64
+	rowOf  map[tgraph.NodeID]int
+	srcRow []int32
+	dstRow []int32
+	negRow []int32
+	negs   []tgraph.NodeID
+}
+
+// planBatch deduplicates batch nodes (each node encoded once, §3.2) and,
+// when withNegs is set, draws one negative destination per event.
+func (m *Model) planBatch(events []tgraph.Event, ns *dataset.NegSampler, withNegs bool) *batchPlan {
+	p := &batchPlan{rowOf: make(map[tgraph.NodeID]int, 3*len(events))}
+	row := func(n tgraph.NodeID, t float64) int32 {
+		if r, ok := p.rowOf[n]; ok {
+			if t > p.times[r] {
+				p.times[r] = t
+			}
+			return int32(r)
+		}
+		r := len(p.nodes)
+		p.rowOf[n] = r
+		p.nodes = append(p.nodes, n)
+		p.times = append(p.times, t)
+		return int32(r)
+	}
+	for _, ev := range events {
+		p.srcRow = append(p.srcRow, row(ev.Src, ev.Time))
+		p.dstRow = append(p.dstRow, row(ev.Dst, ev.Time))
+	}
+	if !withNegs {
+		return p
+	}
+	for _, ev := range events {
+		var neg tgraph.NodeID
+		if ns != nil {
+			neg = ns.Sample(m.rng, ev.Dst)
+		} else {
+			neg = tgraph.NodeID(m.rng.Intn(m.Cfg.NumNodes))
+		}
+		p.negs = append(p.negs, neg)
+		p.negRow = append(p.negRow, row(neg, ev.Time))
+	}
+	return p
+}
+
+// BatchResult reports one processed batch.
+type BatchResult struct {
+	Loss      float64
+	PosScores []float32
+	NegScores []float32
+	// SyncTime is the wall time of the synchronous link only: reading
+	// state/mailbox, encoder and decoder forward. Propagation and parameter
+	// updates are excluded.
+	SyncTime time.Duration
+}
+
+// processBatch runs one batch end to end. When train is true it also
+// backpropagates and applies an optimizer step. collect, when non-nil, is
+// invoked with the fresh embeddings of each event's endpoints.
+func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32)) BatchResult {
+	plan := m.planBatch(events, ns, true)
+
+	start := time.Now()
+	m.storeMu.RLock()
+	in := ReadInputs(m.st, m.mbox, plan.nodes, plan.times)
+	m.storeMu.RUnlock()
+	var tp *nn.Tape
+	if train {
+		tp = nn.NewTrainingTape(m.rng)
+	} else {
+		tp = nn.NewTape()
+	}
+	z, att := m.enc.Forward(tp, in)
+	zsrc := tp.Gather(z, plan.srcRow)
+	zdst := tp.Gather(z, plan.dstRow)
+	zneg := tp.Gather(z, plan.negRow)
+	posLogits := m.dec.Forward(tp, zsrc, zdst)
+	negLogits := m.dec.Forward(tp, zsrc, zneg)
+	syncTime := time.Since(start)
+
+	n := len(events)
+	ones := make([]float32, n)
+	zeros := make([]float32, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	posLoss := tp.BCEWithLogits(posLogits, ones)
+	negLoss := tp.BCEWithLogits(negLogits, zeros)
+	loss := tp.Scale(tp.Add(posLoss, negLoss), 0.5)
+
+	if train {
+		tp.Backward(loss)
+		nn.ClipGradNorm(m.Params(), 5)
+		m.opt.Step()
+		m.opt.ZeroGrad()
+	}
+
+	res := BatchResult{
+		Loss:      float64(loss.Value().Data[0]),
+		PosScores: make([]float32, n),
+		NegScores: make([]float32, n),
+		SyncTime:  syncTime,
+	}
+	for i := 0; i < n; i++ {
+		res.PosScores[i] = tensor.Sigmoid32(posLogits.Value().Data[i])
+		res.NegScores[i] = tensor.Sigmoid32(negLogits.Value().Data[i])
+	}
+
+	m.lastAtt = att
+	m.lastNodes = plan.nodes
+	m.lastCounts = in.Counts
+
+	// Post-inference state write: z(t) becomes z(t−) for the next batch.
+	// Negative nodes did not interact, so their state is untouched.
+	m.storeMu.Lock()
+	for i, ev := range events {
+		m.st.Set(ev.Src, z.Value().Row(int(plan.srcRow[i])), ev.Time)
+		m.st.Set(ev.Dst, z.Value().Row(int(plan.dstRow[i])), ev.Time)
+	}
+	m.storeMu.Unlock()
+	if collect != nil {
+		for i := range events {
+			collect(&events[i], z.Value().Row(int(plan.srcRow[i])), z.Value().Row(int(plan.dstRow[i])))
+		}
+	}
+
+	// Asynchronous link (run synchronously here for determinism): graph
+	// insert + mail propagation. Serving uses async.Pipeline instead.
+	m.storeMu.Lock()
+	m.prop.ProcessBatch(events, m.st)
+	m.storeMu.Unlock()
+
+	if ns != nil {
+		for i := range events {
+			ns.Observe(&events[i])
+		}
+	}
+	return res
+}
+
+// StreamResult aggregates a pass over an event stream.
+type StreamResult struct {
+	Loss     float64 // mean batch loss
+	Accuracy float64
+	AP       float64
+	// MaskedAP is the AP restricted to the events selected by the mask of
+	// EvalStreamMasked (NaN when no mask or no masked events) — used for the
+	// inductive unseen-node evaluation of §4.1.
+	MaskedAP float64
+	Batches  int
+	SyncHist eval.LatencyHist
+	Elapsed  time.Duration
+}
+
+// runStream processes events chronologically in batches. mask, when
+// non-nil, selects the events whose scores additionally feed MaskedAP.
+func (m *Model) runStream(events []tgraph.Event, ns *dataset.NegSampler, train bool, collect func(ev *tgraph.Event, zsrc, zdst []float32), mask []bool) StreamResult {
+	var res StreamResult
+	var scores, mscores []float32
+	var labels, mlabels []bool
+	start := time.Now()
+	bs := m.Cfg.BatchSize
+	for lo := 0; lo < len(events); lo += bs {
+		hi := lo + bs
+		if hi > len(events) {
+			hi = len(events)
+		}
+		br := m.processBatch(events[lo:hi], ns, train, collect)
+		res.Loss += br.Loss
+		res.Batches++
+		res.SyncHist.Add(br.SyncTime)
+		for i := range br.PosScores {
+			scores = append(scores, br.PosScores[i], br.NegScores[i])
+			labels = append(labels, true, false)
+			if mask != nil && mask[lo+i] {
+				mscores = append(mscores, br.PosScores[i], br.NegScores[i])
+				mlabels = append(mlabels, true, false)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Batches > 0 {
+		res.Loss /= float64(res.Batches)
+	}
+	res.Accuracy = eval.Accuracy(scores, labels, 0.5)
+	res.AP = eval.AveragePrecision(scores, labels)
+	res.MaskedAP = eval.AveragePrecision(mscores, mlabels)
+	return res
+}
+
+// TrainEpoch trains over one chronological pass of events. The caller is
+// responsible for ResetRuntime at epoch starts.
+func (m *Model) TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) StreamResult {
+	return m.runStream(events, ns, true, nil, nil)
+}
+
+// EvalStream evaluates link prediction over events without training,
+// updating streaming state as it goes (the transductive protocol of the
+// paper's Table 2).
+func (m *Model) EvalStream(events []tgraph.Event, ns *dataset.NegSampler) StreamResult {
+	return m.runStream(events, ns, false, nil, nil)
+}
+
+// EvalStreamMasked is EvalStream with an aligned event mask: MaskedAP in the
+// result covers only the selected events. Pass Split.NewNodeInTest to get
+// the inductive unseen-node AP the paper's datasets are chosen to exercise
+// (§4.1: 19%% of Wikipedia's val/test nodes are unseen in training).
+func (m *Model) EvalStreamMasked(events []tgraph.Event, mask []bool, ns *dataset.NegSampler) StreamResult {
+	return m.runStream(events, ns, false, nil, mask)
+}
+
+// CollectStream runs an inference pass invoking collect with the fresh
+// embeddings of every event's endpoints (used to train downstream task
+// decoders).
+func (m *Model) CollectStream(events []tgraph.Event, ns *dataset.NegSampler, collect func(ev *tgraph.Event, zsrc, zdst []float32)) StreamResult {
+	return m.runStream(events, ns, false, collect, nil)
+}
+
+// Inference is the output of the synchronous link for one served batch: the
+// interaction scores plus the fresh embeddings the asynchronous link needs
+// to write state and generate mails.
+type Inference struct {
+	Events []tgraph.Event
+	Scores []float32
+
+	nodes  []tgraph.NodeID
+	emb    *tensor.Matrix
+	srcRow []int32
+	dstRow []int32
+}
+
+// InferBatch runs only the synchronous link on a batch: read mailboxes and
+// state, encode, decode. No graph access, no state mutation — this is the
+// millisecond path of the deployed system. Hand the result to ApplyInference
+// (directly or through async.Pipeline) to run the asynchronous link.
+func (m *Model) InferBatch(events []tgraph.Event) *Inference {
+	plan := m.planBatch(events, nil, false)
+	m.storeMu.RLock()
+	in := ReadInputs(m.st, m.mbox, plan.nodes, plan.times)
+	m.storeMu.RUnlock()
+	tp := nn.NewTape()
+	z, att := m.enc.Forward(tp, in)
+	zsrc := tp.Gather(z, plan.srcRow)
+	zdst := tp.Gather(z, plan.dstRow)
+	logits := m.dec.Forward(tp, zsrc, zdst)
+	m.lastAtt = att
+	m.lastNodes = plan.nodes
+	m.lastCounts = in.Counts
+	inf := &Inference{
+		Events: events,
+		Scores: make([]float32, len(events)),
+		nodes:  plan.nodes,
+		emb:    z.Value(),
+		srcRow: plan.srcRow,
+		dstRow: plan.dstRow,
+	}
+	for i := range inf.Scores {
+		inf.Scores[i] = tensor.Sigmoid32(logits.Value().Data[i])
+	}
+	return inf
+}
+
+// ApplyInference performs the post-inference mutations for a served batch:
+// state writes, graph insert and mail propagation, reusing the embeddings
+// computed by InferBatch. In the deployed system this runs on the
+// asynchronous link.
+func (m *Model) ApplyInference(inf *Inference) {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
+	for i, ev := range inf.Events {
+		m.st.Set(ev.Src, inf.emb.Row(int(inf.srcRow[i])), ev.Time)
+		m.st.Set(ev.Dst, inf.emb.Row(int(inf.dstRow[i])), ev.Time)
+	}
+	m.prop.ProcessBatch(inf.Events, m.st)
+}
+
+// Embed returns the current temporal embeddings z(t) of the given nodes at
+// their query times, with no side effects. This is the public embedding API
+// for downstream consumers.
+func (m *Model) Embed(nodes []tgraph.NodeID, times []float64) *tensor.Matrix {
+	m.storeMu.RLock()
+	in := ReadInputs(m.st, m.mbox, nodes, times)
+	m.storeMu.RUnlock()
+	tp := nn.NewTape()
+	z, _ := m.enc.Forward(tp, in)
+	return z.Value().Clone()
+}

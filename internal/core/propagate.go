@@ -1,0 +1,116 @@
+package core
+
+import (
+	"apan/internal/gdb"
+	"apan/internal/mailbox"
+	"apan/internal/state"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// Propagator implements the asynchronous link (paper §3.5): mail generation
+// φ, identity mail passing f over the k-hop most-recent-sampled subgraph,
+// reduction ρ, and mailbox update ψ. In deployment it runs off the critical
+// path; in training it is invoked synchronously after each batch so results
+// are deterministic.
+type Propagator struct {
+	cfg  Config
+	db   *gdb.DB
+	mbox *mailbox.Store
+
+	mailsDelivered int64
+}
+
+// NewPropagator builds a propagator writing into mbox and reading/writing
+// the temporal graph behind db.
+func NewPropagator(cfg Config, db *gdb.DB, mbox *mailbox.Store) *Propagator {
+	return &Propagator{cfg: cfg, db: db, mbox: mbox}
+}
+
+// MailsDelivered reports the number of mailbox deliveries so far.
+func (p *Propagator) MailsDelivered() int64 { return p.mailsDelivered }
+
+// mailAccum accumulates the mails a node receives within one batch so ρ can
+// reduce them to a single mail.
+type mailAccum struct {
+	sum []float32
+	n   int
+	ts  float64
+}
+
+// ProcessBatch inserts the batch's events into the temporal graph and
+// propagates their mails. zOf must return the *current* embedding z(t) of a
+// node (the state store, already updated with this batch's embeddings).
+//
+// For each event (i, j, e, t):
+//   - mail(t) = z_i(t) + e_ij + z_j(t)                      (φ, eq. 6)
+//   - recipients: i and j themselves, then hops 1..k−1 of most-recent
+//     sampled neighbors of both endpoints at time t (fan-out cfg.Neighbors)
+//   - identity passing (f), so every recipient gets the same vector
+//
+// After all events: mails per node are mean-reduced (ρ) and delivered (ψ).
+func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Store) {
+	if len(events) == 0 {
+		return
+	}
+	inbox := make(map[tgraph.NodeID]*mailAccum)
+
+	deliver := func(n tgraph.NodeID, vec []float32, ts float64) {
+		acc := inbox[n]
+		if acc == nil {
+			acc = &mailAccum{sum: make([]float32, len(vec))}
+			inbox[n] = acc
+		}
+		switch p.cfg.Reduce {
+		case ReduceLatest:
+			if ts >= acc.ts || acc.n == 0 {
+				copy(acc.sum, vec)
+				acc.ts = ts
+			}
+			acc.n = 1
+		default: // ReduceMean
+			tensor.Axpy(acc.sum, vec, 1)
+			acc.n++
+			if ts > acc.ts {
+				acc.ts = ts
+			}
+		}
+	}
+
+	for _, ev := range events {
+		// Graph write first so later events in the batch see earlier ones.
+		p.db.AddEvent(ev)
+
+		mail := make([]float32, p.cfg.EdgeDim)
+		copy(mail, zOf.Get(ev.Src))
+		tensor.Axpy(mail, ev.Feat, 1)
+		tensor.Axpy(mail, zOf.Get(ev.Dst), 1)
+
+		// Hop 0: the interactive nodes themselves.
+		deliver(ev.Src, mail, ev.Time)
+		if ev.Dst != ev.Src {
+			deliver(ev.Dst, mail, ev.Time)
+		}
+		// Hops 1..k−1: neighbors by most-recent sampling, strictly before t,
+		// so the mail travels along pre-existing temporal edges.
+		if p.cfg.Hops > 1 {
+			hops := p.db.KHopMostRecent([]tgraph.NodeID{ev.Src, ev.Dst}, ev.Time, p.cfg.Neighbors, p.cfg.Hops-1)
+			for _, level := range hops {
+				for _, inc := range level {
+					deliver(inc.Peer, mail, ev.Time)
+				}
+			}
+		}
+	}
+
+	for n, acc := range inbox {
+		if p.cfg.Reduce != ReduceLatest && acc.n > 1 {
+			inv := 1 / float32(acc.n)
+			for i := range acc.sum {
+				acc.sum[i] *= inv
+			}
+		}
+		p.mbox.Deliver(n, acc.sum, acc.ts)
+		p.mailsDelivered++
+	}
+}

@@ -1,0 +1,189 @@
+// Package dataset provides the temporal interaction datasets of the paper's
+// evaluation. The real Wikipedia/Reddit CSVs and the proprietary Alipay
+// transaction log are unavailable offline, so this package generates
+// synthetic equivalents with matched statistics and — more importantly —
+// matched structure: Zipf-skewed activity, session bursts, heavy repeat
+// interactions, feature vectors correlated with latent user/item intent,
+// and sparse dynamic "ban"/"fraud" labels driven by that intent. A loader
+// for the JODIE CSV format is included so the real data can be dropped in.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"apan/internal/tgraph"
+)
+
+// Dataset is a chronologically sorted temporal interaction set.
+type Dataset struct {
+	Name      string
+	NumNodes  int
+	NumUsers  int // bipartite: users are [0,NumUsers), items the rest; 0 when not bipartite
+	EdgeDim   int
+	Bipartite bool
+	LabelName string
+	Events    []tgraph.Event // sorted by Time; IDs are positions
+}
+
+// Split is a chronological train/validation/test partition.
+type Split struct {
+	Train, Val, Test []tgraph.Event
+	// TrainEnd and ValEnd are the split boundary times.
+	TrainEnd, ValEnd float64
+	// NewNodeInVal[i] / NewNodeInTest[i] mark events whose src or dst never
+	// appears in the training window (the inductive subset).
+	NewNodeInVal, NewNodeInTest []bool
+}
+
+// Split partitions the dataset chronologically, e.g. Split(0.70, 0.15) for
+// the paper's 70%-15%-15%.
+func (d *Dataset) Split(trainFrac, valFrac float64) *Split {
+	n := len(d.Events)
+	if n == 0 {
+		panic("dataset: Split on empty dataset")
+	}
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac >= 1 {
+		panic(fmt.Sprintf("dataset: bad split fractions %v/%v", trainFrac, valFrac))
+	}
+	a := int(float64(n) * trainFrac)
+	b := int(float64(n) * (trainFrac + valFrac))
+	s := &Split{Train: d.Events[:a], Val: d.Events[a:b], Test: d.Events[b:]}
+	if a > 0 {
+		s.TrainEnd = d.Events[a-1].Time
+	}
+	if b > 0 {
+		s.ValEnd = d.Events[b-1].Time
+	}
+	seen := make([]bool, d.NumNodes)
+	for _, e := range s.Train {
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	mark := func(evs []tgraph.Event) []bool {
+		out := make([]bool, len(evs))
+		for i, e := range evs {
+			out[i] = !seen[e.Src] || !seen[e.Dst]
+		}
+		return out
+	}
+	s.NewNodeInVal = mark(s.Val)
+	s.NewNodeInTest = mark(s.Test)
+	return s
+}
+
+// Stats describes a dataset in the shape of the paper's Table 1.
+type Stats struct {
+	Name                 string
+	Edges                int
+	Nodes                int
+	EdgeDim              int
+	NodesInTrain         int
+	OldNodesInValTest    int
+	UnseenNodesInValTest int
+	TimespanDays         float64
+	LabeledInteractions  int
+	LabelName            string
+}
+
+// Stats computes Table-1 statistics under the given split fractions.
+func (d *Dataset) Stats(trainFrac, valFrac float64) Stats {
+	s := d.Split(trainFrac, valFrac)
+	inTrain := make(map[tgraph.NodeID]struct{})
+	for _, e := range s.Train {
+		inTrain[e.Src] = struct{}{}
+		inTrain[e.Dst] = struct{}{}
+	}
+	old := make(map[tgraph.NodeID]struct{})
+	unseen := make(map[tgraph.NodeID]struct{})
+	for _, evs := range [][]tgraph.Event{s.Val, s.Test} {
+		for _, e := range evs {
+			for _, n := range []tgraph.NodeID{e.Src, e.Dst} {
+				if _, ok := inTrain[n]; ok {
+					old[n] = struct{}{}
+				} else {
+					unseen[n] = struct{}{}
+				}
+			}
+		}
+	}
+	labeled := 0
+	for _, e := range d.Events {
+		if e.Label >= 0 {
+			labeled++
+		}
+	}
+	span := 0.0
+	if len(d.Events) > 0 {
+		span = (d.Events[len(d.Events)-1].Time - d.Events[0].Time) / 86400.0
+	}
+	return Stats{
+		Name:                 d.Name,
+		Edges:                len(d.Events),
+		Nodes:                d.NumNodes,
+		EdgeDim:              d.EdgeDim,
+		NodesInTrain:         len(inTrain),
+		OldNodesInValTest:    len(old),
+		UnseenNodesInValTest: len(unseen),
+		TimespanDays:         span,
+		LabeledInteractions:  labeled,
+		LabelName:            d.LabelName,
+	}
+}
+
+// Graph builds a tgraph.Graph preloaded with the events in [0, upto).
+func (d *Dataset) Graph(upto int) *tgraph.Graph {
+	g := tgraph.New(d.NumNodes)
+	for _, e := range d.Events[:upto] {
+		g.AddEvent(e)
+	}
+	return g
+}
+
+// finalize sorts events by time and assigns sequential ids.
+func (d *Dataset) finalize() {
+	sort.SliceStable(d.Events, func(a, b int) bool { return d.Events[a].Time < d.Events[b].Time })
+	for i := range d.Events {
+		d.Events[i].ID = int64(i)
+	}
+}
+
+// NegSampler draws negative destinations from the pool of nodes observed as
+// destinations so far — the paper's time-varying negative distribution
+// P_n(v) (§4.2): nodes that have never interacted are not sampled.
+type NegSampler struct {
+	pool []tgraph.NodeID
+	in   []bool
+}
+
+// NewNegSampler creates a sampler over a graph with numNodes nodes.
+func NewNegSampler(numNodes int) *NegSampler {
+	return &NegSampler{in: make([]bool, numNodes)}
+}
+
+// Observe admits the destination of a processed event into the pool.
+func (ns *NegSampler) Observe(e *tgraph.Event) {
+	if !ns.in[e.Dst] {
+		ns.in[e.Dst] = true
+		ns.pool = append(ns.pool, e.Dst)
+	}
+}
+
+// PoolSize returns the number of candidate negatives.
+func (ns *NegSampler) PoolSize() int { return len(ns.pool) }
+
+// Sample draws a destination different from exclude; if the pool is empty or
+// only contains exclude it returns exclude (caller may skip the pair).
+func (ns *NegSampler) Sample(rng *rand.Rand, exclude tgraph.NodeID) tgraph.NodeID {
+	if len(ns.pool) == 0 {
+		return exclude
+	}
+	for try := 0; try < 8; try++ {
+		c := ns.pool[rng.Intn(len(ns.pool))]
+		if c != exclude {
+			return c
+		}
+	}
+	return ns.pool[rng.Intn(len(ns.pool))]
+}

@@ -1,0 +1,200 @@
+// Package eval provides the evaluation metrics the paper reports — average
+// precision and accuracy for link prediction, ROC-AUC for the skewed
+// node/edge classification tasks — plus latency histograms and early
+// stopping for the efficiency experiments.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// AveragePrecision computes AP: the area under the precision-recall curve
+// by the step-wise (sklearn-style) estimator. labels[i] is the ground truth
+// for scores[i]. Returns NaN when there are no positives.
+func AveragePrecision(scores []float32, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return math.NaN()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var totalPos int
+	for _, l := range labels {
+		if l {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return math.NaN()
+	}
+	var tp int
+	var ap float64
+	prevRecall := 0.0
+	for rank, i := range idx {
+		if labels[i] {
+			tp++
+			precision := float64(tp) / float64(rank+1)
+			recall := float64(tp) / float64(totalPos)
+			ap += precision * (recall - prevRecall)
+			prevRecall = recall
+		}
+	}
+	return ap
+}
+
+// ROCAUC computes the area under the ROC curve via the Mann-Whitney
+// statistic with midrank tie handling. Returns NaN when either class is
+// absent.
+func ROCAUC(scores []float32, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return math.NaN()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // 1-based midrank
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var sumPos float64
+	var nPos, nNeg int
+	for i, l := range labels {
+		if l {
+			sumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Accuracy computes the fraction of scores on the correct side of the
+// threshold.
+func Accuracy(scores []float32, labels []bool, threshold float32) float64 {
+	if len(scores) == 0 {
+		return math.NaN()
+	}
+	var ok int
+	for i, s := range scores {
+		if (s >= threshold) == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(scores))
+}
+
+// MeanStd returns the sample mean and standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// LatencyHist accumulates durations for quantile reporting.
+type LatencyHist struct {
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (h *LatencyHist) Add(d time.Duration) { h.samples = append(h.samples, d) }
+
+// N returns the number of recorded samples.
+func (h *LatencyHist) N() int { return len(h.samples) }
+
+// Mean returns the average sample.
+func (h *LatencyHist) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0≤q≤1) by nearest-rank.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String summarizes the histogram.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v", h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+}
+
+// EarlyStopper implements patience-based early stopping on a maximized
+// validation metric (paper: patience 5).
+type EarlyStopper struct {
+	Patience int
+	best     float64
+	bad      int
+	started  bool
+}
+
+// NewEarlyStopper returns a stopper with the given patience.
+func NewEarlyStopper(patience int) *EarlyStopper {
+	return &EarlyStopper{Patience: patience}
+}
+
+// Step reports whether training should stop after observing metric.
+// It also reports whether this was a new best epoch.
+func (e *EarlyStopper) Step(metric float64) (stop, improved bool) {
+	if !e.started || metric > e.best {
+		e.best = metric
+		e.bad = 0
+		e.started = true
+		return false, true
+	}
+	e.bad++
+	return e.bad >= e.Patience, false
+}
+
+// Best returns the best metric seen so far.
+func (e *EarlyStopper) Best() float64 { return e.best }

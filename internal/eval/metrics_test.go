@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	scores := []float32{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if ap := AveragePrecision(scores, labels); ap != 1 {
+		t.Fatalf("AP=%v", ap)
+	}
+}
+
+func TestAveragePrecisionWorst(t *testing.T) {
+	scores := []float32{0.9, 0.8, 0.2}
+	labels := []bool{false, false, true}
+	// Single positive ranked last: AP = 1/3.
+	if ap := AveragePrecision(scores, labels); math.Abs(ap-1.0/3) > 1e-9 {
+		t.Fatalf("AP=%v", ap)
+	}
+}
+
+func TestAveragePrecisionKnown(t *testing.T) {
+	// sklearn: y=[1,0,1,0], s=[0.9,0.8,0.7,0.6] → AP = 1·1/2 + (2/3)·1/2 = 0.8333
+	scores := []float32{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	if ap := AveragePrecision(scores, labels); math.Abs(ap-0.83333333) > 1e-6 {
+		t.Fatalf("AP=%v", ap)
+	}
+}
+
+func TestAveragePrecisionNoPositivesNaN(t *testing.T) {
+	if !math.IsNaN(AveragePrecision([]float32{0.5}, []bool{false})) {
+		t.Fatal("want NaN")
+	}
+	if !math.IsNaN(AveragePrecision(nil, nil)) {
+		t.Fatal("want NaN for empty")
+	}
+}
+
+func TestROCAUCSeparable(t *testing.T) {
+	scores := []float32{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if auc := ROCAUC(scores, labels); auc != 1 {
+		t.Fatalf("AUC=%v", auc)
+	}
+	// Inverted labels → 0.
+	inv := []bool{false, false, true, true}
+	if auc := ROCAUC(scores, inv); auc != 0 {
+		t.Fatalf("inverted AUC=%v", auc)
+	}
+}
+
+func TestROCAUCTies(t *testing.T) {
+	// All equal scores → AUC 0.5 via midranks.
+	scores := []float32{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if auc := ROCAUC(scores, labels); math.Abs(auc-0.5) > 1e-9 {
+		t.Fatalf("tied AUC=%v", auc)
+	}
+}
+
+func TestROCAUCSingleClassNaN(t *testing.T) {
+	if !math.IsNaN(ROCAUC([]float32{0.5, 0.4}, []bool{true, true})) {
+		t.Fatal("want NaN")
+	}
+}
+
+// Property: AUC equals the probability a random positive outscores a random
+// negative (brute-force comparison), for random score sets without ties.
+func TestROCAUCProbabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		scores := make([]float32, n)
+		labels := make([]bool, n)
+		used := map[float32]bool{}
+		var hasPos, hasNeg bool
+		for i := range scores {
+			for {
+				s := float32(rng.Float64())
+				if !used[s] {
+					used[s] = true
+					scores[i] = s
+					break
+				}
+			}
+			labels[i] = rng.Float64() < 0.5
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		var wins, pairs float64
+		for i := range scores {
+			if !labels[i] {
+				continue
+			}
+			for j := range scores {
+				if labels[j] {
+					continue
+				}
+				pairs++
+				if scores[i] > scores[j] {
+					wins++
+				}
+			}
+		}
+		return math.Abs(ROCAUC(scores, labels)-wins/pairs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	scores := []float32{0.9, 0.4, 0.6, 0.1}
+	labels := []bool{true, true, false, false}
+	if acc := Accuracy(scores, labels, 0.5); acc != 0.5 {
+		t.Fatalf("acc=%v", acc)
+	}
+	if !math.IsNaN(Accuracy(nil, nil, 0.5)) {
+		t.Fatal("want NaN for empty")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean=%v", mean)
+	}
+	if math.Abs(std-2.138089935) > 1e-6 {
+		t.Fatalf("std=%v", std)
+	}
+	m1, s1 := MeanStd([]float64{3})
+	if m1 != 3 || s1 != 0 {
+		t.Fatalf("single: %v %v", m1, s1)
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	var h LatencyHist
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N=%d", h.N())
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	if p50 := h.Quantile(0.5); p50 != 50*time.Millisecond {
+		t.Fatalf("p50=%v", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 99*time.Millisecond {
+		t.Fatalf("p99=%v", p99)
+	}
+	var empty LatencyHist
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	es := NewEarlyStopper(2)
+	steps := []struct {
+		metric   float64
+		stop     bool
+		improved bool
+	}{
+		{0.5, false, true},
+		{0.6, false, true},
+		{0.55, false, false},
+		{0.58, true, false},
+	}
+	for i, s := range steps {
+		stop, improved := es.Step(s.metric)
+		if stop != s.stop || improved != s.improved {
+			t.Fatalf("step %d: got (%v,%v) want (%v,%v)", i, stop, improved, s.stop, s.improved)
+		}
+	}
+	if es.Best() != 0.6 {
+		t.Fatalf("best=%v", es.Best())
+	}
+}

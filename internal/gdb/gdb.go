@@ -1,0 +1,119 @@
+// Package gdb wraps the in-process temporal graph store with the latency
+// and accounting profile of the remote distributed graph database that backs
+// the paper's production deployment. Synchronous CTDG models (TGAT, TGN)
+// pay this cost on the inference critical path; APAN's asynchronous
+// propagator pays it off the critical path — the contrast behind Figure 6
+// and the §4.6 "much greater than 8.7×" claim.
+package gdb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"apan/internal/tgraph"
+)
+
+// LatencyModel maps one neighbor-list query returning n items to a simulated
+// round-trip cost.
+type LatencyModel func(items int) time.Duration
+
+// Constant returns a latency model with a fixed per-query cost.
+func Constant(d time.Duration) LatencyModel {
+	return func(int) time.Duration { return d }
+}
+
+// PerItem returns a latency model with a base round trip plus a marginal
+// per-item transfer cost.
+func PerItem(base, per time.Duration) LatencyModel {
+	return func(items int) time.Duration { return base + time.Duration(items)*per }
+}
+
+// DB is a temporal graph store with query accounting and an optional
+// simulated-latency model.
+type DB struct {
+	G *tgraph.Graph
+	// Latency, when non-nil, is charged on every neighbor query.
+	Latency LatencyModel
+	// Sleep controls whether simulated latency blocks the caller (true, for
+	// live serving demos) or is only accumulated (false, for benchmarks that
+	// add it analytically).
+	Sleep bool
+
+	queries   atomic.Int64
+	items     atomic.Int64
+	simulated atomic.Int64 // nanoseconds
+}
+
+// New wraps g with no latency model.
+func New(g *tgraph.Graph) *DB { return &DB{G: g} }
+
+// charge records one query returning n items.
+func (db *DB) charge(n int) {
+	db.queries.Add(1)
+	db.items.Add(int64(n))
+	if db.Latency != nil {
+		d := db.Latency(n)
+		db.simulated.Add(int64(d))
+		if db.Sleep {
+			time.Sleep(d)
+		}
+	}
+}
+
+// MostRecentNeighbors is tgraph.Graph.MostRecentNeighbors with accounting.
+func (db *DB) MostRecentNeighbors(n tgraph.NodeID, t float64, k int, out []tgraph.Incidence) []tgraph.Incidence {
+	before := len(out)
+	out = db.G.MostRecentNeighbors(n, t, k, out)
+	db.charge(len(out) - before)
+	return out
+}
+
+// KHopMostRecent is tgraph.Graph.KHopMostRecent with per-hop accounting:
+// each frontier node costs one query.
+func (db *DB) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
+	frontier := seeds
+	out := make([][]tgraph.Incidence, hops)
+	var scratch []tgraph.Incidence
+	for h := 0; h < hops; h++ {
+		scratch = scratch[:0]
+		for _, n := range frontier {
+			before := len(scratch)
+			scratch = db.G.MostRecentNeighbors(n, t, fanout, scratch)
+			db.charge(len(scratch) - before)
+		}
+		out[h] = append([]tgraph.Incidence(nil), scratch...)
+		next := make([]tgraph.NodeID, len(out[h]))
+		for i, inc := range out[h] {
+			next[i] = inc.Peer
+		}
+		frontier = next
+	}
+	return out
+}
+
+// AddEvent inserts an event (writes are not charged latency: ingest is
+// asynchronous in both deployment modes).
+func (db *DB) AddEvent(e tgraph.Event) int64 { return db.G.AddEvent(e) }
+
+// Stats reports accumulated accounting since the last Reset.
+type Stats struct {
+	Queries   int64
+	Items     int64
+	Simulated time.Duration
+}
+
+// Stats returns the current counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Queries:   db.queries.Load(),
+		Items:     db.items.Load(),
+		Simulated: time.Duration(db.simulated.Load()),
+	}
+}
+
+// ResetStats clears the counters.
+func (db *DB) ResetStats() {
+	db.queries.Store(0)
+	db.items.Store(0)
+	db.simulated.Store(0)
+}

@@ -1,0 +1,98 @@
+package gdb
+
+import (
+	"testing"
+	"time"
+
+	"apan/internal/tgraph"
+)
+
+func chainDB(t *testing.T) *DB {
+	t.Helper()
+	g := tgraph.New(4)
+	g.AddEvent(tgraph.Event{Src: 0, Dst: 1, Time: 1})
+	g.AddEvent(tgraph.Event{Src: 1, Dst: 2, Time: 2})
+	g.AddEvent(tgraph.Event{Src: 2, Dst: 3, Time: 3})
+	return New(g)
+}
+
+func TestQueryAccounting(t *testing.T) {
+	db := chainDB(t)
+	got := db.MostRecentNeighbors(1, 10, 5, nil)
+	if len(got) != 2 {
+		t.Fatalf("neighbors: %+v", got)
+	}
+	st := db.Stats()
+	if st.Queries != 1 || st.Items != 2 {
+		t.Fatalf("stats after one query: %+v", st)
+	}
+	db.ResetStats()
+	if db.Stats().Queries != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestKHopAccountingChargesPerFrontierNode(t *testing.T) {
+	db := chainDB(t)
+	hops := db.KHopMostRecent([]tgraph.NodeID{1}, 10, 2, 2)
+	if len(hops) != 2 {
+		t.Fatalf("hops: %d", len(hops))
+	}
+	st := db.Stats()
+	// Hop 1: one query (node 1). Hop 2: one query per hop-1 result.
+	wantQueries := int64(1 + len(hops[0]))
+	if st.Queries != wantQueries {
+		t.Fatalf("queries=%d want %d", st.Queries, wantQueries)
+	}
+}
+
+func TestSimulatedLatencyAccumulatesWithoutSleep(t *testing.T) {
+	db := chainDB(t)
+	db.Latency = Constant(time.Millisecond)
+	start := time.Now()
+	db.MostRecentNeighbors(1, 10, 5, nil)
+	db.MostRecentNeighbors(2, 10, 5, nil)
+	elapsed := time.Since(start)
+	st := db.Stats()
+	if st.Simulated != 2*time.Millisecond {
+		t.Fatalf("simulated=%v", st.Simulated)
+	}
+	// Generous ceiling: the two queries do microseconds of work; anything
+	// near the 2ms simulated total would mean we actually slept.
+	if elapsed > time.Millisecond {
+		t.Fatalf("non-sleep mode must not block (%v)", elapsed)
+	}
+}
+
+func TestSleepModeBlocks(t *testing.T) {
+	db := chainDB(t)
+	db.Latency = Constant(2 * time.Millisecond)
+	db.Sleep = true
+	start := time.Now()
+	db.MostRecentNeighbors(1, 10, 5, nil)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("sleep mode returned too fast: %v", elapsed)
+	}
+}
+
+func TestPerItemLatency(t *testing.T) {
+	model := PerItem(time.Millisecond, 10*time.Microsecond)
+	if got := model(0); got != time.Millisecond {
+		t.Fatalf("base: %v", got)
+	}
+	if got := model(100); got != 2*time.Millisecond {
+		t.Fatalf("base+items: %v", got)
+	}
+}
+
+func TestAddEventNotCharged(t *testing.T) {
+	db := chainDB(t)
+	db.Latency = Constant(time.Hour)
+	db.AddEvent(tgraph.Event{Src: 0, Dst: 3, Time: 4})
+	if st := db.Stats(); st.Simulated != 0 || st.Queries != 0 {
+		t.Fatalf("writes must be free: %+v", st)
+	}
+	if db.G.NumEvents() != 4 {
+		t.Fatal("event not inserted")
+	}
+}

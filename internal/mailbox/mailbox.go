@@ -1,0 +1,191 @@
+// Package mailbox implements APAN's per-node mail store: a fixed number of
+// slots per node holding (mail vector, timestamp) pairs. The default update
+// rule ψ is a FIFO ring (paper §3.5); readout returns mails sorted by
+// timestamp so that out-of-order event arrival — unavoidable in distributed
+// streaming systems — does not perturb the encoder (paper §3.6). A
+// key-value update rule from the paper's future-work list is provided as an
+// alternative ψ.
+package mailbox
+
+import (
+	"fmt"
+	"sort"
+
+	"apan/internal/tensor"
+)
+
+// UpdateRule selects the mailbox update function ψ.
+type UpdateRule int
+
+const (
+	// UpdateFIFO evicts the oldest slot once the mailbox is full (paper default).
+	UpdateFIFO UpdateRule = iota
+	// UpdateKeyValue blends the incoming mail into all slots weighted by key
+	// similarity once the mailbox is full (memory-network-style ψ, §3.6).
+	UpdateKeyValue
+)
+
+// Store holds the mailboxes of every node in flat arrays.
+type Store struct {
+	numNodes int
+	slots    int
+	dim      int
+	rule     UpdateRule
+
+	data  []float32 // numNodes × slots × dim
+	times []float64 // numNodes × slots; NaN-free, zero means "slot i empty" iff i >= count
+	count []int32   // mails currently present per node
+	head  []int32   // ring head: next slot to overwrite when full
+}
+
+// New creates an empty store for numNodes mailboxes of `slots` mails of
+// dimension dim each, using the FIFO update rule.
+func New(numNodes, slots, dim int) *Store {
+	if numNodes <= 0 || slots <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("mailbox: invalid shape nodes=%d slots=%d dim=%d", numNodes, slots, dim))
+	}
+	return &Store{
+		numNodes: numNodes,
+		slots:    slots,
+		dim:      dim,
+		data:     make([]float32, numNodes*slots*dim),
+		times:    make([]float64, numNodes*slots),
+		count:    make([]int32, numNodes),
+		head:     make([]int32, numNodes),
+	}
+}
+
+// SetRule selects the update rule ψ.
+func (s *Store) SetRule(r UpdateRule) { s.rule = r }
+
+// Slots returns the per-node slot count m.
+func (s *Store) Slots() int { return s.slots }
+
+// Dim returns the mail dimension d.
+func (s *Store) Dim() int { return s.dim }
+
+// NumNodes returns the number of mailboxes.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// Len returns the number of mails currently in node n's mailbox.
+func (s *Store) Len(n int32) int { return int(s.count[n]) }
+
+func (s *Store) slot(n int32, i int) []float32 {
+	off := (int(n)*s.slots + i) * s.dim
+	return s.data[off : off+s.dim]
+}
+
+// Deliver applies ψ to insert mail (with timestamp ts) into node n's
+// mailbox. mail must have length Dim.
+func (s *Store) Deliver(n int32, mail []float32, ts float64) {
+	if len(mail) != s.dim {
+		panic(fmt.Sprintf("mailbox: mail dim %d, want %d", len(mail), s.dim))
+	}
+	if s.rule == UpdateKeyValue && int(s.count[n]) == s.slots {
+		s.deliverKV(n, mail, ts)
+		return
+	}
+	var i int32
+	if int(s.count[n]) < s.slots {
+		i = s.count[n]
+		s.count[n]++
+	} else {
+		i = s.head[n]
+		s.head[n] = (s.head[n] + 1) % int32(s.slots)
+	}
+	copy(s.slot(n, int(i)), mail)
+	s.times[int(n)*s.slots+int(i)] = ts
+}
+
+// deliverKV blends the mail into every slot with weights softmax(M·mail/√d),
+// and advances the timestamp of the most-attended slot. This keeps mailbox
+// capacity fixed while letting recurring patterns reinforce a slot instead
+// of evicting history.
+func (s *Store) deliverKV(n int32, mail []float32, ts float64) {
+	w := make([]float32, s.slots)
+	scale := 1 / tensor.Sqrt32(float32(s.dim))
+	for i := 0; i < s.slots; i++ {
+		w[i] = tensor.Dot(s.slot(n, i), mail) * scale
+	}
+	tensor.SoftmaxRow(w)
+	best, bestW := 0, w[0]
+	for i := 1; i < s.slots; i++ {
+		if w[i] > bestW {
+			best, bestW = i, w[i]
+		}
+	}
+	for i := 0; i < s.slots; i++ {
+		slot := s.slot(n, i)
+		wi := w[i]
+		for j, m := range mail {
+			slot[j] += wi * (m - slot[j])
+		}
+	}
+	s.times[int(n)*s.slots+best] = ts
+}
+
+// ReadSorted copies node n's mails into buf (capacity ≥ slots×dim rows used
+// in order) sorted by ascending timestamp, returning the mail count and the
+// matching timestamps in tsOut (len ≥ slots). Sorting at readout is what
+// makes the encoder insensitive to arrival order (§3.6).
+func (s *Store) ReadSorted(n int32, buf []float32, tsOut []float64) int {
+	c := int(s.count[n])
+	if c == 0 {
+		return 0
+	}
+	if len(buf) < c*s.dim || len(tsOut) < c {
+		panic(fmt.Sprintf("mailbox: ReadSorted buffer too small (%d floats, %d times) for %d mails", len(buf), len(tsOut), c))
+	}
+	idx := make([]int, c)
+	for i := range idx {
+		idx[i] = i
+	}
+	base := int(n) * s.slots
+	sort.SliceStable(idx, func(a, b int) bool { return s.times[base+idx[a]] < s.times[base+idx[b]] })
+	for r, i := range idx {
+		copy(buf[r*s.dim:(r+1)*s.dim], s.slot(n, i))
+		tsOut[r] = s.times[base+i]
+	}
+	return c
+}
+
+// Reset empties every mailbox.
+func (s *Store) Reset() {
+	for i := range s.data {
+		s.data[i] = 0
+	}
+	for i := range s.times {
+		s.times[i] = 0
+	}
+	for i := range s.count {
+		s.count[i] = 0
+		s.head[i] = 0
+	}
+}
+
+// Snapshot captures the full store for later Restore (used to replay
+// validation/test streams from a fixed point).
+type Snapshot struct {
+	data  []float32
+	times []float64
+	count []int32
+	head  []int32
+}
+
+// Snapshot returns a deep copy of the store contents.
+func (s *Store) Snapshot() *Snapshot {
+	return &Snapshot{
+		data:  append([]float32(nil), s.data...),
+		times: append([]float64(nil), s.times...),
+		count: append([]int32(nil), s.count...),
+		head:  append([]int32(nil), s.head...),
+	}
+}
+
+// Restore resets the store to a previously captured snapshot.
+func (s *Store) Restore(snap *Snapshot) {
+	copy(s.data, snap.data)
+	copy(s.times, snap.times)
+	copy(s.count, snap.count)
+	copy(s.head, snap.head)
+}

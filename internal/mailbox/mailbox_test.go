@@ -1,0 +1,185 @@
+package mailbox
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mail(v float32, dim int) []float32 {
+	m := make([]float32, dim)
+	for i := range m {
+		m[i] = v
+	}
+	return m
+}
+
+func TestDeliverAndLen(t *testing.T) {
+	s := New(3, 2, 4)
+	if s.Len(0) != 0 {
+		t.Fatal("fresh mailbox not empty")
+	}
+	s.Deliver(0, mail(1, 4), 1)
+	s.Deliver(0, mail(2, 4), 2)
+	if s.Len(0) != 2 || s.Len(1) != 0 {
+		t.Fatalf("lens: %d %d", s.Len(0), s.Len(1))
+	}
+}
+
+func TestDeliverDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 1, 4).Deliver(0, mail(1, 3), 1)
+}
+
+func TestFIFOEviction(t *testing.T) {
+	s := New(1, 3, 1)
+	for i := 1; i <= 5; i++ {
+		s.Deliver(0, []float32{float32(i)}, float64(i))
+	}
+	// Slots hold mails 3,4,5 (oldest two evicted).
+	buf := make([]float32, 3)
+	ts := make([]float64, 3)
+	n := s.ReadSorted(0, buf, ts)
+	if n != 3 {
+		t.Fatalf("count=%d", n)
+	}
+	if buf[0] != 3 || buf[1] != 4 || buf[2] != 5 {
+		t.Fatalf("FIFO contents: %v", buf)
+	}
+	if ts[0] != 3 || ts[2] != 5 {
+		t.Fatalf("timestamps: %v", ts)
+	}
+}
+
+func TestReadSortedHandlesOutOfOrderDelivery(t *testing.T) {
+	s := New(1, 4, 1)
+	// Deliver out of timestamp order (distributed streams do this, §3.6).
+	s.Deliver(0, []float32{30}, 30)
+	s.Deliver(0, []float32{10}, 10)
+	s.Deliver(0, []float32{20}, 20)
+	buf := make([]float32, 4)
+	ts := make([]float64, 4)
+	n := s.ReadSorted(0, buf, ts)
+	if n != 3 {
+		t.Fatalf("count=%d", n)
+	}
+	for i, want := range []float32{10, 20, 30} {
+		if buf[i] != want {
+			t.Fatalf("sorted readout: %v", buf[:3])
+		}
+		if ts[i] != float64(want) {
+			t.Fatalf("sorted timestamps: %v", ts[:3])
+		}
+	}
+}
+
+func TestReadSortedBufferPanic(t *testing.T) {
+	s := New(1, 2, 2)
+	s.Deliver(0, mail(1, 2), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.ReadSorted(0, make([]float32, 1), make([]float64, 2))
+}
+
+func TestResetAndSnapshotRestore(t *testing.T) {
+	s := New(2, 2, 1)
+	s.Deliver(0, []float32{7}, 1)
+	snap := s.Snapshot()
+	s.Deliver(0, []float32{8}, 2)
+	s.Deliver(1, []float32{9}, 3)
+	s.Restore(snap)
+	if s.Len(0) != 1 || s.Len(1) != 0 {
+		t.Fatalf("restore lens: %d %d", s.Len(0), s.Len(1))
+	}
+	buf := make([]float32, 2)
+	ts := make([]float64, 2)
+	s.ReadSorted(0, buf, ts)
+	if buf[0] != 7 {
+		t.Fatalf("restored mail: %v", buf)
+	}
+	s.Reset()
+	if s.Len(0) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestKeyValueUpdateKeepsCapacity(t *testing.T) {
+	s := New(1, 2, 3)
+	s.SetRule(UpdateKeyValue)
+	s.Deliver(0, []float32{1, 0, 0}, 1)
+	s.Deliver(0, []float32{0, 1, 0}, 2)
+	// Mailbox full: KV blending kicks in, count stays at slots.
+	s.Deliver(0, []float32{10, 0, 0}, 3)
+	if s.Len(0) != 2 {
+		t.Fatalf("KV mailbox len=%d", s.Len(0))
+	}
+	buf := make([]float32, 6)
+	ts := make([]float64, 2)
+	n := s.ReadSorted(0, buf, ts)
+	if n != 2 {
+		t.Fatalf("count=%d", n)
+	}
+	// The new mail must have been blended in: some slot moved toward (10,0,0).
+	if buf[0] == 1 && buf[3] == 0 {
+		t.Fatalf("KV update did not blend: %v", buf)
+	}
+	// The most-attended slot carries the new timestamp.
+	if ts[n-1] != 3 {
+		t.Fatalf("KV timestamps: %v", ts)
+	}
+}
+
+// Property: after any delivery sequence, count ≤ slots, readout is sorted by
+// timestamp, and the mails present are exactly the `count` most recent
+// deliveries under FIFO.
+func TestFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slots := 1 + rng.Intn(5)
+		s := New(1, slots, 1)
+		var delivered []float64
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			ts := float64(i + 1)
+			s.Deliver(0, []float32{float32(ts)}, ts)
+			delivered = append(delivered, ts)
+		}
+		c := s.Len(0)
+		if c > slots {
+			return false
+		}
+		want := len(delivered)
+		if want > slots {
+			want = slots
+		}
+		if c != want {
+			return false
+		}
+		buf := make([]float32, slots)
+		ts := make([]float64, slots)
+		got := s.ReadSorted(0, buf, ts)
+		if got != c {
+			return false
+		}
+		// Must be the last `c` deliveries in ascending order.
+		for i := 0; i < c; i++ {
+			if float64(buf[i]) != delivered[len(delivered)-c+i] {
+				return false
+			}
+			if i > 0 && ts[i] < ts[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

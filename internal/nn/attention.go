@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// Attention is the result of a fused masked multi-head attention op. Weights
+// holds the forward attention probabilities laid out as [query][head][slot],
+// which Model.Explain exposes for interpretability (paper §3.6).
+type Attention struct {
+	Out     *Tensor
+	Weights []float32
+	heads   int
+	slots   int
+}
+
+// Weight returns the attention probability that query q's head h assigned to
+// slot i.
+func (a *Attention) Weight(q, h, i int) float32 {
+	return a.Weights[(q*a.heads+h)*a.slots+i]
+}
+
+// MaskedMHA computes scaled dot-product multi-head attention where each of
+// the B query rows attends over its own block of `slots` key/value rows.
+//
+//	q: B×d        queries
+//	k: (B·slots)×d keys, row b·slots+i is slot i of query b
+//	v: (B·slots)×d values, same layout
+//	counts[b]: number of valid slots for query b (first counts[b] rows of the
+//	block participate; the rest are masked out). A query with zero valid slots
+//	yields a zero output row.
+//
+// d must be divisible by heads. The per-head outputs are concatenated, so a
+// separate output projection should follow.
+func (tp *Tape) MaskedMHA(q, k, v *Tensor, heads int, counts []int) *Attention {
+	b := q.W.Rows
+	d := q.W.Cols
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: MaskedMHA dim %d not divisible by %d heads", d, heads))
+	}
+	if k.W.Cols != d || v.W.Cols != d {
+		panic(fmt.Sprintf("nn: MaskedMHA key/value dim %d/%d, want %d", k.W.Cols, v.W.Cols, d))
+	}
+	if b == 0 {
+		panic("nn: MaskedMHA with zero queries")
+	}
+	if k.W.Rows != v.W.Rows || k.W.Rows%b != 0 {
+		panic(fmt.Sprintf("nn: MaskedMHA %d keys for %d queries", k.W.Rows, b))
+	}
+	slots := k.W.Rows / b
+	if len(counts) != b {
+		panic(fmt.Sprintf("nn: MaskedMHA %d counts for %d queries", len(counts), b))
+	}
+	dh := d / heads
+	scale := 1 / tensor.Sqrt32(float32(dh))
+
+	out := tp.newResult(b, d, q, k, v)
+	weights := make([]float32, b*heads*slots)
+
+	for qi := 0; qi < b; qi++ {
+		n := counts[qi]
+		if n <= 0 {
+			continue
+		}
+		if n > slots {
+			panic(fmt.Sprintf("nn: MaskedMHA count %d exceeds %d slots", n, slots))
+		}
+		qrow := q.W.Row(qi)
+		orow := out.W.Row(qi)
+		for h := 0; h < heads; h++ {
+			lo := h * dh
+			qh := qrow[lo : lo+dh]
+			w := weights[(qi*heads+h)*slots : (qi*heads+h)*slots+slots]
+			// Scores over valid slots.
+			for i := 0; i < n; i++ {
+				kh := k.W.Row(qi*slots + i)[lo : lo+dh]
+				w[i] = tensor.Dot(qh, kh) * scale
+			}
+			tensor.SoftmaxRow(w[:n])
+			// Weighted value sum.
+			oh := orow[lo : lo+dh]
+			for i := 0; i < n; i++ {
+				vh := v.W.Row(qi*slots + i)[lo : lo+dh]
+				tensor.Axpy(oh, vh, w[i])
+			}
+		}
+	}
+
+	out.back = func() {
+		for qi := 0; qi < b; qi++ {
+			n := counts[qi]
+			if n <= 0 {
+				continue
+			}
+			qrow := q.W.Row(qi)
+			grow := out.G.Row(qi)
+			for h := 0; h < heads; h++ {
+				lo := h * dh
+				qh := qrow[lo : lo+dh]
+				gh := grow[lo : lo+dh]
+				w := weights[(qi*heads+h)*slots : (qi*heads+h)*slots+slots]
+				// dα_i = gh·v_i ; ds_i = α_i (dα_i − Σ_j α_j dα_j).
+				dalpha := make([]float32, n)
+				var dot float32
+				for i := 0; i < n; i++ {
+					vh := v.W.Row(qi*slots + i)[lo : lo+dh]
+					dalpha[i] = tensor.Dot(gh, vh)
+					dot += w[i] * dalpha[i]
+				}
+				for i := 0; i < n; i++ {
+					ds := w[i] * (dalpha[i] - dot) * scale
+					if q.needGrad {
+						kh := k.W.Row(qi*slots + i)[lo : lo+dh]
+						tensor.Axpy(q.Grad().Row(qi)[lo:lo+dh], kh, ds)
+					}
+					if k.needGrad {
+						tensor.Axpy(k.Grad().Row(qi*slots + i)[lo:lo+dh], qh, ds)
+					}
+					if v.needGrad {
+						tensor.Axpy(v.Grad().Row(qi*slots + i)[lo:lo+dh], gh, w[i])
+					}
+				}
+			}
+		}
+	}
+	tp.record(out)
+	return &Attention{Out: out, Weights: weights, heads: heads, slots: slots}
+}

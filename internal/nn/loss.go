@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// BCEWithLogits returns the mean binary cross-entropy between the n×1 logits
+// and targets (each in [0,1]), computed in the numerically stable form
+// max(x,0) − x·y + log(1+e^{−|x|}).
+func (tp *Tape) BCEWithLogits(logits *Tensor, targets []float32) *Tensor {
+	if logits.W.Cols != 1 || logits.W.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: BCEWithLogits logits %dx%d for %d targets", logits.W.Rows, logits.W.Cols, len(targets)))
+	}
+	n := len(targets)
+	if n == 0 {
+		panic("nn: BCEWithLogits with no targets")
+	}
+	out := tp.newResult(1, 1, logits)
+	var sum float32
+	for i, y := range targets {
+		x := logits.W.Data[i]
+		ax := x
+		mx := x
+		if ax < 0 {
+			ax = -ax
+		}
+		if mx < 0 {
+			mx = 0
+		}
+		sum += mx - x*y + tensor.Log32(1+tensor.Exp32(-ax))
+	}
+	out.W.Data[0] = sum / float32(n)
+	out.back = func() {
+		if logits.needGrad {
+			g := logits.Grad()
+			gv := out.G.Data[0] / float32(n)
+			for i, y := range targets {
+				g.Data[i] += gv * (tensor.Sigmoid32(logits.W.Data[i]) - y)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// MSE returns the mean squared error between pred and the constant target
+// matrix (same shape).
+func (tp *Tape) MSE(pred *Tensor, target *tensor.Matrix) *Tensor {
+	if pred.W.Rows != target.Rows || pred.W.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d", pred.W.Rows, pred.W.Cols, target.Rows, target.Cols))
+	}
+	n := len(pred.W.Data)
+	if n == 0 {
+		panic("nn: MSE of empty tensor")
+	}
+	out := tp.newResult(1, 1, pred)
+	var sum float32
+	for i, v := range pred.W.Data {
+		d := v - target.Data[i]
+		sum += d * d
+	}
+	out.W.Data[0] = sum / float32(n)
+	out.back = func() {
+		if pred.needGrad {
+			g := pred.Grad()
+			gv := out.G.Data[0] * 2 / float32(n)
+			for i, v := range pred.W.Data {
+				g.Data[i] += gv * (v - target.Data[i])
+			}
+		}
+	}
+	return tp.record(out)
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+const layerNormEps = 1e-5
+
+// LayerNormOp normalizes each row of x to zero mean and unit variance, then
+// applies the learned per-column gain g and bias b (both 1×cols), following
+// Ba et al. (2016) as used in the APAN encoder (paper eq. 5).
+func (tp *Tape) LayerNormOp(x, g, b *Tensor) *Tensor {
+	d := x.W.Cols
+	if g.W.Rows != 1 || g.W.Cols != d || b.W.Rows != 1 || b.W.Cols != d {
+		panic(fmt.Sprintf("nn: LayerNorm gain/bias must be 1x%d", d))
+	}
+	out := tp.newResult(x.W.Rows, d, x, g, b)
+	// xhat is cached for the backward pass; invStd per row.
+	xhat := tensor.New(x.W.Rows, d)
+	invStd := make([]float32, x.W.Rows)
+
+	for r := 0; r < x.W.Rows; r++ {
+		row := x.W.Row(r)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(d)
+		var vr float32
+		for _, v := range row {
+			dv := v - mean
+			vr += dv * dv
+		}
+		vr /= float32(d)
+		is := 1 / tensor.Sqrt32(vr+layerNormEps)
+		invStd[r] = is
+		xh := xhat.Row(r)
+		o := out.W.Row(r)
+		for j, v := range row {
+			h := (v - mean) * is
+			xh[j] = h
+			o[j] = g.W.Data[j]*h + b.W.Data[j]
+		}
+	}
+
+	out.back = func() {
+		n := float32(d)
+		for r := 0; r < out.G.Rows; r++ {
+			gr := out.G.Row(r)
+			xh := xhat.Row(r)
+			if g.needGrad {
+				gg := g.Grad().Data
+				for j, gv := range gr {
+					gg[j] += gv * xh[j]
+				}
+			}
+			if b.needGrad {
+				bg := b.Grad().Data
+				for j, gv := range gr {
+					bg[j] += gv
+				}
+			}
+			if x.needGrad {
+				// dxhat = dy ⊙ g; dx = invStd (dxhat − mean(dxhat) − xhat·mean(dxhat⊙xhat)).
+				var sum, sumXh float32
+				dxhat := make([]float32, d)
+				for j, gv := range gr {
+					dx := gv * g.W.Data[j]
+					dxhat[j] = dx
+					sum += dx
+					sumXh += dx * xh[j]
+				}
+				mean := sum / n
+				meanXh := sumXh / n
+				xg := x.Grad().Row(r)
+				is := invStd[r]
+				for j, dx := range dxhat {
+					xg[j] += is * (dx - mean - xh[j]*meanXh)
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}

@@ -1,0 +1,537 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// MatMul returns a·b.
+func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, b.W.Cols, a, b)
+	tensor.MatMul(out.W, a.W, b.W)
+	out.back = func() {
+		if a.needGrad {
+			tensor.MatMulBTAcc(a.Grad(), out.G, b.W) // dA += dOut·Bᵀ
+		}
+		if b.needGrad {
+			tensor.MatMulATAcc(b.Grad(), a.W, out.G) // dB += Aᵀ·dOut
+		}
+	}
+	return tp.record(out)
+}
+
+// Add returns a+b element-wise (same shape).
+func (tp *Tape) Add(a, b *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
+	out.W.CopyFrom(a.W)
+	out.W.Add(b.W)
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().Add(out.G)
+		}
+		if b.needGrad {
+			b.Grad().Add(out.G)
+		}
+	}
+	return tp.record(out)
+}
+
+// Sub returns a−b element-wise.
+func (tp *Tape) Sub(a, b *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
+	out.W.CopyFrom(a.W)
+	out.W.Sub(b.W)
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().Add(out.G)
+		}
+		if b.needGrad {
+			b.Grad().AddScaled(out.G, -1)
+		}
+	}
+	return tp.record(out)
+}
+
+// Mul returns a⊙b element-wise.
+func (tp *Tape) Mul(a, b *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
+	out.W.CopyFrom(a.W)
+	out.W.MulElem(b.W)
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				g.Data[i] += v * b.W.Data[i]
+			}
+		}
+		if b.needGrad {
+			g := b.Grad()
+			for i, v := range out.G.Data {
+				g.Data[i] += v * a.W.Data[i]
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Scale returns s·a.
+func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out.W.CopyFrom(a.W)
+	out.W.Scale(s)
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().AddScaled(out.G, s)
+		}
+	}
+	return tp.record(out)
+}
+
+// AddConst returns a+c element-wise.
+func (tp *Tape) AddConst(a *Tensor, c float32) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = v + c
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().Add(out.G)
+		}
+	}
+	return tp.record(out)
+}
+
+// AddRowVec broadcasts the 1×cols vector v across the rows of a.
+func (tp *Tape) AddRowVec(a, v *Tensor) *Tensor {
+	if v.W.Rows != 1 || v.W.Cols != a.W.Cols {
+		panic(fmt.Sprintf("nn: AddRowVec wants 1x%d vector, got %dx%d", a.W.Cols, v.W.Rows, v.W.Cols))
+	}
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, v)
+	for r := 0; r < a.W.Rows; r++ {
+		dst := out.W.Row(r)
+		src := a.W.Row(r)
+		for j, b := range v.W.Data {
+			dst[j] = src[j] + b
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().Add(out.G)
+		}
+		if v.needGrad {
+			g := v.Grad().Data
+			for r := 0; r < out.G.Rows; r++ {
+				row := out.G.Row(r)
+				for j, gv := range row {
+					g[j] += gv
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// MulRowVec broadcasts the 1×cols vector v multiplicatively across the rows
+// of a: out[i][j] = a[i][j] · v[j].
+func (tp *Tape) MulRowVec(a, v *Tensor) *Tensor {
+	if v.W.Rows != 1 || v.W.Cols != a.W.Cols {
+		panic(fmt.Sprintf("nn: MulRowVec wants 1x%d vector, got %dx%d", a.W.Cols, v.W.Rows, v.W.Cols))
+	}
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, v)
+	for r := 0; r < a.W.Rows; r++ {
+		dst := out.W.Row(r)
+		src := a.W.Row(r)
+		for j, m := range v.W.Data {
+			dst[j] = src[j] * m
+		}
+	}
+	out.back = func() {
+		for r := 0; r < out.G.Rows; r++ {
+			gr := out.G.Row(r)
+			if a.needGrad {
+				ag := a.Grad().Row(r)
+				for j, gv := range gr {
+					ag[j] += gv * v.W.Data[j]
+				}
+			}
+			if v.needGrad {
+				vg := v.Grad().Data
+				ar := a.W.Row(r)
+				for j, gv := range gr {
+					vg[j] += gv * ar[j]
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// AddRowsTiled adds the m×d matrix p to a (which must be (B·m)×d), repeating
+// p for each block of m consecutive rows. Used for positional encoding of
+// mailbox slots.
+func (tp *Tape) AddRowsTiled(a, p *Tensor) *Tensor {
+	m := p.W.Rows
+	if a.W.Cols != p.W.Cols || a.W.Rows%m != 0 {
+		panic(fmt.Sprintf("nn: AddRowsTiled %dx%d with tile %dx%d", a.W.Rows, a.W.Cols, p.W.Rows, p.W.Cols))
+	}
+	out := tp.newResult(a.W.Rows, a.W.Cols, a, p)
+	for r := 0; r < a.W.Rows; r++ {
+		dst := out.W.Row(r)
+		src := a.W.Row(r)
+		pr := p.W.Row(r % m)
+		for j := range dst {
+			dst[j] = src[j] + pr[j]
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.Grad().Add(out.G)
+		}
+		if p.needGrad {
+			pg := p.Grad()
+			for r := 0; r < out.G.Rows; r++ {
+				tensor.Axpy(pg.Row(r%m), out.G.Row(r), 1)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// ConcatCols concatenates a and b column-wise (same row count).
+func (tp *Tape) ConcatCols(a, b *Tensor) *Tensor {
+	if a.W.Rows != b.W.Rows {
+		panic(fmt.Sprintf("nn: ConcatCols rows %d vs %d", a.W.Rows, b.W.Rows))
+	}
+	ac, bc := a.W.Cols, b.W.Cols
+	out := tp.newResult(a.W.Rows, ac+bc, a, b)
+	for r := 0; r < a.W.Rows; r++ {
+		dst := out.W.Row(r)
+		copy(dst[:ac], a.W.Row(r))
+		copy(dst[ac:], b.W.Row(r))
+	}
+	out.back = func() {
+		for r := 0; r < out.G.Rows; r++ {
+			src := out.G.Row(r)
+			if a.needGrad {
+				tensor.Axpy(a.Grad().Row(r), src[:ac], 1)
+			}
+			if b.needGrad {
+				tensor.Axpy(b.Grad().Row(r), src[ac:], 1)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Concat3Cols concatenates three tensors column-wise.
+func (tp *Tape) Concat3Cols(a, b, c *Tensor) *Tensor {
+	return tp.ConcatCols(tp.ConcatCols(a, b), c)
+}
+
+// SliceCols returns columns [lo, hi) of a.
+func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > a.W.Cols || lo >= hi {
+		panic(fmt.Sprintf("nn: SliceCols [%d,%d) of %d cols", lo, hi, a.W.Cols))
+	}
+	out := tp.newResult(a.W.Rows, hi-lo, a)
+	for r := 0; r < a.W.Rows; r++ {
+		copy(out.W.Row(r), a.W.Row(r)[lo:hi])
+	}
+	out.back = func() {
+		if a.needGrad {
+			for r := 0; r < out.G.Rows; r++ {
+				tensor.Axpy(a.Grad().Row(r)[lo:hi], out.G.Row(r), 1)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// ReLU returns max(a, 0) element-wise.
+func (tp *Tape) ReLU(a *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		if v > 0 {
+			out.W.Data[i] = v
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				if a.W.Data[i] > 0 {
+					g.Data[i] += v
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// LeakyReLU returns a where a>0, slope·a otherwise.
+func (tp *Tape) LeakyReLU(a *Tensor, slope float32) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		if v > 0 {
+			out.W.Data[i] = v
+		} else {
+			out.W.Data[i] = slope * v
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				if a.W.Data[i] > 0 {
+					g.Data[i] += v
+				} else {
+					g.Data[i] += slope * v
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Sigmoid returns σ(a) element-wise.
+func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = tensor.Sigmoid32(v)
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				s := out.W.Data[i]
+				g.Data[i] += v * s * (1 - s)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Tanh returns tanh(a) element-wise.
+func (tp *Tape) Tanh(a *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = tensor.Tanh32(v)
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				t := out.W.Data[i]
+				g.Data[i] += v * (1 - t*t)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Exp returns e^a element-wise.
+func (tp *Tape) Exp(a *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = tensor.Exp32(v)
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				g.Data[i] += v * out.W.Data[i]
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Square returns a² element-wise.
+func (tp *Tape) Square(a *Tensor) *Tensor {
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = v * v
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				g.Data[i] += 2 * v * a.W.Data[i]
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// Dropout zeroes each element with probability rate during training and
+// scales survivors by 1/(1−rate). It is the identity on inference tapes.
+func (tp *Tape) Dropout(a *Tensor, rate float32) *Tensor {
+	if !tp.training || rate <= 0 {
+		return a
+	}
+	if rate >= 1 {
+		panic("nn: Dropout rate must be < 1")
+	}
+	keep := 1 - rate
+	inv := 1 / keep
+	mask := make([]float32, len(a.W.Data))
+	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		if tp.rng.Float32() < keep {
+			mask[i] = inv
+			out.W.Data[i] = v * inv
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			for i, v := range out.G.Data {
+				g.Data[i] += v * mask[i]
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// SumAll reduces a to a 1×1 scalar by summation.
+func (tp *Tape) SumAll(a *Tensor) *Tensor {
+	out := tp.newResult(1, 1, a)
+	var s float32
+	for _, v := range a.W.Data {
+		s += v
+	}
+	out.W.Data[0] = s
+	out.back = func() {
+		if a.needGrad {
+			g := a.Grad()
+			gv := out.G.Data[0]
+			for i := range g.Data {
+				g.Data[i] += gv
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// MeanAll reduces a to a 1×1 scalar by averaging.
+func (tp *Tape) MeanAll(a *Tensor) *Tensor {
+	n := len(a.W.Data)
+	if n == 0 {
+		panic("nn: MeanAll of empty tensor")
+	}
+	return tp.Scale(tp.SumAll(a), 1/float32(n))
+}
+
+// Gather selects rows of table by index, the embedding-lookup primitive.
+// Backward scatter-adds into the table gradient.
+func (tp *Tape) Gather(table *Tensor, idx []int32) *Tensor {
+	out := tp.newResult(len(idx), table.W.Cols, table)
+	for r, id := range idx {
+		copy(out.W.Row(r), table.W.Row(int(id)))
+	}
+	out.back = func() {
+		if table.needGrad {
+			g := table.Grad()
+			for r, id := range idx {
+				tensor.Axpy(g.Row(int(id)), out.G.Row(r), 1)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// SegmentMean averages the rows of x that share a segment id. segOf[r] gives
+// the segment of row r (must be in [0, numSeg)); empty segments produce zero
+// rows. Used for mean-aggregation in GraphSAGE-style models.
+func (tp *Tape) SegmentMean(x *Tensor, segOf []int32, numSeg int) *Tensor {
+	if len(segOf) != x.W.Rows {
+		panic(fmt.Sprintf("nn: SegmentMean %d rows, %d segment ids", x.W.Rows, len(segOf)))
+	}
+	counts := make([]float32, numSeg)
+	for _, s := range segOf {
+		counts[s]++
+	}
+	out := tp.newResult(numSeg, x.W.Cols, x)
+	for r, s := range segOf {
+		tensor.Axpy(out.W.Row(int(s)), x.W.Row(r), 1)
+	}
+	for s := 0; s < numSeg; s++ {
+		if counts[s] > 0 {
+			row := out.W.Row(s)
+			inv := 1 / counts[s]
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	out.back = func() {
+		if x.needGrad {
+			g := x.Grad()
+			for r, s := range segOf {
+				tensor.Axpy(g.Row(r), out.G.Row(int(s)), 1/counts[s])
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// OverlayRows returns a copy of base with row rows[i] replaced by row i of
+// overlay. Gradients flow into both base (untouched rows) and overlay
+// (replaced rows). Rows listed several times keep the last overlay write,
+// and only that contribution receives gradient.
+func (tp *Tape) OverlayRows(base, overlay *Tensor, rows []int32) *Tensor {
+	if base.W.Cols != overlay.W.Cols {
+		panic(fmt.Sprintf("nn: OverlayRows col mismatch %d vs %d", base.W.Cols, overlay.W.Cols))
+	}
+	if len(rows) != overlay.W.Rows {
+		panic(fmt.Sprintf("nn: OverlayRows %d rows for %d overlay rows", len(rows), overlay.W.Rows))
+	}
+	out := tp.newResult(base.W.Rows, base.W.Cols, base, overlay)
+	out.W.CopyFrom(base.W)
+	// winner[r] records which overlay row owns base row r (-1: base).
+	winner := make([]int32, base.W.Rows)
+	for r := range winner {
+		winner[r] = -1
+	}
+	for i, r := range rows {
+		copy(out.W.Row(int(r)), overlay.W.Row(i))
+		winner[r] = int32(i)
+	}
+	out.back = func() {
+		for r := 0; r < out.G.Rows; r++ {
+			if w := winner[r]; w >= 0 {
+				if overlay.needGrad {
+					tensor.Axpy(overlay.Grad().Row(int(w)), out.G.Row(r), 1)
+				}
+			} else if base.needGrad {
+				tensor.Axpy(base.Grad().Row(r), out.G.Row(r), 1)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// RowDot computes per-row inner products of a and b (same shape), producing
+// an n×1 tensor of logits. Used by dot-product link decoders.
+func (tp *Tape) RowDot(a, b *Tensor) *Tensor {
+	if a.W.Rows != b.W.Rows || a.W.Cols != b.W.Cols {
+		panic(fmt.Sprintf("nn: RowDot shape mismatch %dx%d vs %dx%d", a.W.Rows, a.W.Cols, b.W.Rows, b.W.Cols))
+	}
+	out := tp.newResult(a.W.Rows, 1, a, b)
+	for r := 0; r < a.W.Rows; r++ {
+		out.W.Data[r] = tensor.Dot(a.W.Row(r), b.W.Row(r))
+	}
+	out.back = func() {
+		for r := 0; r < out.G.Rows; r++ {
+			gv := out.G.Data[r]
+			if a.needGrad {
+				tensor.Axpy(a.Grad().Row(r), b.W.Row(r), gv)
+			}
+			if b.needGrad {
+				tensor.Axpy(b.Grad().Row(r), a.W.Row(r), gv)
+			}
+		}
+	}
+	return tp.record(out)
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Parameter serialization: a minimal versioned binary format so trained
+// models survive process restarts. Layout (little endian):
+//
+//	magic "APNN" | version u32 | count u32 |
+//	repeat count times: rows u32 | cols u32 | rows·cols float32
+//
+// Parameters are identified by position, so Save and Load must be given the
+// same parameter list (models construct theirs deterministically).
+const (
+	paramsMagic   = "APNN"
+	paramsVersion = 1
+)
+
+// SaveParams writes the parameter values to w.
+func SaveParams(w io.Writer, params []*Tensor) error {
+	if _, err := io.WriteString(w, paramsMagic); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(paramsVersion)); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	for i, p := range params {
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Rows)); err != nil {
+			return fmt.Errorf("nn: save param %d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Cols)); err != nil {
+			return fmt.Errorf("nn: save param %d: %w", i, err)
+		}
+		if err := writeFloat32s(w, p.W.Data); err != nil {
+			return fmt.Errorf("nn: save param %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams reads values saved by SaveParams into params, validating
+// count and shapes.
+func LoadParams(r io.Reader, params []*Tensor) error {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	if string(magic) != paramsMagic {
+		return fmt.Errorf("nn: load params: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	if version != paramsVersion {
+		return fmt.Errorf("nn: load params: unsupported version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: load params: file has %d tensors, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		var rows, cols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("nn: load param %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("nn: load param %d: %w", i, err)
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("nn: load param %d: file shape %dx%d, model shape %dx%d",
+				i, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		if err := readFloat32s(r, p.W.Data); err != nil {
+			return fmt.Errorf("nn: load param %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func writeFloat32s(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloat32s(r io.Reader, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

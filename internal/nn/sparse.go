@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// SparseMatrix is an N×N CSR matrix used for full-batch GCN propagation.
+// GAE/VGAE build the symmetrically normalized adjacency with it.
+type SparseMatrix struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	Val    []float32
+}
+
+// MulDense computes dst = S·x for a dense x (no autograd).
+func (s *SparseMatrix) MulDense(dst, x *tensor.Matrix) {
+	if x.Rows != s.N || dst.Rows != s.N || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("nn: SparseMatrix.MulDense shapes %d, %dx%d -> %dx%d", s.N, x.Rows, x.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for r := 0; r < s.N; r++ {
+		drow := dst.Row(r)
+		for i := s.RowPtr[r]; i < s.RowPtr[r+1]; i++ {
+			tensor.Axpy(drow, x.Row(int(s.Col[i])), s.Val[i])
+		}
+	}
+}
+
+// SpMM returns S·x on the tape. S must be symmetric (true for the
+// normalized adjacency Â = D^{-1/2}(A+I)D^{-1/2}), which makes the backward
+// pass dX += S·dY.
+func (tp *Tape) SpMM(s *SparseMatrix, x *Tensor) *Tensor {
+	out := tp.newResult(s.N, x.W.Cols, x)
+	s.MulDense(out.W, x.W)
+	out.back = func() {
+		if x.needGrad {
+			tmp := tensor.New(s.N, x.W.Cols)
+			s.MulDense(tmp, out.G)
+			x.Grad().Add(tmp)
+		}
+	}
+	return tp.record(out)
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"apan/internal/tensor"
+)
+
+// pathAdjacency builds the symmetric normalized adjacency of a 3-node path.
+func pathAdjacency() *SparseMatrix {
+	// Graph 0-1-2 with self loops; D = diag(2,3,2).
+	// Â[i][j] = 1/√(d_i d_j) for each edge and self loop.
+	inv := []float32{1 / tensor.Sqrt32(2), 1 / tensor.Sqrt32(3), 1 / tensor.Sqrt32(2)}
+	s := &SparseMatrix{N: 3, RowPtr: []int32{0, 2, 5, 7}}
+	add := func(i, j int) {
+		s.Col = append(s.Col, int32(j))
+		s.Val = append(s.Val, inv[i]*inv[j])
+	}
+	add(0, 0)
+	add(0, 1)
+	add(1, 0)
+	add(1, 1)
+	add(1, 2)
+	add(2, 1)
+	add(2, 2)
+	return s
+}
+
+func TestSpMMForward(t *testing.T) {
+	s := pathAdjacency()
+	x := tensor.FromSlice(3, 1, []float32{1, 1, 1})
+	dst := tensor.New(3, 1)
+	s.MulDense(dst, x)
+	// Row sums of Â for the path graph.
+	want0 := float32(0.5 + 1/tensor.Sqrt32(6))
+	if !almost(dst.Data[0], want0, 1e-5) {
+		t.Fatalf("row 0: %v want %v", dst.Data[0], want0)
+	}
+	want1 := float32(1.0/3 + 2/tensor.Sqrt32(6))
+	if !almost(dst.Data[1], want1, 1e-5) {
+		t.Fatalf("row 1: %v want %v", dst.Data[1], want1)
+	}
+}
+
+func TestGradSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	s := pathAdjacency()
+	x := Param(3, 4)
+	x.W.RandN(rng, 1)
+	w := Param(4, 2)
+	w.W.XavierInit(rng)
+	params := []*Tensor{x, w}
+
+	checkGrads(t, params, func() (*Tape, *Tensor) {
+		tp := NewTape()
+		h := tp.MatMul(tp.SpMM(s, x), w)
+		return tp, tp.MeanAll(tp.Square(h))
+	}, 0.03)
+}
+
+func TestSaveLoadParamsErrors(t *testing.T) {
+	p := Param(2, 3)
+	p.W.Fill(1.5)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, []*Tensor{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip.
+	q := Param(2, 3)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), []*Tensor{q}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.W.Data {
+		if q.W.Data[i] != p.W.Data[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+
+	// Shape mismatch.
+	bad := Param(3, 2)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), []*Tensor{bad}); err == nil {
+		t.Fatal("want shape error")
+	}
+	// Count mismatch.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), []*Tensor{q, q}); err == nil {
+		t.Fatal("want count error")
+	}
+	// Garbage.
+	if err := LoadParams(bytes.NewReader([]byte("nope")), []*Tensor{q}); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Truncated.
+	if err := LoadParams(bytes.NewReader(buf.Bytes()[:10]), []*Tensor{q}); err == nil {
+		t.Fatal("want truncation error")
+	}
+}

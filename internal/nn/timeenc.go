@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// TimeEncode maps each time delta Δt to the learnable harmonic embedding
+// cos(ω·Δt + φ) of Xu et al. (TGAT), producing a len(dts)×dim tensor.
+// omega and phi must be 1×dim parameters; the deltas themselves carry no
+// gradient.
+func (tp *Tape) TimeEncode(dts []float32, omega, phi *Tensor) *Tensor {
+	dim := omega.W.Cols
+	if omega.W.Rows != 1 || phi.W.Rows != 1 || phi.W.Cols != dim {
+		panic(fmt.Sprintf("nn: TimeEncode omega/phi must be 1x%d", dim))
+	}
+	n := len(dts)
+	out := tp.newResult(n, dim, omega, phi)
+	for i, dt := range dts {
+		row := out.W.Row(i)
+		for j := 0; j < dim; j++ {
+			row[j] = tensor.Cos32(omega.W.Data[j]*dt + phi.W.Data[j])
+		}
+	}
+	out.back = func() {
+		og := omega.Grad()
+		pg := phi.Grad()
+		for i, dt := range dts {
+			gr := out.G.Row(i)
+			for j, gv := range gr {
+				s := -tensor.Sin32(omega.W.Data[j]*dt+phi.W.Data[j]) * gv
+				if omega.needGrad {
+					og.Data[j] += s * dt
+				}
+				if phi.needGrad {
+					pg.Data[j] += s
+				}
+			}
+		}
+	}
+	return tp.record(out)
+}

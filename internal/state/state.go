@@ -1,0 +1,85 @@
+// Package state stores the last computed embedding z(t−) and last-update
+// time of every node. APAN and the memory-based baselines (TGN, JODIE,
+// DyRep) read this store synchronously instead of querying the graph.
+package state
+
+import "fmt"
+
+// Store holds per-node embeddings in a flat array.
+type Store struct {
+	numNodes int
+	dim      int
+	z        []float32
+	lastTime []float64
+	touched  []bool
+}
+
+// New creates a zero-initialized store.
+func New(numNodes, dim int) *Store {
+	if numNodes <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("state: invalid shape nodes=%d dim=%d", numNodes, dim))
+	}
+	return &Store{
+		numNodes: numNodes,
+		dim:      dim,
+		z:        make([]float32, numNodes*dim),
+		lastTime: make([]float64, numNodes),
+		touched:  make([]bool, numNodes),
+	}
+}
+
+// Dim returns the embedding dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// NumNodes returns the number of tracked nodes.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// Get returns a read-only view of node n's embedding z(t−).
+func (s *Store) Get(n int32) []float32 { return s.z[int(n)*s.dim : (int(n)+1)*s.dim] }
+
+// Set overwrites node n's embedding and stamps its update time.
+func (s *Store) Set(n int32, z []float32, t float64) {
+	copy(s.z[int(n)*s.dim:(int(n)+1)*s.dim], z)
+	s.lastTime[n] = t
+	s.touched[n] = true
+}
+
+// LastTime returns when node n was last updated (0 if never).
+func (s *Store) LastTime(n int32) float64 { return s.lastTime[n] }
+
+// Touched reports whether node n has ever been updated.
+func (s *Store) Touched(n int32) bool { return s.touched[n] }
+
+// Reset zeroes the store.
+func (s *Store) Reset() {
+	for i := range s.z {
+		s.z[i] = 0
+	}
+	for i := range s.lastTime {
+		s.lastTime[i] = 0
+		s.touched[i] = false
+	}
+}
+
+// Snapshot captures the store for later Restore.
+type Snapshot struct {
+	z        []float32
+	lastTime []float64
+	touched  []bool
+}
+
+// Snapshot returns a deep copy of the store contents.
+func (s *Store) Snapshot() *Snapshot {
+	return &Snapshot{
+		z:        append([]float32(nil), s.z...),
+		lastTime: append([]float64(nil), s.lastTime...),
+		touched:  append([]bool(nil), s.touched...),
+	}
+}
+
+// Restore resets the store to a previously captured snapshot.
+func (s *Store) Restore(snap *Snapshot) {
+	copy(s.z, snap.z)
+	copy(s.lastTime, snap.lastTime)
+	copy(s.touched, snap.touched)
+}

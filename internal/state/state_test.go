@@ -1,0 +1,101 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueAndValidation(t *testing.T) {
+	s := New(3, 4)
+	if s.NumNodes() != 3 || s.Dim() != 4 {
+		t.Fatalf("shape: %d %d", s.NumNodes(), s.Dim())
+	}
+	for _, v := range s.Get(1) {
+		if v != 0 {
+			t.Fatal("fresh state not zero")
+		}
+	}
+	if s.Touched(1) || s.LastTime(1) != 0 {
+		t.Fatal("fresh node should be untouched")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 4)
+}
+
+func TestSetGetLastTime(t *testing.T) {
+	s := New(2, 3)
+	s.Set(1, []float32{1, 2, 3}, 42)
+	got := s.Get(1)
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("get: %v", got)
+	}
+	if !s.Touched(1) || s.LastTime(1) != 42 {
+		t.Fatalf("metadata: touched=%v t=%v", s.Touched(1), s.LastTime(1))
+	}
+	if s.Touched(0) {
+		t.Fatal("node 0 should be untouched")
+	}
+}
+
+func TestSetCopiesInput(t *testing.T) {
+	s := New(1, 2)
+	z := []float32{5, 6}
+	s.Set(0, z, 1)
+	z[0] = 99
+	if s.Get(0)[0] != 5 {
+		t.Fatal("Set must copy, not alias")
+	}
+}
+
+func TestResetAndSnapshotRestore(t *testing.T) {
+	s := New(2, 2)
+	s.Set(0, []float32{1, 2}, 10)
+	snap := s.Snapshot()
+	s.Set(1, []float32{3, 4}, 20)
+	s.Set(0, []float32{9, 9}, 30)
+	s.Restore(snap)
+	if s.Get(0)[0] != 1 || s.LastTime(0) != 10 {
+		t.Fatalf("restore: %v @%v", s.Get(0), s.LastTime(0))
+	}
+	if s.Touched(1) {
+		t.Fatal("restore leaked later write")
+	}
+	s.Reset()
+	if s.Touched(0) || s.Get(0)[0] != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: the store returns exactly what was last written per node.
+func TestLastWriteWinsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		s := New(n, 2)
+		last := make(map[int32][]float32)
+		lastT := make(map[int32]float64)
+		for i := 0; i < 50; i++ {
+			node := int32(rng.Intn(n))
+			z := []float32{rng.Float32(), rng.Float32()}
+			ts := rng.Float64()
+			s.Set(node, z, ts)
+			last[node] = z
+			lastT[node] = ts
+		}
+		for node, z := range last {
+			got := s.Get(node)
+			if got[0] != z[0] || got[1] != z[1] || s.LastTime(node) != lastT[node] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
