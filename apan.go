@@ -30,8 +30,22 @@
 //	res := model.EvalStream(split.Test, ns)
 //	fmt.Printf("test AP %.3f\n", res.AP)
 //
-// For online serving, wrap the model in a Pipeline (see NewPipeline): Submit
-// answers on the synchronous link and queues the propagation work.
+// For online serving, wrap the model in a Pipeline (see StartPipeline):
+// Submit answers on the synchronous link with context cancellation and
+// queues the propagation work; TrySubmit sheds load instead of blocking,
+// SubmitFuture returns a channel, and Shutdown drains then stops. Put a
+// Server in front of the pipeline (see NewServer) to expose the versioned
+// HTTP/JSON API — POST /v1/score, GET /v1/stats, GET /v1/healthz,
+// GET /v1/explain/{node} — whose micro-batcher coalesces concurrent
+// single-event requests into one synchronous-link pass:
+//
+//	pipe := apan.StartPipeline(model, apan.WithQueueCap(256))
+//	defer pipe.Shutdown(context.Background())
+//	srv := apan.NewServer(pipe, apan.ServerOptions{})
+//	defer srv.Close()
+//	http.ListenAndServe(":7683", srv)
+//
+// The request/response schemas are documented in docs/serving.md.
 package apan
 
 import (
@@ -40,6 +54,7 @@ import (
 	"apan/internal/dataset"
 	"apan/internal/gdb"
 	"apan/internal/mailbox"
+	"apan/internal/serve"
 	"apan/internal/tgraph"
 )
 
@@ -138,12 +153,49 @@ func NewNegSampler(numNodes int) *NegSampler { return dataset.NewNegSampler(numN
 
 // Serving.
 type (
-	// Pipeline is the deployment architecture: synchronous scoring with an
-	// asynchronous propagation worker behind a bounded queue.
+	// Pipeline is the deployment architecture: synchronous scoring with
+	// asynchronous propagation workers behind a bounded queue.
 	Pipeline = async.Pipeline
 	// PipelineStats is a point-in-time view of pipeline health.
 	PipelineStats = async.Stats
+	// PipelineOption configures StartPipeline (queue capacity, workers,
+	// micro-batch window).
+	PipelineOption = async.Option
+	// SubmitResult is delivered by Pipeline.SubmitFuture.
+	SubmitResult = async.Result
+	// Server is the versioned HTTP/JSON serving surface (v1 endpoints)
+	// over a Pipeline; it implements http.Handler.
+	Server = serve.Server
+	// ServerOptions tunes the server-side micro-batcher.
+	ServerOptions = serve.Options
 )
 
-// NewPipeline starts the serving pipeline over a trained model.
+// Pipeline options.
+var (
+	// WithQueueCap bounds the propagation queue (backpressure point).
+	WithQueueCap = async.WithQueueCap
+	// WithWorkers sets the number of asynchronous propagation workers.
+	WithWorkers = async.WithWorkers
+	// WithBatchWindow sets the micro-batching window the serving layer
+	// coalesces concurrent single-event submissions within.
+	WithBatchWindow = async.WithBatchWindow
+)
+
+// Serving errors.
+var (
+	// ErrPipelineClosed is returned by Submit variants after Shutdown.
+	ErrPipelineClosed = async.ErrClosed
+	// ErrQueueFull is returned by TrySubmit instead of blocking.
+	ErrQueueFull = async.ErrQueueFull
+)
+
+// StartPipeline starts the serving pipeline over a trained model.
+func StartPipeline(m *Model, opts ...PipelineOption) *Pipeline { return async.New(m, opts...) }
+
+// NewServer exposes a started pipeline as the v1 HTTP/JSON API.
+func NewServer(p *Pipeline, opts ServerOptions) *Server { return serve.New(p, opts) }
+
+// NewPipeline starts the serving pipeline with a queue capacity.
+//
+// Deprecated: use StartPipeline(m, WithQueueCap(queueCap)).
 func NewPipeline(m *Model, queueCap int) *Pipeline { return async.NewPipeline(m, queueCap) }

@@ -1,6 +1,11 @@
 package apan_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
@@ -44,14 +49,16 @@ func TestEndToEndPublicAPI(t *testing.T) {
 		t.Fatalf("val AP %v", val.AP)
 	}
 
-	// Serve a slice of the test stream through the pipeline.
+	// Serve a slice of the test stream through the pipeline and the v1
+	// HTTP API in front of it.
 	if len(split.Test) < 250 {
 		t.Fatalf("test split too small for the scenario: %d", len(split.Test))
 	}
-	pipe := apan.NewPipeline(model, 16)
+	ctx := context.Background()
+	pipe := apan.StartPipeline(model, apan.WithQueueCap(16))
 	served := split.Test[:200]
-	for lo := 0; lo < len(served); lo += 50 {
-		scores, lat, err := pipe.Submit(served[lo : lo+50])
+	for lo := 0; lo < 150; lo += 50 {
+		scores, lat, err := pipe.Submit(ctx, served[lo:lo+50])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,12 +69,43 @@ func TestEndToEndPublicAPI(t *testing.T) {
 			t.Fatal("no sync latency measured")
 		}
 	}
-	pipe.Drain()
+
+	srv := apan.NewServer(pipe, apan.ServerOptions{})
+	hs := httptest.NewServer(srv)
+	lastBatch := struct {
+		Events []apan.Event `json:"events"`
+	}{Events: served[150:200]}
+	body, err := json.Marshal(lastBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scored struct {
+		Scores []float32 `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(scored.Scores) != 50 {
+		t.Fatalf("HTTP score: status %d, %d scores", resp.StatusCode, len(scored.Scores))
+	}
+	hs.Close()
+	srv.Close()
+
+	if err := pipe.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
 	st := pipe.Stats()
 	if st.Processed != 4 {
 		t.Fatalf("pipeline processed %d", st.Processed)
 	}
-	pipe.Close()
+	if err := pipe.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
 
 	// Checkpoint and restore into a fresh replica.
 	path := filepath.Join(t.TempDir(), "ckpt")

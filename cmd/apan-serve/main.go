@@ -1,58 +1,52 @@
-// Command apan-serve demonstrates APAN's deployment architecture: a TCP
-// server whose request path runs only the synchronous link (mailbox read +
-// encoder + decoder) while graph writes and mail propagation happen on the
-// asynchronous worker — the paper's Fig. 2b, with a simulated remote graph
-// database if requested.
+// Command apan-serve exposes APAN's deployment architecture (paper
+// Fig. 2b) over the v1 HTTP/JSON API: the request path runs only the
+// synchronous link (mailbox read + encoder + decoder) while graph writes
+// and mail propagation happen on the asynchronous workers, with a
+// server-side micro-batcher coalescing concurrent single-event requests.
 //
-// Protocol: newline-delimited JSON. Request:
+// Endpoints (schemas in docs/serving.md):
 //
-//	{"src": 12, "dst": 9311, "time": 1234.5, "feat": [ ... ]}
+//	POST /v1/score          {"src":12,"dst":9311,"time":1234.5,"feat":[...]}
+//	                        or {"events":[{...},...]} for a batch
+//	GET  /v1/stats          pipeline + micro-batcher instrumentation
+//	GET  /v1/healthz        liveness
+//	GET  /v1/explain/{node} attention explanation of the last scored batch
 //
-// Response:
-//
-//	{"score": 0.83, "sync_us": 412, "queue_depth": 2}
-//
-// Run a self-contained demo (train briefly, serve, replay the test stream):
+// Run a self-contained demo (train briefly, serve over HTTP, replay the
+// test stream through the batch endpoint, print latency figures):
 //
 //	apan-serve -demo -scale 0.02 -db-latency 500us
 package main
 
 import (
-	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"apan"
+	"apan/internal/serve"
 )
-
-type request struct {
-	Src  int32     `json:"src"`
-	Dst  int32     `json:"dst"`
-	Time float64   `json:"time"`
-	Feat []float32 `json:"feat"`
-}
-
-type response struct {
-	Score      float32 `json:"score"`
-	SyncMicros int64   `json:"sync_us"`
-	QueueDepth int     `json:"queue_depth"`
-	Error      string  `json:"error,omitempty"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apan-serve: ")
 
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7683", "listen address")
-		scale     = flag.Float64("scale", 0.02, "training dataset scale")
-		epochs    = flag.Int("epochs", 3, "training epochs before serving")
-		dbLatency = flag.Duration("db-latency", 0, "simulated graph-DB latency per query on the async link")
-		demo      = flag.Bool("demo", false, "run a local client replaying the test stream, then exit")
+		addr        = flag.String("addr", "127.0.0.1:7683", "listen address")
+		scale       = flag.Float64("scale", 0.02, "training dataset scale")
+		epochs      = flag.Int("epochs", 3, "training epochs before serving")
+		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query on the async link")
+		queueCap    = flag.Int("queue-cap", 256, "propagation queue capacity (backpressure bound)")
+		workers     = flag.Int("workers", 1, "asynchronous propagation workers")
+		batchWindow = flag.Duration("batch-window", time.Millisecond, "micro-batch coalescing window for single-event requests")
+		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
+		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
 	)
 	flag.Parse()
 
@@ -83,103 +77,108 @@ func main() {
 	model.EvalStream(split.Train, nil)
 	model.EvalStream(split.Val, nil)
 
-	pipe := apan.NewPipeline(model, 64)
-	defer pipe.Close()
+	pipe := apan.StartPipeline(model,
+		apan.WithQueueCap(*queueCap),
+		apan.WithWorkers(*workers),
+		apan.WithBatchWindow(*batchWindow),
+	)
+	srv := apan.NewServer(pipe, apan.ServerOptions{})
+	defer func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := pipe.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
-	log.Printf("serving on %s (db-latency=%v on async link)", ln.Addr(), *dbLatency)
-
-	go acceptLoop(ln, pipe, ds.EdgeDim)
+	hs := &http.Server{Handler: srv}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer hs.Close()
+	log.Printf("serving v1 HTTP API on http://%s (db-latency=%v on async link)", ln.Addr(), *dbLatency)
 
 	if *demo {
-		runDemo(ln.Addr().String(), split.Test, pipe)
+		runDemo("http://"+ln.Addr().String(), split.Test, *demoBatch, pipe)
 		return
 	}
 	select {} // serve forever
 }
 
-func acceptLoop(ln net.Listener, pipe *apan.Pipeline, edgeDim int) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go handle(conn, pipe, edgeDim)
-	}
-}
-
-func handle(conn net.Conn, pipe *apan.Pipeline, edgeDim int) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		var req request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			_ = enc.Encode(response{Error: err.Error()})
-			continue
-		}
-		if len(req.Feat) != edgeDim {
-			_ = enc.Encode(response{Error: fmt.Sprintf("feat dim %d, want %d", len(req.Feat), edgeDim)})
-			continue
-		}
-		ev := apan.Event{Src: req.Src, Dst: req.Dst, Time: req.Time, Feat: req.Feat}
-		scores, lat, err := pipe.Submit([]apan.Event{ev})
-		if err != nil {
-			_ = enc.Encode(response{Error: err.Error()})
-			continue
-		}
-		_ = enc.Encode(response{
-			Score:      scores[0],
-			SyncMicros: lat.Microseconds(),
-			QueueDepth: pipe.Stats().QueueDepth,
-		})
-	}
-}
-
-func runDemo(addr string, events []apan.Event, pipe *apan.Pipeline) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-
+// runDemo replays the test stream through the HTTP batch endpoint and
+// reports what the online decision system would observe. It speaks the
+// wire types internal/serve exports, so client and server cannot drift.
+func runDemo(base string, events []apan.Event, batch int, pipe *apan.Pipeline) {
 	n := len(events)
-	if n > 500 {
-		n = 500
+	if n > 2000 {
+		n = 2000
 	}
+	if batch < 1 {
+		batch = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
 	start := time.Now()
 	var worst time.Duration
-	for i := 0; i < n; i++ {
-		ev := events[i]
-		if err := enc.Encode(request{Src: ev.Src, Dst: ev.Dst, Time: ev.Time, Feat: ev.Feat}); err != nil {
+	var scored int
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		req := serve.ScoreRequest{Events: make([]serve.EventJSON, hi-lo)}
+		for i, ev := range events[lo:hi] {
+			req.Events[i] = serve.EventJSON{Src: ev.Src, Dst: ev.Dst, Time: ev.Time, Feat: ev.Feat}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
 			log.Fatal(err)
 		}
-		if !sc.Scan() {
-			log.Fatal("server closed connection")
-		}
-		var resp response
-		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		resp, err := client.Post(base+"/v1/score", "application/json", bytes.NewReader(body))
+		if err != nil {
 			log.Fatal(err)
 		}
-		if resp.Error != "" {
-			log.Fatalf("server error: %s", resp.Error)
+		var sr serve.ScoreResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			log.Fatal(err)
 		}
-		if d := time.Duration(resp.SyncMicros) * time.Microsecond; d > worst {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("server returned %d", resp.StatusCode)
+		}
+		scored += len(sr.Scores)
+		if d := time.Duration(sr.SyncMicros) * time.Microsecond; d > worst {
 			worst = d
 		}
 	}
 	elapsed := time.Since(start)
-	pipe.Drain()
-	st := pipe.Stats()
-	fmt.Printf("demo: %d events in %v (%.0f ev/s)\n", n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
-	fmt.Printf("sync latency: mean %v p99 %v worst %v\n", st.SyncMean, st.SyncP99, worst)
-	fmt.Printf("async propagation: mean %v, max queue depth %d\n", st.AsyncMean, st.MaxQueueDepth)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pipe.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fmt.Printf("demo: %d events in %v (%.0f ev/s) over POST /v1/score batches of %d\n",
+		scored, elapsed.Round(time.Millisecond), float64(scored)/elapsed.Seconds(), batch)
+	fmt.Printf("sync latency: mean %v p99 %v worst %v\n",
+		st.Pipeline.SyncMean, st.Pipeline.SyncP99, worst)
+	fmt.Printf("async propagation: mean %v, max queue depth %d\n",
+		st.Pipeline.AsyncMean, st.Pipeline.MaxQueueDepth)
 }

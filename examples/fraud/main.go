@@ -1,17 +1,22 @@
 // Fraud detection: the paper's motivating Alipay scenario (§1). An APAN
 // encoder is trained self-supervised on a transaction stream, a fraud
 // decoder is fitted on labeled interactions from the training window, and
-// the combined system is served through the asynchronous pipeline — scoring
-// transactions in real time while a simulated remote graph database sits
-// only on the propagation path.
+// the combined system is served through the v1 HTTP/JSON API over the
+// asynchronous pipeline — scoring transactions in real time while a
+// simulated remote graph database sits only on the propagation path.
 //
 //	go run ./examples/fraud
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"time"
 
 	"apan"
@@ -118,13 +123,19 @@ func main() {
 	}
 	fmt.Printf("fraud detection AUC on future window: %.4f\n", eval.ROCAUC(scores, labels))
 
-	// Phase 3: serve the future window through the asynchronous pipeline.
-	// The decision path never waits for the 300µs-per-query graph DB.
+	// Phase 3: serve the future window through the v1 HTTP API over the
+	// asynchronous pipeline. The decision path never waits for the
+	// 300µs-per-query graph DB.
+	ctx := context.Background()
 	model.ResetRuntime()
 	db.Sleep = true // now the latency model really blocks the async worker
 	model.EvalStream(split.Train, nil)
-	pipe := apan.NewPipeline(model, 128)
-	defer pipe.Close()
+	pipe := apan.StartPipeline(model, apan.WithQueueCap(128))
+	defer pipe.Shutdown(ctx)
+	srv := apan.NewServer(pipe, apan.ServerOptions{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
 
 	served := split.Test
 	if len(served) > 600 {
@@ -135,13 +146,24 @@ func main() {
 		if hi > len(served) {
 			hi = len(served)
 		}
-		if _, _, err := pipe.Submit(served[lo:hi]); err != nil {
+		body, err := json.Marshal(map[string]any{"events": served[lo:hi]})
+		if err != nil {
 			log.Fatal(err)
 		}
+		resp, err := http.Post(hs.URL+"/v1/score", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("POST /v1/score: status %d", resp.StatusCode)
+		}
 	}
-	pipe.Drain()
+	if err := pipe.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
 	st := pipe.Stats()
-	fmt.Printf("served %d batches: sync mean %v p99 %v | async mean %v | max queue %d\n",
+	fmt.Printf("served %d batches over POST /v1/score: sync mean %v p99 %v | async mean %v | max queue %d\n",
 		st.Processed, st.SyncMean, st.SyncP99, st.AsyncMean, st.MaxQueueDepth)
 	fmt.Println("graph DB time was paid entirely off the decision path:",
 		db.Stats().Simulated.Round(time.Millisecond))

@@ -9,9 +9,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 
 	"apan"
 	"apan/internal/baselines"
@@ -81,10 +87,12 @@ func main() {
 	}
 	fmt.Printf("mailbox invariance: reversed mail arrival gives identical embedding: %v\n", identical)
 
-	// --- Part 2: interpretability ----------------------------------------
+	// --- Part 2: interpretability over the serving API -------------------
 	// Mails store the full interaction detail (z_i, e_ij, z_j), so attention
 	// weights identify the historical interaction behind a prediction —
-	// something models that only keep compressed memory cannot offer.
+	// something models that only keep compressed memory cannot offer. Here
+	// the question is asked the way an operator would in production: score
+	// the live event through POST /v1/score, then GET /v1/explain/{node}.
 	model.ResetRuntime()
 	model.EvalStream(split.Train, nil)
 	var target *apan.Event
@@ -98,18 +106,61 @@ func main() {
 		fmt.Println("\nno probe node with enough mail history")
 		return
 	}
-	model.InferBatch([]apan.Event{*target})
-	if ex, ok := model.Explain(target.Src); ok {
-		fmt.Printf("\nnode %d attended over %d mails:\n", ex.Node, len(ex.MailWeights))
-		best := 0
-		for i, w := range ex.MailWeights {
-			fmt.Printf("  mail %d (oldest-first): weight %.3f\n", i, w)
-			if w > ex.MailWeights[best] {
-				best = i
-			}
-		}
-		fmt.Printf("=> the interaction behind mail %d dominated this embedding\n", best)
+
+	pipe := apan.StartPipeline(model)
+	defer pipe.Shutdown(context.Background())
+	srv := apan.NewServer(pipe, apan.ServerOptions{})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"src": target.Src, "dst": target.Dst, "time": target.Time, "feat": target.Feat,
+	})
+	resp, err := http.Post(hs.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
 	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		log.Fatalf("POST /v1/score: status %d: %s", resp.StatusCode, body)
+	}
+	var scored struct {
+		Score float32 `json:"score"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scored); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/explain/%d", hs.URL, target.Src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ex struct {
+		Node        int32     `json:"node"`
+		MailWeights []float32 `json:"mail_weights"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Println("\nno explanation available for the scored node")
+		return
+	}
+	fmt.Printf("\nPOST /v1/score gave node %d's interaction score %.3f;"+
+		" GET /v1/explain/%d attended over %d mails:\n",
+		target.Src, scored.Score, target.Src, len(ex.MailWeights))
+	best := 0
+	for i, w := range ex.MailWeights {
+		fmt.Printf("  mail %d (oldest-first): weight %.3f\n", i, w)
+		if w > ex.MailWeights[best] {
+			best = i
+		}
+	}
+	fmt.Printf("=> the interaction behind mail %d dominated this embedding\n", best)
 }
 
 func scoreAPAN(m *apan.Model, warmup, probe []apan.Event) []float32 {

@@ -1,0 +1,3 @@
+module apan
+
+go 1.24

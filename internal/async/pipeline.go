@@ -4,9 +4,16 @@
 // the graph writes, k-hop queries and mail deliveries behind a bounded
 // queue. The queue isolates the online decision system from graph-database
 // load spikes (the "Black Friday" problem of §1).
+//
+// The Pipeline API is context-aware: Submit honors cancellation while
+// blocked on backpressure, TrySubmit never blocks, SubmitFuture returns a
+// channel for callers that overlap scoring with other work, Drain waits
+// event-driven (condition variable, no polling) and Shutdown drains then
+// stops the workers.
 package async
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -16,45 +23,133 @@ import (
 	"apan/internal/tgraph"
 )
 
+// Errors returned by the submission API.
+var (
+	// ErrClosed is returned by Submit variants after Shutdown/Close.
+	ErrClosed = errors.New("async: pipeline closed")
+	// ErrQueueFull is returned by TrySubmit when the propagation queue is
+	// at capacity and enqueueing would block.
+	ErrQueueFull = errors.New("async: propagation queue full")
+)
+
+// Option configures a Pipeline at construction time.
+type Option func(*options)
+
+type options struct {
+	queueCap    int
+	workers     int
+	batchWindow time.Duration
+}
+
+// WithQueueCap bounds the propagation queue. Capacity bounds memory during
+// event bursts; Submit blocks (backpressure) once the asynchronous link
+// falls that many batches behind. Default 64.
+func WithQueueCap(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.queueCap = n
+		}
+	}
+}
+
+// WithWorkers sets the number of asynchronous propagation workers. The
+// default of 1 preserves the exact submission-order state evolution the
+// tests rely on; more workers trade that determinism for propagation
+// throughput behind a slow graph database (the model's store mutex keeps
+// every write safe either way).
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n >= 1 {
+			o.workers = n
+		}
+	}
+}
+
+// WithBatchWindow sets the pipeline's advertised micro-batching window: the
+// time span within which a serving layer should coalesce concurrent
+// single-event submissions into one InferBatch call (paper Table 5 peaks
+// around batch size 200). The pipeline itself does not delay submissions;
+// internal/serve reads this as the default window for its micro-batcher.
+func WithBatchWindow(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.batchWindow = d
+		}
+	}
+}
+
 // Pipeline connects a core.Model's synchronous and asynchronous links.
-// Submit runs inference inline and enqueues propagation; a single worker
-// goroutine drains the queue, serializing all state mutation so the model's
-// stores never see concurrent writers.
+// Submit runs inference inline and enqueues propagation; worker goroutines
+// drain the queue. Scoring is serialized internally, so any number of
+// goroutines may call the Submit variants concurrently.
 type Pipeline struct {
 	model *core.Model
+	opts  options
 
 	queue chan *core.Inference
 	done  chan struct{}
 
+	// scoreMu serializes InferBatch: the model keeps per-pass attention
+	// state for Explain, so the synchronous link admits one batch at a time.
+	scoreMu sync.Mutex
+
+	// sendMu protects the queue channel's lifetime: Submit holds a read
+	// lock across the send, Shutdown takes the write lock before closing,
+	// so a send can never hit a closed channel.
+	sendMu sync.RWMutex
+
 	mu        sync.Mutex
+	idle      *sync.Cond // signaled whenever enqueued == processed
 	syncHist  eval.LatencyHist
 	asyncHist eval.LatencyHist
 	submitted int64
+	enqueued  int64
 	processed int64
 	maxDepth  int
 	closed    bool
 	wg        sync.WaitGroup
 }
 
-// ErrClosed is returned by Submit after Close.
-var ErrClosed = errors.New("async: pipeline closed")
-
-// NewPipeline starts a pipeline with the given propagation queue capacity.
-// Capacity bounds memory during event bursts; Submit blocks (backpressure)
-// once the asynchronous link falls that many batches behind.
-func NewPipeline(m *core.Model, queueCap int) *Pipeline {
-	if queueCap < 1 {
-		queueCap = 1
+// New starts a pipeline over a trained model with the given options.
+func New(m *core.Model, opts ...Option) *Pipeline {
+	o := options{queueCap: 64, workers: 1, batchWindow: time.Millisecond}
+	for _, fn := range opts {
+		fn(&o)
 	}
 	p := &Pipeline{
 		model: m,
-		queue: make(chan *core.Inference, queueCap),
+		opts:  o,
+		queue: make(chan *core.Inference, o.queueCap),
 		done:  make(chan struct{}),
 	}
-	p.wg.Add(1)
-	go p.worker()
+	p.idle = sync.NewCond(&p.mu)
+	p.wg.Add(o.workers)
+	for i := 0; i < o.workers; i++ {
+		go p.worker()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.done)
+	}()
 	return p
 }
+
+// NewPipeline starts a pipeline with the given propagation queue capacity.
+//
+// Deprecated: use New with WithQueueCap; kept so pre-v1 callers compile.
+func NewPipeline(m *core.Model, queueCap int) *Pipeline {
+	return New(m, WithQueueCap(queueCap))
+}
+
+// BatchWindow reports the configured micro-batching window (WithBatchWindow).
+func (p *Pipeline) BatchWindow() time.Duration { return p.opts.batchWindow }
+
+// NumNodes reports the node-ID space of the served model, for request
+// validation at the serving edge.
+func (p *Pipeline) NumNodes() int { return p.model.Cfg.NumNodes }
+
+// EdgeDim reports the expected event feature dimension.
+func (p *Pipeline) EdgeDim() int { return p.model.Cfg.EdgeDim }
 
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
@@ -65,18 +160,22 @@ func (p *Pipeline) worker() {
 		p.mu.Lock()
 		p.asyncHist.Add(d)
 		p.processed++
+		if p.processed == p.enqueued {
+			p.idle.Broadcast()
+		}
 		p.mu.Unlock()
 	}
-	close(p.done)
 }
 
-// Submit scores a batch of interactions on the synchronous link and
-// enqueues the asynchronous work. The returned latency covers only the
-// synchronous part — what a caller of the online decision system observes.
-func (p *Pipeline) Submit(events []tgraph.Event) ([]float32, time.Duration, error) {
+// score runs the synchronous link under the scoring lock and records the
+// observed latency. It returns ErrClosed without touching the model when
+// the pipeline has shut down.
+func (p *Pipeline) score(events []tgraph.Event) (*core.Inference, time.Duration, error) {
+	p.scoreMu.Lock()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.scoreMu.Unlock()
 		return nil, 0, ErrClosed
 	}
 	p.submitted++
@@ -85,55 +184,198 @@ func (p *Pipeline) Submit(events []tgraph.Event) ([]float32, time.Duration, erro
 	start := time.Now()
 	inf := p.model.InferBatch(events)
 	lat := time.Since(start)
+	p.scoreMu.Unlock()
 
 	p.mu.Lock()
 	p.syncHist.Add(lat)
-	if d := len(p.queue) + 1; d > p.maxDepth {
+	p.mu.Unlock()
+	return inf, lat, nil
+}
+
+// noteEnqueued counts a batch BEFORE its channel send so a worker can never
+// observe processed > enqueued (which would let Drain return with work still
+// queued). A send that is abandoned must be undone with unnoteEnqueued.
+func (p *Pipeline) noteEnqueued() {
+	p.mu.Lock()
+	p.enqueued++
+	if d := int(p.enqueued - p.processed); d > p.maxDepth {
 		p.maxDepth = d
 	}
 	p.mu.Unlock()
-
-	p.queue <- inf
-	return inf.Scores, lat, nil
 }
 
-// Drain blocks until every enqueued batch has been propagated.
-func (p *Pipeline) Drain() {
-	for {
-		p.mu.Lock()
-		behind := p.submitted - p.processed
-		p.mu.Unlock()
-		if behind == 0 {
-			return
-		}
-		time.Sleep(100 * time.Microsecond)
+func (p *Pipeline) unnoteEnqueued() {
+	p.mu.Lock()
+	p.enqueued--
+	if p.enqueued == p.processed {
+		p.idle.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Submit scores a batch of interactions on the synchronous link and
+// enqueues the asynchronous work, blocking under backpressure until queue
+// space frees or ctx is done. The returned latency covers only the
+// synchronous part — what a caller of the online decision system observes.
+// On cancellation the already-computed scores are discarded unapplied: no
+// state was mutated, so the caller can simply retry.
+func (p *Pipeline) Submit(ctx context.Context, events []tgraph.Event) ([]float32, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	inf, lat, err := p.score(events)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, lat, ErrClosed
+	}
+	p.noteEnqueued()
+	select {
+	case p.queue <- inf:
+		return inf.Scores, lat, nil
+	case <-ctx.Done():
+		p.unnoteEnqueued()
+		return nil, lat, ctx.Err()
 	}
 }
 
-// Close drains the queue, stops the worker and releases resources. The
-// pipeline cannot be reused.
-func (p *Pipeline) Close() {
+// TrySubmit is the non-blocking Submit variant: when the propagation queue
+// is at capacity it drops the scored batch unapplied and returns
+// ErrQueueFull, leaving all model state untouched — a load-shedding
+// primitive for the serving edge.
+func (p *Pipeline) TrySubmit(events []tgraph.Event) ([]float32, time.Duration, error) {
+	inf, lat, err := p.score(events)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, lat, ErrClosed
+	}
+	p.noteEnqueued()
+	select {
+	case p.queue <- inf:
+		return inf.Scores, lat, nil
+	default:
+		p.unnoteEnqueued()
+		return nil, lat, ErrQueueFull
+	}
+}
+
+// Result is the outcome of an asynchronous submission.
+type Result struct {
+	Scores      []float32
+	SyncLatency time.Duration
+	Err         error
+}
+
+// SubmitFuture submits on a background goroutine and returns a buffered
+// channel that receives the single Result; the caller need never read it.
+func (p *Pipeline) SubmitFuture(ctx context.Context, events []tgraph.Event) <-chan Result {
+	ch := make(chan Result, 1)
+	go func() {
+		scores, lat, err := p.Submit(ctx, events)
+		ch <- Result{Scores: scores, SyncLatency: lat, Err: err}
+	}()
+	return ch
+}
+
+// Explain returns the attention explanation for node n from the most recent
+// scored batch, serialized against in-flight scoring.
+func (p *Pipeline) Explain(n tgraph.NodeID) (*core.Explanation, bool) {
+	p.scoreMu.Lock()
+	defer p.scoreMu.Unlock()
+	return p.model.Explain(n)
+}
+
+// Drain blocks until every enqueued batch has been propagated or ctx is
+// done. Waiting is event-driven: workers broadcast on a condition variable
+// when the queue empties.
+func (p *Pipeline) Drain(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.idle.Broadcast()
+			p.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.enqueued != p.processed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.idle.Wait()
+	}
+	return ctx.Err()
+}
+
+// Shutdown rejects new submissions, waits for in-flight Submits to enqueue,
+// then drains the queue and stops the workers. It returns ctx's error if
+// the drain does not finish in time (the workers still run to completion in
+// the background). The pipeline cannot be reused.
+func (p *Pipeline) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return
+		select {
+		case <-p.done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	p.closed = true
 	p.mu.Unlock()
-	close(p.queue)
-	<-p.done
-	p.wg.Wait()
+
+	// Wait for every in-flight send, then close the queue so workers exit
+	// after the backlog. The lock wait happens off this goroutine so ctx is
+	// honored even while a backpressured Submit holds the read lock.
+	go func() {
+		p.sendMu.Lock()
+		close(p.queue)
+		p.sendMu.Unlock()
+	}()
+
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
+
+// Close drains the queue, stops the workers and releases resources.
+//
+// Deprecated: use Shutdown, which honors a deadline.
+func (p *Pipeline) Close() { _ = p.Shutdown(context.Background()) }
 
 // Stats is a point-in-time view of pipeline health.
 type Stats struct {
-	Submitted     int64
-	Processed     int64
-	QueueDepth    int
-	MaxQueueDepth int
-	SyncMean      time.Duration
-	SyncP99       time.Duration
-	AsyncMean     time.Duration
+	Submitted     int64         `json:"submitted"`
+	Processed     int64         `json:"processed"`
+	QueueDepth    int           `json:"queue_depth"`
+	MaxQueueDepth int           `json:"max_queue_depth"`
+	SyncMean      time.Duration `json:"sync_mean_ns"`
+	SyncP99       time.Duration `json:"sync_p99_ns"`
+	AsyncMean     time.Duration `json:"async_mean_ns"`
 }
 
 // Stats reports instrumentation counters.
@@ -143,7 +385,7 @@ func (p *Pipeline) Stats() Stats {
 	return Stats{
 		Submitted:     p.submitted,
 		Processed:     p.processed,
-		QueueDepth:    len(p.queue),
+		QueueDepth:    int(p.enqueued - p.processed),
 		MaxQueueDepth: p.maxDepth,
 		SyncMean:      p.syncHist.Mean(),
 		SyncP99:       p.syncHist.Quantile(0.99),

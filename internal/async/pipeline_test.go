@@ -1,6 +1,10 @@
 package async
 
 import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -30,6 +34,7 @@ func feat() []float32 { return make([]float32, 8) }
 func TestPipelineMatchesSynchronousApply(t *testing.T) {
 	// The pipeline must produce exactly the state a direct
 	// InferBatch+ApplyInference sequence produces.
+	ctx := context.Background()
 	ma := testModel(t, nil)
 	mb := testModel(t, nil)
 
@@ -39,17 +44,21 @@ func TestPipelineMatchesSynchronousApply(t *testing.T) {
 		{{Src: 2, Dst: 3, Time: 3, Feat: feat()}},
 	}
 
-	p := NewPipeline(ma, 4)
+	p := New(ma, WithQueueCap(4))
 	var pipeScores []float32
 	for _, b := range batches {
-		scores, _, err := p.Submit(b)
+		scores, _, err := p.Submit(ctx, b)
 		if err != nil {
 			t.Fatal(err)
 		}
 		pipeScores = append(pipeScores, scores...)
-		p.Drain() // serialize so both runs see identical state evolution
+		if err := p.Drain(ctx); err != nil { // serialize so both runs see identical state evolution
+			t.Fatal(err)
+		}
 	}
-	p.Close()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
 
 	var directScores []float32
 	for _, b := range batches {
@@ -74,20 +83,23 @@ func TestSyncLatencyExcludesGraphQueryCost(t *testing.T) {
 	// With a slow simulated graph DB, the synchronous submit latency must
 	// stay far below the asynchronous propagation latency — the core claim
 	// of the paper's architecture.
+	ctx := context.Background()
 	const perQuery = 2 * time.Millisecond
 	m := testModel(t, gdb.Constant(perQuery))
-	p := NewPipeline(m, 8)
+	p := New(m, WithQueueCap(8))
 	defer p.Close()
 
 	for i := 0; i < 5; i++ {
 		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 1) % 4), Time: float64(i + 1), Feat: feat()}}
-		if _, lat, err := p.Submit(ev); err != nil {
+		if _, lat, err := p.Submit(ctx, ev); err != nil {
 			t.Fatal(err)
 		} else if lat > perQuery {
 			t.Fatalf("sync latency %v not decoupled from DB latency %v", lat, perQuery)
 		}
 	}
-	p.Drain()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
 	st := p.Stats()
 	if st.Processed != 5 || st.Submitted != 5 {
 		t.Fatalf("stats: %+v", st)
@@ -101,11 +113,12 @@ func TestSyncLatencyExcludesGraphQueryCost(t *testing.T) {
 }
 
 func TestPipelineBackpressureAndClose(t *testing.T) {
+	ctx := context.Background()
 	m := testModel(t, gdb.Constant(time.Millisecond))
-	p := NewPipeline(m, 1)
+	p := New(m, WithQueueCap(1))
 	for i := 0; i < 4; i++ {
 		ev := []tgraph.Event{{Src: 0, Dst: 1, Time: float64(i + 1), Feat: feat()}}
-		if _, _, err := p.Submit(ev); err != nil {
+		if _, _, err := p.Submit(ctx, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -117,7 +130,7 @@ func TestPipelineBackpressureAndClose(t *testing.T) {
 	if st.MaxQueueDepth < 1 {
 		t.Fatalf("queue depth never observed: %+v", st)
 	}
-	if _, _, err := p.Submit([]tgraph.Event{{Src: 0, Dst: 1, Time: 9, Feat: feat()}}); err != ErrClosed {
+	if _, _, err := p.Submit(ctx, []tgraph.Event{{Src: 0, Dst: 1, Time: 9, Feat: feat()}}); err != ErrClosed {
 		t.Fatalf("submit after close: %v", err)
 	}
 	p.Close() // idempotent
@@ -127,8 +140,9 @@ func TestPipelineToleratesOutOfOrderBatches(t *testing.T) {
 	// Distributed collectors deliver slightly out-of-order batches; the
 	// pipeline must stay consistent (sorted mailbox readout + sorted
 	// incidence insertion) and never corrupt state.
+	ctx := context.Background()
 	m := testModel(t, nil)
-	p := NewPipeline(m, 8)
+	p := New(m, WithQueueCap(8))
 	defer p.Close()
 	batches := [][]tgraph.Event{
 		{{Src: 0, Dst: 1, Time: 5, Feat: feat()}},
@@ -136,11 +150,13 @@ func TestPipelineToleratesOutOfOrderBatches(t *testing.T) {
 		{{Src: 2, Dst: 3, Time: 4, Feat: feat()}},
 	}
 	for _, b := range batches {
-		if _, _, err := p.Submit(b); err != nil {
+		if _, _, err := p.Submit(ctx, b); err != nil {
 			t.Fatal(err)
 		}
 	}
-	p.Drain()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
 	if m.DB().G.NumEvents() != 3 {
 		t.Fatalf("events: %d", m.DB().G.NumEvents())
 	}
@@ -152,23 +168,231 @@ func TestPipelineToleratesOutOfOrderBatches(t *testing.T) {
 }
 
 func TestPipelineConcurrentDrainSafety(t *testing.T) {
+	ctx := context.Background()
 	m := testModel(t, nil)
-	p := NewPipeline(m, 16)
+	p := New(m, WithQueueCap(16))
 	defer p.Close()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		p.Drain()
+		_ = p.Drain(ctx)
 	}()
 	for i := 0; i < 20; i++ {
 		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 2) % 4), Time: float64(i + 1), Feat: feat()}}
-		if _, _, err := p.Submit(ev); err != nil {
+		if _, _, err := p.Submit(ctx, ev); err != nil {
 			t.Fatal(err)
 		}
 	}
-	p.Drain()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
 	<-done
 	if got := p.Stats().Processed; got != 20 {
 		t.Fatalf("processed %d", got)
+	}
+}
+
+func TestSubmitContextCancellation(t *testing.T) {
+	// A Submit blocked on backpressure must return when its context is
+	// cancelled, without corrupting state or leaking the scored batch.
+	m := testModel(t, gdb.Constant(5*time.Millisecond))
+	p := New(m, WithQueueCap(1))
+	defer p.Close()
+
+	ctx := context.Background()
+	// Fill the queue and keep the worker busy.
+	for i := 0; i < 2; i++ {
+		ev := []tgraph.Event{{Src: 0, Dst: 1, Time: float64(i + 1), Feat: feat()}}
+		if _, _, err := p.Submit(ctx, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := p.Submit(cctx, []tgraph.Event{{Src: 1, Dst: 2, Time: 9, Feat: feat()}})
+		errCh <- err
+	}()
+	cancel()
+	select {
+	case err := <-errCh:
+		// Either the cancel won, or the queue freed first — both are legal.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Submit never returned")
+	}
+
+	// An already-cancelled context fails fast without scoring.
+	before := p.Stats().Submitted
+	if _, _, err := p.Submit(cctx, []tgraph.Event{{Src: 1, Dst: 2, Time: 10, Feat: feat()}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit: %v", err)
+	}
+	if p.Stats().Submitted != before {
+		t.Fatal("pre-cancelled submit must not score")
+	}
+}
+
+func TestTrySubmitShedsLoadWhenQueueFull(t *testing.T) {
+	ctx := context.Background()
+	m := testModel(t, gdb.Constant(20*time.Millisecond))
+	p := New(m, WithQueueCap(1))
+	defer p.Close()
+
+	// Saturate: one batch in flight on the worker plus a full queue.
+	sawFull := false
+	for i := 0; i < 16; i++ {
+		ev := []tgraph.Event{{Src: 0, Dst: 1, Time: float64(i + 1), Feat: feat()}}
+		_, _, err := p.TrySubmit(ev)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrQueueFull):
+			sawFull = true
+		default:
+			t.Fatal(err)
+		}
+		if sawFull {
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("TrySubmit never shed load with a saturated queue")
+	}
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed >= st.Submitted {
+		t.Fatalf("shed batches must not be applied: %+v", st)
+	}
+}
+
+func TestSubmitFuture(t *testing.T) {
+	ctx := context.Background()
+	m := testModel(t, nil)
+	p := New(m)
+	defer p.Close()
+
+	futures := make([]<-chan Result, 4)
+	for i := range futures {
+		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 1) % 4), Time: float64(i + 1), Feat: feat()}}
+		futures[i] = p.SubmitFuture(ctx, ev)
+	}
+	for i, f := range futures {
+		r := <-f
+		if r.Err != nil {
+			t.Fatalf("future %d: %v", i, r.Err)
+		}
+		if len(r.Scores) != 1 || r.SyncLatency <= 0 {
+			t.Fatalf("future %d: %+v", i, r)
+		}
+	}
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Processed; got != 4 {
+		t.Fatalf("processed %d", got)
+	}
+}
+
+func TestDrainHonorsContext(t *testing.T) {
+	m := testModel(t, gdb.Constant(50*time.Millisecond))
+	p := New(m, WithQueueCap(8))
+	defer p.Close()
+	if _, _, err := p.Submit(context.Background(), []tgraph.Event{{Src: 0, Dst: 1, Time: 1, Feat: feat()}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain under deadline: %v", err)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSubmitShutdownStress hammers Submit from many goroutines
+// while Shutdown runs — the send-on-closed-channel race of the pre-v1 API.
+// Run under -race.
+func TestConcurrentSubmitShutdownStress(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		m := testModel(t, nil)
+		p := New(m, WithQueueCap(2))
+
+		const goroutines = 8
+		var accepted, rejected atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 25; i++ {
+					ev := []tgraph.Event{{
+						Src: tgraph.NodeID(g % 4), Dst: tgraph.NodeID((g + 1) % 4),
+						Time: float64(g*100 + i + 1), Feat: feat(),
+					}}
+					_, _, err := p.Submit(context.Background(), ev)
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrClosed):
+						rejected.Add(1)
+						return
+					default:
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+		if err := p.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		st := p.Stats()
+		if st.QueueDepth != 0 {
+			t.Fatalf("round %d: shutdown left queue depth %d", round, st.QueueDepth)
+		}
+		if _, _, err := p.Submit(context.Background(), []tgraph.Event{{Src: 0, Dst: 1, Time: 1e6, Feat: feat()}}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: submit after shutdown: %v", round, err)
+		}
+		if err := p.Shutdown(context.Background()); err != nil { // idempotent
+			t.Fatal(err)
+		}
+		if accepted.Load() == 0 && round > 2 {
+			t.Logf("round %d: shutdown won every race (ok)", round)
+		}
+	}
+}
+
+func TestPipelineOptionsAndWorkers(t *testing.T) {
+	ctx := context.Background()
+	m := testModel(t, gdb.Constant(time.Millisecond))
+	p := New(m, WithQueueCap(32), WithWorkers(4), WithBatchWindow(3*time.Millisecond))
+	if p.BatchWindow() != 3*time.Millisecond {
+		t.Fatalf("batch window %v", p.BatchWindow())
+	}
+	if p.NumNodes() != 8 || p.EdgeDim() != 8 {
+		t.Fatalf("model metadata: %d nodes %d dims", p.NumNodes(), p.EdgeDim())
+	}
+	for i := 0; i < 12; i++ {
+		ev := []tgraph.Event{{Src: tgraph.NodeID(i % 4), Dst: tgraph.NodeID((i + 1) % 4), Time: float64(i + 1), Feat: feat()}}
+		if _, _, err := p.Submit(ctx, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed != 12 {
+		t.Fatalf("multi-worker shutdown must drain: %+v", st)
 	}
 }

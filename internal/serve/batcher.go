@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"apan/internal/async"
+	"apan/internal/tgraph"
+)
+
+// Batcher coalesces concurrent single-event score requests into one
+// Pipeline.Submit call — the server-side micro-batching that lets the
+// synchronous link run at its batch sweet spot (paper Table 5, batch ≈ 200)
+// even when every caller sends one event at a time.
+//
+// Policy: the first request opens a batch; requests already waiting are
+// drained greedily; if that found company the batch flushes immediately,
+// otherwise it waits up to the window for a partner before flushing alone.
+// A batch also flushes as soon as it reaches maxBatch.
+type Batcher struct {
+	pipe     *async.Pipeline
+	window   time.Duration
+	maxBatch int
+
+	reqs chan batchReq
+	done chan struct{}
+
+	// lifeMu protects reqs against send-after-close, mirroring the
+	// pipeline's shutdown discipline.
+	lifeMu sync.RWMutex
+
+	mu        sync.Mutex
+	closed    bool
+	flushes   int64
+	coalesced int64
+}
+
+type batchReq struct {
+	ev   tgraph.Event
+	ctx  context.Context
+	resp chan batchResp
+}
+
+type batchResp struct {
+	score float32
+	lat   time.Duration
+	size  int
+	err   error
+}
+
+// BatcherStats reports micro-batching effectiveness.
+type BatcherStats struct {
+	Flushes   int64   `json:"flushes"`
+	Coalesced int64   `json:"coalesced_events"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// NewBatcher starts a micro-batcher over pipe. A window ≤ 0 falls back to
+// the pipeline's configured batch window; maxBatch ≤ 0 defaults to 200.
+func NewBatcher(pipe *async.Pipeline, window time.Duration, maxBatch int) *Batcher {
+	if window <= 0 {
+		window = pipe.BatchWindow()
+	}
+	if maxBatch <= 0 {
+		maxBatch = 200
+	}
+	b := &Batcher{
+		pipe:     pipe,
+		window:   window,
+		maxBatch: maxBatch,
+		reqs:     make(chan batchReq, 4*maxBatch),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Score submits one event through the coalescing path and blocks until its
+// batch has been scored or ctx is done. It returns the event's score, the
+// batch's synchronous latency, and the size of the batch it rode in.
+//
+// Cancellation caveat: requests whose ctx is already done when their batch
+// flushes are dropped without touching the model, but a ctx that expires
+// after the flush has started only abandons the wait — the event may still
+// be scored and applied. A caller that got ctx.Err() back must therefore
+// treat the submission as indeterminate, not retry it blindly (unlike
+// Pipeline.Submit, whose cancellation guarantee is exact).
+func (b *Batcher) Score(ctx context.Context, ev tgraph.Event) (float32, time.Duration, int, error) {
+	req := batchReq{ev: ev, ctx: ctx, resp: make(chan batchResp, 1)}
+
+	b.lifeMu.RLock()
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		b.lifeMu.RUnlock()
+		return 0, 0, 0, async.ErrClosed
+	}
+	select {
+	case b.reqs <- req:
+		b.lifeMu.RUnlock()
+	case <-ctx.Done():
+		b.lifeMu.RUnlock()
+		return 0, 0, 0, ctx.Err()
+	}
+
+	select {
+	case r := <-req.resp:
+		return r.score, r.lat, r.size, r.err
+	case <-ctx.Done():
+		return 0, 0, 0, ctx.Err()
+	}
+}
+
+// loop is the dispatcher. At most one flush runs at a time; requests that
+// arrive while it runs accumulate and launch together the moment it
+// completes, so under sustained concurrency the batch size converges on
+// the number of in-flight clients with no idle stalls. The window only
+// delays a lone request waiting for company — the first companion (or the
+// timer) triggers the flush.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	var (
+		pending   []batchReq
+		flushDone chan struct{}      // non-nil while a flush is in flight
+		timer     *time.Timer        // non-nil while a lone request waits
+		timerC    <-chan time.Time
+		reqs      = b.reqs
+	)
+	launch := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		n := len(pending)
+		if n > b.maxBatch {
+			n = b.maxBatch
+		}
+		batch := pending[:n:n]
+		pending = append([]batchReq(nil), pending[n:]...)
+		flushDone = make(chan struct{})
+		go func(batch []batchReq, done chan struct{}) {
+			b.flush(batch)
+			close(done)
+		}(batch, flushDone)
+	}
+	for {
+		select {
+		case r, ok := <-reqs:
+			if !ok {
+				reqs = nil // closed: stop receiving, fall through to drain
+				if flushDone == nil && len(pending) > 0 {
+					launch()
+				}
+				if flushDone == nil {
+					return
+				}
+				continue
+			}
+			pending = append(pending, r)
+			if flushDone != nil {
+				continue // accumulate behind the in-flight flush
+			}
+			switch {
+			case len(pending) >= b.maxBatch:
+				launch()
+			case len(pending) == 1 && b.window > 0:
+				timer = time.NewTimer(b.window)
+				timerC = timer.C
+			default: // found company (or no window configured)
+				launch()
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			if flushDone == nil && len(pending) > 0 {
+				launch()
+			}
+		case <-flushDone:
+			flushDone = nil
+			if len(pending) > 0 {
+				launch() // these waited a full flush already — go now
+			} else if reqs == nil {
+				return
+			}
+		}
+	}
+}
+
+func (b *Batcher) flush(pending []batchReq) {
+	// Drop requests whose caller already gave up: their events must not
+	// mutate model state the caller believes was never touched.
+	live := pending[:0]
+	for _, r := range pending {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- batchResp{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	pending = live
+	if len(pending) == 0 {
+		return
+	}
+	events := make([]tgraph.Event, len(pending))
+	for i, r := range pending {
+		events[i] = r.ev
+	}
+	scores, lat, err := b.pipe.Submit(context.Background(), events)
+	b.mu.Lock()
+	b.flushes++
+	b.coalesced += int64(len(pending))
+	b.mu.Unlock()
+	for i, r := range pending {
+		resp := batchResp{lat: lat, size: len(pending), err: err}
+		if err == nil {
+			resp.score = scores[i]
+		}
+		r.resp <- resp // buffered: never blocks, even if the caller left
+	}
+}
+
+// Stats reports flush counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BatcherStats{Flushes: b.flushes, Coalesced: b.coalesced}
+	if st.Flushes > 0 {
+		st.MeanBatch = float64(st.Coalesced) / float64(st.Flushes)
+	}
+	return st
+}
+
+// Close flushes queued requests and stops the loop. Subsequent Score calls
+// return async.ErrClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+
+	b.lifeMu.Lock()
+	close(b.reqs)
+	b.lifeMu.Unlock()
+	<-b.done
+}

@@ -1,0 +1,276 @@
+// Package serve exposes APAN's serving pipeline as a versioned HTTP/JSON
+// API — the deployment surface of the paper's Fig. 2b architecture. The
+// request path runs only the synchronous link; graph writes and mail
+// propagation drain asynchronously behind the pipeline's bounded queue.
+//
+// v1 endpoints:
+//
+//	POST /v1/score          score one event or a batch (micro-batched)
+//	GET  /v1/stats          pipeline + micro-batcher instrumentation
+//	GET  /v1/healthz        liveness and queue headroom
+//	GET  /v1/explain/{node} attention explanation for the last scored batch
+//
+// Single-event POSTs are coalesced server-side: concurrent requests that
+// arrive within the configured batch window ride one InferBatch call, so
+// the synchronous link runs near the paper's batch-200 sweet spot even
+// with one-event-per-request clients. See docs/serving.md for schemas.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"apan/internal/async"
+	"apan/internal/tgraph"
+)
+
+// Options configures a Server.
+type Options struct {
+	// BatchWindow is how long a lone single-event request waits for
+	// companions before being scored alone. Zero adopts the pipeline's
+	// WithBatchWindow setting.
+	BatchWindow time.Duration
+	// MaxBatch caps the coalesced batch size. Zero means 200 (paper
+	// Table 5's throughput sweet spot).
+	MaxBatch int
+}
+
+// Server is the v1 HTTP serving surface over an async.Pipeline. Create it
+// with New, mount it anywhere (it implements http.Handler), and Close it
+// before shutting the pipeline down.
+type Server struct {
+	pipe    *async.Pipeline
+	batcher *Batcher
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a Server over a started pipeline.
+func New(pipe *async.Pipeline, opts Options) *Server {
+	s := &Server{
+		pipe:    pipe,
+		batcher: NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/score", s.handleScore)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/explain/{node}", s.handleExplain)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the micro-batcher, flushing queued requests. The pipeline is
+// owned by the caller and left running.
+func (s *Server) Close() { s.batcher.Close() }
+
+// EventJSON is the wire form of one temporal interaction.
+type EventJSON struct {
+	Src  int32     `json:"src"`
+	Dst  int32     `json:"dst"`
+	Time float64   `json:"time"`
+	Feat []float32 `json:"feat"`
+}
+
+// ScoreRequest is the POST /v1/score body: either the single-event fields
+// inline, or a batch under "events" (mutually exclusive).
+type ScoreRequest struct {
+	EventJSON
+	Events []EventJSON `json:"events"`
+}
+
+// ScoreResponse answers POST /v1/score. Score is set for single-event
+// requests, Scores for batches; both report the synchronous-link latency
+// the caller's decision system observed and the propagation queue depth.
+type ScoreResponse struct {
+	Score      *float32  `json:"score,omitempty"`
+	Scores     []float32 `json:"scores,omitempty"`
+	Count      int       `json:"count"`
+	SyncMicros int64     `json:"sync_us"`
+	BatchSize  int       `json:"batch_size"`
+	QueueDepth int       `json:"queue_depth"`
+}
+
+// ErrorBody is the structured error envelope of every non-2xx response.
+type ErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Pipeline      async.Stats  `json:"pipeline"`
+	Batcher       BatcherStats `json:"batcher"`
+	UptimeSeconds float64      `json:"uptime_s"`
+}
+
+// HealthResponse answers GET /v1/healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	QueueDepth    int     `json:"queue_depth"`
+	UptimeSeconds float64 `json:"uptime_s"`
+}
+
+// ExplainResponse answers GET /v1/explain/{node}.
+type ExplainResponse struct {
+	Node        int32       `json:"node"`
+	MailWeights []float32   `json:"mail_weights"`
+	PerHead     [][]float32 `json:"per_head"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body ErrorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+// validate rejects events that would corrupt or crash the model before they
+// reach the pipeline: out-of-range node IDs and wrong feature dimensions.
+func (s *Server) validate(i int, ev EventJSON) (code, msg string) {
+	n := int32(s.pipe.NumNodes())
+	if ev.Src < 0 || ev.Src >= n {
+		return "node_out_of_range", fmt.Sprintf("event %d: src %d outside [0,%d)", i, ev.Src, n)
+	}
+	if ev.Dst < 0 || ev.Dst >= n {
+		return "node_out_of_range", fmt.Sprintf("event %d: dst %d outside [0,%d)", i, ev.Dst, n)
+	}
+	if len(ev.Feat) != s.pipe.EdgeDim() {
+		return "bad_feat_dim", fmt.Sprintf("event %d: feat dim %d, want %d", i, len(ev.Feat), s.pipe.EdgeDim())
+	}
+	return "", ""
+}
+
+func toEvent(ev EventJSON) tgraph.Event {
+	return tgraph.Event{Src: ev.Src, Dst: ev.Dst, Time: ev.Time, Feat: ev.Feat, Label: -1}
+}
+
+func submitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, async.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "pipeline_closed", err.Error())
+	case errors.Is(err, async.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "queue_full", err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or timed out — not a server fault, so keep
+		// it out of the 5xx budget. (The write usually lands nowhere.)
+		writeError(w, http.StatusRequestTimeout, "request_cancelled", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "submit_failed", err.Error())
+	}
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	var req ScoreRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+
+	if req.Events != nil { // batch body (an explicit "events" key, even empty)
+		if req.Feat != nil {
+			writeError(w, http.StatusBadRequest, "ambiguous_body",
+				"provide either inline event fields or \"events\", not both")
+			return
+		}
+		if len(req.Events) == 0 {
+			writeError(w, http.StatusBadRequest, "empty_batch", "\"events\" must contain at least one event")
+			return
+		}
+		events := make([]tgraph.Event, len(req.Events))
+		for i, ev := range req.Events {
+			if code, msg := s.validate(i, ev); code != "" {
+				writeError(w, http.StatusBadRequest, code, msg)
+				return
+			}
+			events[i] = toEvent(ev)
+		}
+		scores, lat, err := s.pipe.Submit(r.Context(), events)
+		if err != nil {
+			submitErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ScoreResponse{
+			Scores:     scores,
+			Count:      len(scores),
+			SyncMicros: lat.Microseconds(),
+			BatchSize:  len(scores),
+			QueueDepth: s.pipe.Stats().QueueDepth,
+		})
+		return
+	}
+
+	// Single-event body, scored through the micro-batcher.
+	if code, msg := s.validate(0, req.EventJSON); code != "" {
+		writeError(w, http.StatusBadRequest, code, msg)
+		return
+	}
+	score, lat, size, err := s.batcher.Score(r.Context(), toEvent(req.EventJSON))
+	if err != nil {
+		submitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{
+		Score:      &score,
+		Count:      1,
+		SyncMicros: lat.Microseconds(),
+		BatchSize:  size,
+		QueueDepth: s.pipe.Stats().QueueDepth,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Pipeline:      s.pipe.Stats(),
+		Batcher:       s.batcher.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		QueueDepth:    s.pipe.Stats().QueueDepth,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("node"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_node", "node must be an integer")
+		return
+	}
+	if id < 0 || id >= int64(s.pipe.NumNodes()) {
+		writeError(w, http.StatusBadRequest, "node_out_of_range",
+			fmt.Sprintf("node %d outside [0,%d)", id, s.pipe.NumNodes()))
+		return
+	}
+	ex, ok := s.pipe.Explain(tgraph.NodeID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no_explanation",
+			fmt.Sprintf("node %d was not part of the most recent scored batch", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Node:        ex.Node,
+		MailWeights: ex.MailWeights,
+		PerHead:     ex.PerHead,
+	})
+}

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"apan/internal/async"
+	"apan/internal/core"
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+const (
+	testNodes = 8
+	testDim   = 8
+)
+
+func testModel(t testing.TB) *core.Model {
+	t.Helper()
+	cfg := core.Config{
+		NumNodes: testNodes, EdgeDim: testDim, Slots: 4, Neighbors: 4,
+		Hops: 2, Heads: 2, Hidden: 16, BatchSize: 4, Seed: 1,
+	}
+	m, err := core.NewWithDB(cfg, gdb.New(tgraph.New(testNodes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func feat() []float32 { return make([]float32, testDim) }
+
+// newTestServer wires model → pipeline → Server → httptest and tears all
+// three down in order.
+func newTestServer(t testing.TB, opts Options, popts ...async.Option) (*httptest.Server, *async.Pipeline) {
+	t.Helper()
+	pipe := async.New(testModel(t), popts...)
+	srv := New(pipe, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		pipe.Close()
+	})
+	return ts, pipe
+}
+
+func postScore(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/score", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func errCode(t testing.TB, raw []byte) string {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("error body %q: %v", raw, err)
+	}
+	return e.Error.Code
+}
+
+func TestScoreSingle(t *testing.T) {
+	ts, _ := newTestServer(t, Options{BatchWindow: time.Millisecond})
+	resp, raw := postScore(t, ts.URL, EventJSON{Src: 0, Dst: 1, Time: 1, Feat: feat()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Score == nil || *sr.Score <= 0 || *sr.Score >= 1 {
+		t.Fatalf("score: %s", raw)
+	}
+	if sr.Count != 1 || sr.BatchSize < 1 || sr.SyncMicros < 0 {
+		t.Fatalf("response: %s", raw)
+	}
+}
+
+func TestScoreBatch(t *testing.T) {
+	ts, pipe := newTestServer(t, Options{})
+	events := []EventJSON{
+		{Src: 0, Dst: 1, Time: 1, Feat: feat()},
+		{Src: 1, Dst: 2, Time: 2, Feat: feat()},
+		{Src: 2, Dst: 3, Time: 3, Feat: feat()},
+	}
+	resp, raw := postScore(t, ts.URL, ScoreRequest{Events: events})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scores) != 3 || sr.Count != 3 || sr.BatchSize != 3 {
+		t.Fatalf("batch response: %s", raw)
+	}
+	if err := pipe.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if st := pipe.Stats(); st.Processed != 1 {
+		t.Fatalf("batch should be one pipeline submission: %+v", st)
+	}
+}
+
+func TestScoreMalformed(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, out.Bytes()) != "bad_json" {
+		t.Fatalf("status %d body %s", resp.StatusCode, out.Bytes())
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	ts, pipe := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"src out of range", EventJSON{Src: testNodes, Dst: 1, Time: 1, Feat: feat()}, "node_out_of_range"},
+		{"dst negative", EventJSON{Src: 0, Dst: -1, Time: 1, Feat: feat()}, "node_out_of_range"},
+		{"bad feat dim", EventJSON{Src: 0, Dst: 1, Time: 1, Feat: make([]float32, testDim+1)}, "bad_feat_dim"},
+		{"bad batch member", ScoreRequest{Events: []EventJSON{
+			{Src: 0, Dst: 1, Time: 1, Feat: feat()},
+			{Src: 0, Dst: 99, Time: 2, Feat: feat()},
+		}}, "node_out_of_range"},
+		{"ambiguous body", map[string]any{
+			"src": 0, "dst": 1, "time": 1, "feat": feat(),
+			"events": []EventJSON{{Src: 0, Dst: 1, Time: 1, Feat: feat()}},
+		}, "ambiguous_body"},
+		{"empty batch", map[string]any{"events": []EventJSON{}}, "empty_batch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postScore(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			if got := errCode(t, raw); got != tc.code {
+				t.Fatalf("code %q, want %q", got, tc.code)
+			}
+		})
+	}
+	// Nothing invalid may have reached the model.
+	if st := pipe.Stats(); st.Submitted != 0 {
+		t.Fatalf("invalid requests reached the pipeline: %+v", st)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts, pipe := newTestServer(t, Options{})
+	postScore(t, ts.URL, ScoreRequest{Events: []EventJSON{{Src: 0, Dst: 1, Time: 1, Feat: feat()}}})
+	if err := pipe.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Pipeline.Submitted != 1 || st.Pipeline.Processed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ts, pipe := newTestServer(t, Options{})
+
+	// Build some mailbox history, then score an event touching node 0.
+	warm := []EventJSON{
+		{Src: 0, Dst: 1, Time: 1, Feat: feat()},
+		{Src: 2, Dst: 0, Time: 2, Feat: feat()},
+	}
+	postScore(t, ts.URL, ScoreRequest{Events: warm})
+	if err := pipe.Drain(t.Context()); err != nil { // let propagation deliver the mails
+		t.Fatal(err)
+	}
+	postScore(t, ts.URL, ScoreRequest{Events: []EventJSON{{Src: 0, Dst: 3, Time: 5, Feat: feat()}}})
+
+	resp, err := http.Get(ts.URL + "/v1/explain/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	_, _ = raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status %d: %s", resp.StatusCode, raw.Bytes())
+	}
+	var ex ExplainResponse
+	if err := json.Unmarshal(raw.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Node != 0 || len(ex.MailWeights) == 0 {
+		t.Fatalf("explain: %s", raw.Bytes())
+	}
+	var sum float32
+	for _, w := range ex.MailWeights {
+		sum += w
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("mail weights must sum to 1: %v", ex.MailWeights)
+	}
+
+	// A node absent from the last batch is a 404, not a 500.
+	resp, err = http.Get(ts.URL + "/v1/explain/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Reset()
+	_, _ = raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || errCode(t, raw.Bytes()) != "no_explanation" {
+		t.Fatalf("explain miss: %d %s", resp.StatusCode, raw.Bytes())
+	}
+
+	// Out-of-range and non-integer nodes are structured 400s.
+	for _, path := range []string{"/v1/explain/999", "/v1/explain/banana"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMicroBatcherCoalesces(t *testing.T) {
+	// N concurrent single-event requests inside one window must ride fewer
+	// than N pipeline submissions (ideally one).
+	ts, pipe := newTestServer(t, Options{BatchWindow: 20 * time.Millisecond}, async.WithQueueCap(64))
+
+	const clients = 16
+	var wg sync.WaitGroup
+	sizes := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, raw := postScore(t, ts.URL, EventJSON{
+				Src: int32(c % testNodes), Dst: int32((c + 1) % testNodes),
+				Time: float64(c + 1), Feat: feat(),
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d %s", c, resp.StatusCode, raw)
+				return
+			}
+			var sr ScoreResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[c] = sr.BatchSize
+		}(c)
+	}
+	wg.Wait()
+	if err := pipe.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	st := pipe.Stats()
+	if st.Submitted >= clients {
+		t.Fatalf("no coalescing: %d submissions for %d requests", st.Submitted, clients)
+	}
+	coalesced := false
+	for _, s := range sizes {
+		if s > 1 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Fatalf("every request rode a batch of 1: %v", sizes)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Batcher.Coalesced != clients || stats.Batcher.MeanBatch <= 1 {
+		t.Fatalf("batcher stats: %+v", stats.Batcher)
+	}
+}
+
+func TestServerCloseRejectsScores(t *testing.T) {
+	pipe := async.New(testModel(t))
+	defer pipe.Close()
+	srv := New(pipe, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	srv.Close()
+	body, _ := json.Marshal(EventJSON{Src: 0, Dst: 1, Time: 1, Feat: feat()})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, out.Bytes())
+	}
+	if got := errCode(t, out.Bytes()); got != "pipeline_closed" {
+		t.Fatalf("code %q", got)
+	}
+}
+
+func TestMethodAndRouteHygiene(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/score") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/score: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v2/stats", ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unversioned route: %d", resp.StatusCode)
+	}
+}
