@@ -33,11 +33,14 @@
 // For online serving, wrap the model in a Pipeline (see StartPipeline):
 // Submit answers on the synchronous link with context cancellation and
 // queues the propagation work; TrySubmit sheds load instead of blocking,
-// SubmitFuture returns a channel, and Shutdown drains then stops. Put a
-// Server in front of the pipeline (see NewServer) to expose the versioned
-// HTTP/JSON API — POST /v1/score, GET /v1/stats, GET /v1/healthz,
-// GET /v1/explain/{node} — whose micro-batcher coalesces concurrent
-// single-event requests into one synchronous-link pass:
+// SubmitFuture returns a channel, and Shutdown drains then stops. The
+// node-state and mailbox stores are sharded and lock-striped
+// (Config.Shards), so concurrent submissions score in parallel and
+// EnsureNodes admits unseen node IDs at runtime. Put a Server in front of
+// the pipeline (see NewServer) to expose the versioned HTTP/JSON API —
+// POST /v1/score, GET /v1/stats, GET /v1/healthz, GET /v1/explain/{node}
+// — whose micro-batcher coalesces concurrent single-event requests into
+// one synchronous-link pass:
 //
 //	pipe := apan.StartPipeline(model, apan.WithQueueCap(256))
 //	defer pipe.Shutdown(context.Background())
@@ -45,7 +48,9 @@
 //	defer srv.Close()
 //	http.ListenAndServe(":7683", srv)
 //
-// The request/response schemas are documented in docs/serving.md.
+// The request/response schemas are documented in docs/serving.md; the
+// README has the quickstart and benchmark table, and docs/architecture.md
+// maps paper sections to packages.
 package apan
 
 import (
@@ -55,6 +60,7 @@ import (
 	"apan/internal/gdb"
 	"apan/internal/mailbox"
 	"apan/internal/serve"
+	"apan/internal/state"
 	"apan/internal/tgraph"
 )
 
@@ -101,8 +107,12 @@ type (
 	GraphDB = gdb.DB
 	// LatencyModel maps a neighbor query to a simulated round-trip cost.
 	LatencyModel = gdb.LatencyModel
-	// Mailbox is the per-node mail store.
-	Mailbox = mailbox.Store
+	// Mailbox is the sharded, lock-striped per-node mail store backing a
+	// Model (safe for concurrent delivery and readout).
+	Mailbox = mailbox.Sharded
+	// NodeState is the sharded, lock-striped per-node embedding store
+	// backing a Model.
+	NodeState = state.Sharded
 )
 
 // NewGraph creates an empty temporal graph over numNodes nodes.

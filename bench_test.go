@@ -7,6 +7,9 @@
 package apan
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -168,6 +171,99 @@ func BenchmarkInferBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.InferBatch(batch)
+	}
+}
+
+// BenchmarkInferBatchParallel measures the synchronous link under the
+// concurrent serving workload the sharded store layer exists for: G
+// goroutines score batches while a background writer continuously runs the
+// asynchronous link (state write-backs, graph inserts and 2-hop mail
+// propagation against a graph database with a simulated 50µs round trip).
+//
+// locking=global reproduces the coarse discipline this repo used before the
+// sharded stores: one RWMutex over all node state, read-held for a whole
+// synchronous-link pass, write-held for a whole asynchronous-link pass —
+// so every scorer stalls whenever the writer is in, including its graph-DB
+// waits. locking=sharded is the current code: writers pin only the touched
+// shard, graph waits happen under the graph mutex alone, and scoring never
+// stops. Compare the ev/s metric; sharded should win clearly at ≥4
+// goroutines and the gap widens with DB latency.
+func BenchmarkInferBatchParallel(b *testing.B) {
+	ds := Wikipedia(DatasetConfig{Scale: 0.01, Seed: 1})
+	const batchLen = 50
+	for _, mode := range []string{"global", "sharded"} {
+		for _, goroutines := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("locking=%s/goroutines=%d", mode, goroutines), func(b *testing.B) {
+				db := NewGraphDB(NewGraph(ds.NumNodes))
+				db.Latency = ConstantLatency(50 * time.Microsecond)
+				db.Sleep = true
+				m, err := NewWithDB(Config{
+					NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+					BatchSize: 200, Seed: 1,
+				}, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db.Sleep = false
+				m.EvalStream(ds.Events[:1000], nil) // warm state and mailboxes
+				db.Sleep = true
+				batch := ds.Events[1000 : 1000+batchLen]
+
+				// The pre-sharding global store lock, emulated around the
+				// public API exactly as the old Model held it internally.
+				var global sync.RWMutex
+				score := func() { m.InferBatch(batch) }
+				apply := func(inf *Inference) { m.ApplyInference(inf) }
+				if mode == "global" {
+					score = func() {
+						global.RLock()
+						m.InferBatch(batch)
+						global.RUnlock()
+					}
+					apply = func(inf *Inference) {
+						global.Lock()
+						m.ApplyInference(inf)
+						global.Unlock()
+					}
+				}
+
+				// Background asynchronous-link writer (the propagation
+				// worker of async.Pipeline).
+				stop := make(chan struct{})
+				var writerWG sync.WaitGroup
+				writerWG.Add(1)
+				go func() {
+					defer writerWG.Done()
+					inf := m.InferBatch(batch)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						apply(inf)
+					}
+				}()
+
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							score()
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				writerWG.Wait()
+				b.ReportMetric(float64(b.N)*batchLen/b.Elapsed().Seconds(), "ev/s")
+			})
+		}
 	}
 }
 

@@ -45,6 +45,10 @@ func main() {
 		queueCap    = flag.Int("queue-cap", 256, "propagation queue capacity (backpressure bound)")
 		workers     = flag.Int("workers", 1, "asynchronous propagation workers")
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "micro-batch coalescing window for single-event requests")
+		shards      = flag.Int("shards", 16, "lock-stripe count of the node-state and mailbox stores (power of two)")
+		inferWork   = flag.Int("infer-workers", 1, "goroutines the synchronous-link gather fans out across")
+		flushConc   = flag.Int("flush-concurrency", 1, "coalesced batches scored in parallel")
+		maxNodes    = flag.Int("max-nodes", 1<<20, "dynamic node admission limit (negative disables admission)")
 		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
 		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
 	)
@@ -60,6 +64,7 @@ func main() {
 	}
 	model, err := apan.NewWithDB(apan.Config{
 		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
+		Shards: *shards, InferWorkers: *inferWork,
 	}, db)
 	if err != nil {
 		log.Fatal(err)
@@ -82,7 +87,10 @@ func main() {
 		apan.WithWorkers(*workers),
 		apan.WithBatchWindow(*batchWindow),
 	)
-	srv := apan.NewServer(pipe, apan.ServerOptions{})
+	srv := apan.NewServer(pipe, apan.ServerOptions{
+		FlushConcurrency: *flushConc,
+		MaxNodes:         *maxNodes,
+	})
 	defer func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -1,0 +1,51 @@
+package apan
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline Markdown links/images: [text](target). Reference
+// definitions and autolinks are out of scope — the docs don't use them.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks is the link check CI runs over README.md and docs/*.md:
+// every relative link must point at a file or directory that exists in the
+// repo (anchors are stripped; external schemes are skipped). It keeps the
+// documentation suite from silently rotting as files move.
+func TestDocLinks(t *testing.T) {
+	var mds []string
+	for _, pat := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mds = append(mds, m...)
+	}
+	if len(mds) < 3 { // README.md, docs/serving.md, docs/architecture.md at minimum
+		t.Fatalf("expected at least 3 markdown files, found %v", mds)
+	}
+	for _, md := range mds {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; checked by humans, not CI (offline)
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment link within the same file
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -10,6 +10,11 @@
 // channel for callers that overlap scoring with other work, Drain waits
 // event-driven (condition variable, no polling) and Shutdown drains then
 // stops the workers.
+//
+// Concurrent submissions score in parallel: the model's sharded, lock-
+// striped stores (core.Config.Shards) make InferBatch safe under any number
+// of goroutines, and propagation workers writing one shard never stall
+// scoring reads of another.
 package async
 
 import (
@@ -55,8 +60,13 @@ func WithQueueCap(n int) Option {
 // WithWorkers sets the number of asynchronous propagation workers. The
 // default of 1 preserves the exact submission-order state evolution the
 // tests rely on; more workers trade that determinism for propagation
-// throughput behind a slow graph database (the model's store mutex keeps
-// every write safe either way).
+// throughput behind a slow graph database. Safety does not depend on this
+// knob: state writes and mail deliveries lock only the touched store shard,
+// and graph access is serialized by the model's graph mutex — workers
+// beyond 1 therefore parallelize the graph-database wait and the mail
+// generation, not the graph mutation itself. Workers is independent of the
+// store shard count (core.Config.Shards): shards bound reader/writer
+// contention, workers bound propagation parallelism.
 func WithWorkers(n int) Option {
 	return func(o *options) {
 		if n >= 1 {
@@ -80,18 +90,16 @@ func WithBatchWindow(d time.Duration) Option {
 
 // Pipeline connects a core.Model's synchronous and asynchronous links.
 // Submit runs inference inline and enqueues propagation; worker goroutines
-// drain the queue. Scoring is serialized internally, so any number of
-// goroutines may call the Submit variants concurrently.
+// drain the queue. Any number of goroutines may call the Submit variants
+// concurrently, and their synchronous-link passes run in parallel: the
+// model's sharded stores make InferBatch safe and scalable under concurrent
+// callers (shard-local locking, no global lock).
 type Pipeline struct {
 	model *core.Model
 	opts  options
 
 	queue chan *core.Inference
 	done  chan struct{}
-
-	// scoreMu serializes InferBatch: the model keeps per-pass attention
-	// state for Explain, so the synchronous link admits one batch at a time.
-	scoreMu sync.Mutex
 
 	// sendMu protects the queue channel's lifetime: Submit holds a read
 	// lock across the send, Shutdown takes the write lock before closing,
@@ -144,9 +152,15 @@ func NewPipeline(m *core.Model, queueCap int) *Pipeline {
 // BatchWindow reports the configured micro-batching window (WithBatchWindow).
 func (p *Pipeline) BatchWindow() time.Duration { return p.opts.batchWindow }
 
-// NumNodes reports the node-ID space of the served model, for request
-// validation at the serving edge.
-func (p *Pipeline) NumNodes() int { return p.model.Cfg.NumNodes }
+// NumNodes reports the current node-ID space of the served model, for
+// request validation at the serving edge. It can grow at runtime; see
+// EnsureNodes.
+func (p *Pipeline) NumNodes() int { return p.model.NumNodes() }
+
+// EnsureNodes grows the served model's node-ID space to at least n, so
+// events naming previously unseen node IDs can be scored (dynamic node
+// admission). Safe to call concurrently with submissions.
+func (p *Pipeline) EnsureNodes(n int) { p.model.EnsureNodes(n) }
 
 // EdgeDim reports the expected event feature dimension.
 func (p *Pipeline) EdgeDim() int { return p.model.Cfg.EdgeDim }
@@ -167,15 +181,14 @@ func (p *Pipeline) worker() {
 	}
 }
 
-// score runs the synchronous link under the scoring lock and records the
-// observed latency. It returns ErrClosed without touching the model when
+// score runs the synchronous link and records the observed latency. Scoring
+// is NOT serialized: concurrent submissions run InferBatch in parallel over
+// the sharded stores. It returns ErrClosed without touching the model when
 // the pipeline has shut down.
 func (p *Pipeline) score(events []tgraph.Event) (*core.Inference, time.Duration, error) {
-	p.scoreMu.Lock()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		p.scoreMu.Unlock()
 		return nil, 0, ErrClosed
 	}
 	p.submitted++
@@ -184,7 +197,6 @@ func (p *Pipeline) score(events []tgraph.Event) (*core.Inference, time.Duration,
 	start := time.Now()
 	inf := p.model.InferBatch(events)
 	lat := time.Since(start)
-	p.scoreMu.Unlock()
 
 	p.mu.Lock()
 	p.syncHist.Add(lat)
@@ -293,10 +305,9 @@ func (p *Pipeline) SubmitFuture(ctx context.Context, events []tgraph.Event) <-ch
 }
 
 // Explain returns the attention explanation for node n from the most recent
-// scored batch, serialized against in-flight scoring.
+// scored batch. With concurrent scoring, "most recent" means whichever pass
+// published its attention record last.
 func (p *Pipeline) Explain(n tgraph.NodeID) (*core.Explanation, bool) {
-	p.scoreMu.Lock()
-	defer p.scoreMu.Unlock()
 	return p.model.Explain(n)
 }
 

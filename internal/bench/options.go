@@ -1,8 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation section (§4). Each RunX function trains the relevant models
-// under the protocol of §4.4 and prints a table in the shape of the paper's,
-// returning the structured results for programmatic checks. DESIGN.md §3
-// maps experiments to these runners.
 package bench
 
 import (

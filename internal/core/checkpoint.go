@@ -8,7 +8,9 @@ import (
 	"math"
 	"os"
 
+	"apan/internal/mailbox"
 	"apan/internal/nn"
+	"apan/internal/state"
 	"apan/internal/tgraph"
 )
 
@@ -19,6 +21,13 @@ import (
 const (
 	ckptMagic   = "APCK"
 	ckptVersion = 1
+	// ckptMaxGrowBytes bounds the store memory a checkpoint's node count may
+	// demand (state + mailbox slots, 4 bytes per float), so a corrupt or
+	// crafted file cannot drive ensureNodesLocked into an OOM-sized
+	// allocation before any further validation runs. Models legitimately
+	// configured larger than this load fine — the bound only applies to
+	// checkpoint-driven growth.
+	ckptMaxGrowBytes = 4 << 30
 )
 
 // SaveParams writes only the trained parameters (encoder + decoder).
@@ -46,25 +55,49 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 		return err
 	}
 
-	m.storeMu.RLock()
-	defer m.storeMu.RUnlock()
+	// Capture a consistent cut across both stores and the graph under the
+	// exclusive latch — one memcpy-speed snapshot pass each, no encoding —
+	// then release it and serialize from the copies, so scoring stalls for
+	// the duration of a memory copy, not of the checkpoint I/O.
+	m.storeMu.Lock()
+	numNodes := m.Cfg.NumNodes
+	dim := m.Cfg.EdgeDim
+	slots := m.Cfg.Slots
+	stShards, mbShards := m.st.NumShards(), m.mbox.NumShards()
+	stSnap := m.st.Snapshot()
+	mbSnap := m.mbox.Snapshot()
+	g := m.db.G
+	events := make([]tgraph.Event, g.NumEvents())
+	for i := range events {
+		events[i] = *g.Event(int64(i)) // Feat slices are immutable once inserted
+	}
+	m.storeMu.Unlock()
+
+	// Materialize readable stores from the snapshots off the latch: these
+	// are function-local, so the allocation and re-clone cost stalls nobody.
+	st := state.NewSharded(numNodes, dim, stShards)
+	st.Restore(stSnap)
+	mbox := mailbox.NewSharded(numNodes, slots, dim, mbShards)
+	mbox.Restore(mbSnap)
 
 	// Node state: dim, numNodes, then z / lastTime / touched per node.
-	if err := binary.Write(bw, le, uint32(m.Cfg.NumNodes)); err != nil {
+	if err := binary.Write(bw, le, uint32(numNodes)); err != nil {
 		return fmt.Errorf("core: save checkpoint: %w", err)
 	}
-	if err := binary.Write(bw, le, uint32(m.Cfg.EdgeDim)); err != nil {
+	if err := binary.Write(bw, le, uint32(dim)); err != nil {
 		return fmt.Errorf("core: save checkpoint: %w", err)
 	}
-	for n := int32(0); n < int32(m.Cfg.NumNodes); n++ {
-		if err := writeF32s(bw, m.st.Get(n)); err != nil {
+	zrow := make([]float32, dim)
+	for n := int32(0); n < int32(numNodes); n++ {
+		st.CopyTo(n, zrow)
+		if err := writeF32s(bw, zrow); err != nil {
 			return fmt.Errorf("core: save checkpoint state: %w", err)
 		}
-		if err := binary.Write(bw, le, m.st.LastTime(n)); err != nil {
+		if err := binary.Write(bw, le, st.LastTime(n)); err != nil {
 			return fmt.Errorf("core: save checkpoint state: %w", err)
 		}
 		touched := uint8(0)
-		if m.st.Touched(n) {
+		if st.Touched(n) {
 			touched = 1
 		}
 		if err := binary.Write(bw, le, touched); err != nil {
@@ -73,11 +106,10 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 	}
 
 	// Mailboxes: per node, count then (timestamp, mail) sorted entries.
-	slots := m.Cfg.Slots
-	buf := make([]float32, slots*m.Cfg.EdgeDim)
+	buf := make([]float32, slots*dim)
 	ts := make([]float64, slots)
-	for n := int32(0); n < int32(m.Cfg.NumNodes); n++ {
-		c := m.mbox.ReadSorted(n, buf, ts)
+	for n := int32(0); n < int32(numNodes); n++ {
+		c := mbox.ReadSorted(n, buf, ts)
 		if err := binary.Write(bw, le, uint32(c)); err != nil {
 			return fmt.Errorf("core: save checkpoint mailbox: %w", err)
 		}
@@ -85,19 +117,18 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 			if err := binary.Write(bw, le, ts[i]); err != nil {
 				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
 			}
-			if err := writeF32s(bw, buf[i*m.Cfg.EdgeDim:(i+1)*m.Cfg.EdgeDim]); err != nil {
+			if err := writeF32s(bw, buf[i*dim:(i+1)*dim]); err != nil {
 				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
 			}
 		}
 	}
 
-	// Temporal graph: event log in arrival order.
-	g := m.db.G
-	if err := binary.Write(bw, le, uint64(g.NumEvents())); err != nil {
+	// Temporal graph: event log in arrival order, from the captured prefix.
+	if err := binary.Write(bw, le, uint64(len(events))); err != nil {
 		return fmt.Errorf("core: save checkpoint graph: %w", err)
 	}
-	for id := int64(0); id < int64(g.NumEvents()); id++ {
-		ev := g.Event(id)
+	for id := range events {
+		ev := &events[id]
 		if err := binary.Write(bw, le, ev.Src); err != nil {
 			return fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
@@ -121,7 +152,9 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 }
 
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint into a
-// model built with an identical Config.
+// model built with the same architecture hyper-parameters. The node count
+// may differ: a checkpoint grown by dynamic node admission (EnsureNodes)
+// grows the loading model to match.
 func (m *Model) LoadCheckpoint(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -150,13 +183,23 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 	if err := binary.Read(br, le, &dim); err != nil {
 		return fmt.Errorf("core: load checkpoint: %w", err)
 	}
-	if int(numNodes) != m.Cfg.NumNodes || int(dim) != m.Cfg.EdgeDim {
-		return fmt.Errorf("core: load checkpoint: shape %dx%d, model %dx%d",
-			numNodes, dim, m.Cfg.NumNodes, m.Cfg.EdgeDim)
+	if int(dim) != m.Cfg.EdgeDim {
+		return fmt.Errorf("core: load checkpoint: dim %d, model %d", dim, m.Cfg.EdgeDim)
 	}
 
 	m.storeMu.Lock()
 	defer m.storeMu.Unlock()
+	// Bound check under the latch: Cfg.NumNodes is written by EnsureNodes,
+	// which holds the latch exclusively.
+	if grow := uint64(numNodes) * uint64(m.Cfg.Slots+1) * uint64(dim) * 4; int(numNodes) > m.Cfg.NumNodes && grow > ckptMaxGrowBytes {
+		return fmt.Errorf("core: load checkpoint: node count %d would allocate %d store bytes (max %d)",
+			numNodes, grow, uint64(ckptMaxGrowBytes))
+	}
+	// A checkpoint written after dynamic node admission may be larger than
+	// the configured node space: grow to fit, so a restarted replica resumes
+	// with every admitted node. A smaller checkpoint is fine too — nodes
+	// beyond it simply stay cold.
+	m.ensureNodesLocked(int(numNodes))
 	m.st.Reset()
 	m.mbox.Reset()
 

@@ -114,19 +114,43 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestCheckpointWrongNodeCount(t *testing.T) {
+func TestCheckpointNodeCountMismatch(t *testing.T) {
+	// Node counts may legitimately differ across save/load since dynamic
+	// admission (EnsureNodes) grows a serving model past its Config: a
+	// larger checkpoint grows the loading model, a smaller one loads into
+	// the larger model leaving the extra nodes cold.
 	m, _ := trainedModel(t)
 	var buf bytes.Buffer
 	if err := m.SaveCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	cfg := tinyConfig(m.Cfg.NumNodes + 5)
-	m2, err := New(cfg)
+	big, err := New(tinyConfig(m.Cfg.NumNodes + 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m2.LoadCheckpoint(&buf); err == nil {
-		t.Fatal("want node-count mismatch error")
+	if err := big.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("smaller checkpoint into larger model: %v", err)
+	}
+	if big.NumNodes() != m.Cfg.NumNodes+5 {
+		t.Fatalf("larger model shrank to %d", big.NumNodes())
+	}
+
+	grown, _ := trainedModel(t)
+	grown.EnsureNodes(grown.Cfg.NumNodes + 7)
+	want := grown.NumNodes()
+	var gbuf bytes.Buffer
+	if err := grown.SaveCheckpoint(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(tinyConfig(want - 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadCheckpoint(&gbuf); err != nil {
+		t.Fatalf("grown checkpoint into fresh model: %v", err)
+	}
+	if fresh.NumNodes() != want {
+		t.Fatalf("fresh model did not grow: %d, want %d", fresh.NumNodes(), want)
 	}
 }
 

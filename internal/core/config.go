@@ -1,8 +1,3 @@
-// Package core implements APAN — the Asynchronous Propagation Attention
-// Network (Wang et al., SIGMOD 2021). The model splits into a synchronous
-// link (attention encoder over the node's mailbox + MLP decoder, no graph
-// access) and an asynchronous link (mail generation and k-hop propagation
-// along temporal edges). See DESIGN.md §4 for the exact equations.
 package core
 
 import "fmt"
@@ -47,6 +42,18 @@ type Config struct {
 	LR        float32 // Adam learning rate (default 1e-4)
 	BatchSize int     // events per batch (default 200)
 
+	// Shards is the lock-stripe count of the node-state and mailbox stores
+	// (default 16, rounded up to a power of two). Concurrent InferBatch and
+	// ApplyInference calls contend only per shard; Shards=1 degenerates to a
+	// single global lock (the pre-sharding behavior, kept reachable for the
+	// benchmark baseline).
+	Shards int
+	// InferWorkers is the number of goroutines InferBatch and Embed fan the
+	// state/mailbox gather across (default 1, i.e. no fan-out). Useful when
+	// one large batch must be gathered fast; concurrent callers already
+	// parallelize naturally across shards.
+	InferWorkers int
+
 	Positional PositionalMode
 	Reduce     MailReduce
 	// KeyValueMailbox switches ψ to the memory-network update (§3.6).
@@ -89,6 +96,18 @@ func (c *Config) Normalize() error {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 200
+	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("core: Config.Shards must be ≥1, got %d", c.Shards)
+	}
+	if c.InferWorkers == 0 {
+		c.InferWorkers = 1
+	}
+	if c.InferWorkers < 1 {
+		return fmt.Errorf("core: Config.InferWorkers must be ≥1, got %d", c.InferWorkers)
 	}
 	if c.EdgeDim%c.Heads != 0 {
 		return fmt.Errorf("core: EdgeDim %d must be divisible by Heads %d", c.EdgeDim, c.Heads)

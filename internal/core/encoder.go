@@ -2,10 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
-	"apan/internal/mailbox"
 	"apan/internal/nn"
-	"apan/internal/state"
 	"apan/internal/tensor"
 	"apan/internal/tgraph"
 )
@@ -64,9 +63,34 @@ type EncodeInput struct {
 	Counts []int          // valid mails per node
 }
 
+// StateReader is the synchronous-link view of a node-state store: copy-out
+// reads of z(t−). Both state.Store (flat, single-threaded) and state.Sharded
+// (lock-striped, concurrent) implement it.
+type StateReader interface {
+	Dim() int
+	CopyTo(n tgraph.NodeID, dst []float32)
+}
+
+// MailReader is the synchronous-link view of a mailbox store: copy-out,
+// timestamp-sorted readout. Both mailbox.Store and mailbox.Sharded
+// implement it.
+type MailReader interface {
+	Slots() int
+	ReadSorted(n tgraph.NodeID, buf []float32, tsOut []float64) int
+}
+
 // ReadInputs gathers z(t−) and the timestamp-sorted mailboxes of nodes into
 // an EncodeInput. times[i] is the query time of nodes[i].
-func ReadInputs(st *state.Store, mb *mailbox.Store, nodes []tgraph.NodeID, times []float64) *EncodeInput {
+func ReadInputs(st StateReader, mb MailReader, nodes []tgraph.NodeID, times []float64) *EncodeInput {
+	return ReadInputsParallel(st, mb, nodes, times, 1)
+}
+
+// ReadInputsParallel is ReadInputs with the gather fanned out across up to
+// `workers` goroutines over contiguous node ranges. Each worker fills a
+// disjoint slice of the preallocated buffers, so the result is identical to
+// the serial gather; with a sharded store the workers contend only on the
+// shards they actually touch. Small batches fall back to the serial path.
+func ReadInputsParallel(st StateReader, mb MailReader, nodes []tgraph.NodeID, times []float64, workers int) *EncodeInput {
 	b := len(nodes)
 	d := st.Dim()
 	m := mb.Slots()
@@ -78,19 +102,40 @@ func ReadInputs(st *state.Store, mb *mailbox.Store, nodes []tgraph.NodeID, times
 		DTs:    make([]float32, b*m),
 		Counts: make([]int, b),
 	}
-	ts := make([]float64, m)
-	for i, n := range nodes {
-		copy(in.ZPrev.Row(i), st.Get(n))
-		c := mb.ReadSorted(n, in.Mails.Data[i*m*d:(i+1)*m*d], ts)
-		in.Counts[i] = c
-		for s := 0; s < c; s++ {
-			dt := times[i] - ts[s]
-			if dt < 0 {
-				dt = 0
+	gather := func(lo, hi int) {
+		ts := make([]float64, m)
+		for i := lo; i < hi; i++ {
+			n := nodes[i]
+			st.CopyTo(n, in.ZPrev.Row(i))
+			c := mb.ReadSorted(n, in.Mails.Data[i*m*d:(i+1)*m*d], ts)
+			in.Counts[i] = c
+			for s := 0; s < c; s++ {
+				dt := times[i] - ts[s]
+				if dt < 0 {
+					dt = 0
+				}
+				in.DTs[i*m+s] = float32(dt)
 			}
-			in.DTs[i*m+s] = float32(dt)
 		}
 	}
+	if workers <= 1 || b < 2*workers {
+		gather(0, b)
+		return in
+	}
+	var wg sync.WaitGroup
+	chunk := (b + workers - 1) / workers
+	for lo := 0; lo < b; lo += chunk {
+		hi := lo + chunk
+		if hi > b {
+			hi = b
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gather(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 	return in
 }
 

@@ -19,8 +19,11 @@ type Explanation struct {
 
 // Explain returns the attention explanation for node n from the most recent
 // forward pass (training, evaluation or serving). ok is false when n was not
-// part of that batch or no pass has run.
+// part of that batch or no pass has run. Safe for concurrent use; with
+// concurrent scoring "most recent" means whichever pass published last.
 func (m *Model) Explain(n tgraph.NodeID) (*Explanation, bool) {
+	m.explainMu.Lock()
+	defer m.explainMu.Unlock()
 	if m.lastAtt == nil {
 		return nil, false
 	}

@@ -18,24 +18,41 @@ import (
 // Model is the full APAN system: attention encoder and link decoder on the
 // synchronous path, mail propagator on the asynchronous path, with the
 // node-state and mailbox stores in between.
+//
+// Concurrency: the stores are sharded and lock-striped (Config.Shards), so
+// any number of goroutines may run InferBatch, Embed and ApplyInference
+// concurrently — readers and writers contend only when they touch the same
+// shard. Training entry points (TrainEpoch and the Eval/Collect streams) are
+// not safe to run concurrently with anything else: backpropagation mutates
+// shared parameters.
 type Model struct {
 	Cfg Config
 
 	rng  *rand.Rand
 	enc  *Encoder
 	dec  *LinkDecoder
-	st   *state.Store
-	mbox *mailbox.Store
+	st   *state.Sharded
+	mbox *mailbox.Sharded
 	db   *gdb.DB
 	prop *Propagator
 	opt  *nn.Adam
 
-	// storeMu guards the state and mailbox stores so the synchronous
-	// inference path can read them while the asynchronous link writes (the
-	// concurrent pattern of async.Pipeline). The encoder works on copies, so
-	// the lock is held only while inputs are gathered or stores mutated.
+	// storeMu is a latch, not a data lock: every per-batch operation
+	// (InferBatch, ApplyInference, Embed, processBatch) holds it SHARED —
+	// readers and writers alike — because per-node safety already comes from
+	// the stores' shard locks. Exclusive acquisition is reserved for
+	// stop-the-world operations that need a consistent cut across both
+	// stores and the graph: checkpointing, Reset/Snapshot/Restore, and node
+	// admission (EnsureNodes), which may swap the stores' backing arrays.
 	storeMu sync.RWMutex
 
+	// graphMu serializes temporal-graph access (insert + k-hop queries) on
+	// the asynchronous link: the graph, unlike the stores, is not sharded.
+	graphMu sync.Mutex
+
+	// explainMu guards the per-pass attention record below, which Explain
+	// reads and every forward pass overwrites.
+	explainMu  sync.Mutex
 	lastAtt    *nn.Attention
 	lastNodes  []tgraph.NodeID
 	lastCounts []int
@@ -65,8 +82,8 @@ func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
 		rng:  rng,
 		enc:  NewEncoder(cfg, rng),
 		dec:  dec,
-		st:   state.New(cfg.NumNodes, cfg.EdgeDim),
-		mbox: mailbox.New(cfg.NumNodes, cfg.Slots, cfg.EdgeDim),
+		st:   state.NewSharded(cfg.NumNodes, cfg.EdgeDim, cfg.Shards),
+		mbox: mailbox.NewSharded(cfg.NumNodes, cfg.Slots, cfg.EdgeDim, cfg.Shards),
 		db:   db,
 	}
 	if cfg.KeyValueMailbox {
@@ -94,19 +111,54 @@ func (m *Model) Params() []*nn.Tensor {
 // DB exposes the underlying graph database wrapper (for accounting).
 func (m *Model) DB() *gdb.DB { return m.db }
 
-// Mailbox exposes the mailbox store (read-only use expected).
-func (m *Model) Mailbox() *mailbox.Store { return m.mbox }
+// Mailbox exposes the sharded mailbox store. Its per-node operations are
+// safe to call concurrently with serving.
+func (m *Model) Mailbox() *mailbox.Sharded { return m.mbox }
 
-// State exposes the node-state store (read-only use expected).
-func (m *Model) State() *state.Store { return m.st }
+// State exposes the sharded node-state store. Its per-node operations are
+// safe to call concurrently with serving.
+func (m *Model) State() *state.Sharded { return m.st }
 
 // Propagator exposes the asynchronous-link implementation.
 func (m *Model) Propagator() *Propagator { return m.prop }
 
+// NumNodes returns the current node-ID space, which EnsureNodes may have
+// grown past Cfg.NumNodes.
+func (m *Model) NumNodes() int {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	return m.Cfg.NumNodes
+}
+
+// EnsureNodes grows the node-ID space to at least n nodes, so events naming
+// previously unseen IDs can be scored and propagated: the state store,
+// mailbox store and temporal graph are all extended (new nodes start with
+// zero state and empty mailboxes — exactly how an unseen node looks to the
+// encoder, which therefore produces its inductive cold-start embedding).
+// Safe to call concurrently with serving; it briefly stops the world.
+// No-op when n ≤ NumNodes.
+func (m *Model) EnsureNodes(n int) {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
+	m.ensureNodesLocked(n)
+}
+
+func (m *Model) ensureNodesLocked(n int) {
+	if n <= m.Cfg.NumNodes {
+		return
+	}
+	m.st.Grow(n)
+	m.mbox.Grow(n)
+	m.db.G.Grow(n)
+	m.Cfg.NumNodes = n
+}
+
 // ResetRuntime clears all streaming state — node embeddings, mailboxes and
 // the temporal graph — as done at the start of every training epoch. Model
-// parameters are kept.
+// parameters and the (possibly grown) node-ID space are kept.
 func (m *Model) ResetRuntime() {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
 	m.st.Reset()
 	m.mbox.Reset()
 	m.db.G = tgraph.New(m.Cfg.NumNodes)
@@ -116,21 +168,28 @@ func (m *Model) ResetRuntime() {
 // Snapshot captures the streaming state for later Restore (parameters are
 // not included; they are shared).
 type Snapshot struct {
-	st   *state.Snapshot
-	mb   *mailbox.Snapshot
+	st   *state.ShardedSnapshot
+	mb   *mailbox.ShardedSnapshot
 	gcut int // number of graph events at snapshot time
 }
 
-// SnapshotRuntime captures state, mailbox and the graph watermark.
+// SnapshotRuntime captures state, mailbox and the graph watermark under the
+// exclusive store latch, so the cut is consistent even while serving.
 func (m *Model) SnapshotRuntime() *Snapshot {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
 	return &Snapshot{st: m.st.Snapshot(), mb: m.mbox.Snapshot(), gcut: m.db.G.NumEvents()}
 }
 
-// RestoreRuntime rolls the streaming state back to snap. The graph is
-// rebuilt from its event log prefix.
+// RestoreRuntime rolls the streaming state back to snap, including the
+// node-ID space as of snapshot time (nodes admitted since are forgotten).
+// The graph is rebuilt from its event log prefix.
 func (m *Model) RestoreRuntime(snap *Snapshot) {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
 	m.st.Restore(snap.st)
 	m.mbox.Restore(snap.mb)
+	m.Cfg.NumNodes = m.st.NumNodes()
 	old := m.db.G
 	g := tgraph.New(m.Cfg.NumNodes)
 	for i := int64(0); i < int64(snap.gcut); i++ {
@@ -206,7 +265,7 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 
 	start := time.Now()
 	m.storeMu.RLock()
-	in := ReadInputs(m.st, m.mbox, plan.nodes, plan.times)
+	in := ReadInputsParallel(m.st, m.mbox, plan.nodes, plan.times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
 	var tp *nn.Tape
 	if train {
@@ -250,18 +309,17 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 		res.NegScores[i] = tensor.Sigmoid32(negLogits.Value().Data[i])
 	}
 
-	m.lastAtt = att
-	m.lastNodes = plan.nodes
-	m.lastCounts = in.Counts
+	m.setExplain(att, plan.nodes, in.Counts)
 
 	// Post-inference state write: z(t) becomes z(t−) for the next batch.
-	// Negative nodes did not interact, so their state is untouched.
-	m.storeMu.Lock()
+	// Negative nodes did not interact, so their state is untouched. The
+	// latch is held shared; each Set locks only the node's shard.
+	m.storeMu.RLock()
 	for i, ev := range events {
 		m.st.Set(ev.Src, z.Value().Row(int(plan.srcRow[i])), ev.Time)
 		m.st.Set(ev.Dst, z.Value().Row(int(plan.dstRow[i])), ev.Time)
 	}
-	m.storeMu.Unlock()
+	m.storeMu.RUnlock()
 	if collect != nil {
 		for i := range events {
 			collect(&events[i], z.Value().Row(int(plan.srcRow[i])), z.Value().Row(int(plan.dstRow[i])))
@@ -270,9 +328,11 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 
 	// Asynchronous link (run synchronously here for determinism): graph
 	// insert + mail propagation. Serving uses async.Pipeline instead.
-	m.storeMu.Lock()
+	m.storeMu.RLock()
+	m.graphMu.Lock()
 	m.prop.ProcessBatch(events, m.st)
-	m.storeMu.Unlock()
+	m.graphMu.Unlock()
+	m.storeMu.RUnlock()
 
 	if ns != nil {
 		for i := range events {
@@ -377,19 +437,23 @@ type Inference struct {
 // state, encode, decode. No graph access, no state mutation — this is the
 // millisecond path of the deployed system. Hand the result to ApplyInference
 // (directly or through async.Pipeline) to run the asynchronous link.
+//
+// InferBatch is safe to call from any number of goroutines concurrently with
+// itself and with ApplyInference: the gather takes only shard read locks
+// (plus the shared latch), and the forward pass works on copies. With
+// Config.InferWorkers > 1 the gather itself additionally fans out across
+// goroutines.
 func (m *Model) InferBatch(events []tgraph.Event) *Inference {
 	plan := m.planBatch(events, nil, false)
 	m.storeMu.RLock()
-	in := ReadInputs(m.st, m.mbox, plan.nodes, plan.times)
+	in := ReadInputsParallel(m.st, m.mbox, plan.nodes, plan.times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
 	tp := nn.NewTape()
 	z, att := m.enc.Forward(tp, in)
 	zsrc := tp.Gather(z, plan.srcRow)
 	zdst := tp.Gather(z, plan.dstRow)
 	logits := m.dec.Forward(tp, zsrc, zdst)
-	m.lastAtt = att
-	m.lastNodes = plan.nodes
-	m.lastCounts = in.Counts
+	m.setExplain(att, plan.nodes, in.Counts)
 	inf := &Inference{
 		Events: events,
 		Scores: make([]float32, len(events)),
@@ -408,22 +472,36 @@ func (m *Model) InferBatch(events []tgraph.Event) *Inference {
 // state writes, graph insert and mail propagation, reusing the embeddings
 // computed by InferBatch. In the deployed system this runs on the
 // asynchronous link.
+//
+// Safe to call concurrently with InferBatch and with other ApplyInference
+// calls: state writes and mail deliveries lock only the touched shard, so a
+// write burst never stalls synchronous-link reads of other shards; only the
+// unsharded temporal graph is serialized (graphMu).
 func (m *Model) ApplyInference(inf *Inference) {
-	m.storeMu.Lock()
-	defer m.storeMu.Unlock()
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
 	for i, ev := range inf.Events {
 		m.st.Set(ev.Src, inf.emb.Row(int(inf.srcRow[i])), ev.Time)
 		m.st.Set(ev.Dst, inf.emb.Row(int(inf.dstRow[i])), ev.Time)
 	}
+	m.graphMu.Lock()
 	m.prop.ProcessBatch(inf.Events, m.st)
+	m.graphMu.Unlock()
+}
+
+// setExplain records the most recent forward pass for Explain.
+func (m *Model) setExplain(att *nn.Attention, nodes []tgraph.NodeID, counts []int) {
+	m.explainMu.Lock()
+	m.lastAtt, m.lastNodes, m.lastCounts = att, nodes, counts
+	m.explainMu.Unlock()
 }
 
 // Embed returns the current temporal embeddings z(t) of the given nodes at
 // their query times, with no side effects. This is the public embedding API
-// for downstream consumers.
+// for downstream consumers; like InferBatch it is safe for concurrent use.
 func (m *Model) Embed(nodes []tgraph.NodeID, times []float64) *tensor.Matrix {
 	m.storeMu.RLock()
-	in := ReadInputs(m.st, m.mbox, nodes, times)
+	in := ReadInputsParallel(m.st, m.mbox, nodes, times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
 	tp := nn.NewTape()
 	z, _ := m.enc.Forward(tp, in)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"apan/internal/gdb"
 	"apan/internal/mailbox"
 	"apan/internal/state"
@@ -13,22 +15,27 @@ import (
 // reduction ρ, and mailbox update ψ. In deployment it runs off the critical
 // path; in training it is invoked synchronously after each batch so results
 // are deterministic.
+//
+// Mailbox deliveries lock only the recipient's shard, so propagation never
+// stalls synchronous-link readers of other shards. The temporal graph it
+// reads and writes is NOT sharded: callers must serialize ProcessBatch
+// (core.Model does so with its graph mutex).
 type Propagator struct {
 	cfg  Config
 	db   *gdb.DB
-	mbox *mailbox.Store
+	mbox *mailbox.Sharded
 
-	mailsDelivered int64
+	mailsDelivered atomic.Int64
 }
 
 // NewPropagator builds a propagator writing into mbox and reading/writing
 // the temporal graph behind db.
-func NewPropagator(cfg Config, db *gdb.DB, mbox *mailbox.Store) *Propagator {
+func NewPropagator(cfg Config, db *gdb.DB, mbox *mailbox.Sharded) *Propagator {
 	return &Propagator{cfg: cfg, db: db, mbox: mbox}
 }
 
 // MailsDelivered reports the number of mailbox deliveries so far.
-func (p *Propagator) MailsDelivered() int64 { return p.mailsDelivered }
+func (p *Propagator) MailsDelivered() int64 { return p.mailsDelivered.Load() }
 
 // mailAccum accumulates the mails a node receives within one batch so ρ can
 // reduce them to a single mail.
@@ -49,11 +56,12 @@ type mailAccum struct {
 //   - identity passing (f), so every recipient gets the same vector
 //
 // After all events: mails per node are mean-reduced (ρ) and delivered (ψ).
-func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Store) {
+func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 	if len(events) == 0 {
 		return
 	}
 	inbox := make(map[tgraph.NodeID]*mailAccum)
+	zScratch := make([]float32, p.cfg.EdgeDim)
 
 	deliver := func(n tgraph.NodeID, vec []float32, ts float64) {
 		acc := inbox[n]
@@ -82,9 +90,10 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Store) {
 		p.db.AddEvent(ev)
 
 		mail := make([]float32, p.cfg.EdgeDim)
-		copy(mail, zOf.Get(ev.Src))
+		zOf.CopyTo(ev.Src, mail)
 		tensor.Axpy(mail, ev.Feat, 1)
-		tensor.Axpy(mail, zOf.Get(ev.Dst), 1)
+		zOf.CopyTo(ev.Dst, zScratch)
+		tensor.Axpy(mail, zScratch, 1)
 
 		// Hop 0: the interactive nodes themselves.
 		deliver(ev.Src, mail, ev.Time)
@@ -111,6 +120,6 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Store) {
 			}
 		}
 		p.mbox.Deliver(n, acc.sum, acc.ts)
-		p.mailsDelivered++
+		p.mailsDelivered.Add(1)
 	}
 }

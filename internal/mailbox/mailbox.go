@@ -5,6 +5,12 @@
 // streaming systems — does not perturb the encoder (paper §3.6). A
 // key-value update rule from the paper's future-work list is provided as an
 // alternative ψ.
+//
+// Two implementations share one per-node API: Store is a flat,
+// unsynchronized array (single-threaded training), and Sharded stripes the
+// same layout across power-of-two lock shards so serving can deliver and
+// read concurrently with shard-local locking and admit new nodes at runtime
+// via Grow.
 package mailbox
 
 import (
@@ -25,7 +31,8 @@ const (
 	UpdateKeyValue
 )
 
-// Store holds the mailboxes of every node in flat arrays.
+// Store holds the mailboxes of every node in flat arrays. It is not safe
+// for concurrent use; see Sharded for the lock-striped variant.
 type Store struct {
 	numNodes int
 	slots    int
@@ -147,6 +154,34 @@ func (s *Store) ReadSorted(n int32, buf []float32, tsOut []float64) int {
 		tsOut[r] = s.times[base+i]
 	}
 	return c
+}
+
+// Grow extends the store to hold n mailboxes, preserving existing contents.
+// New mailboxes start empty. No-op when n ≤ NumNodes.
+func (s *Store) Grow(n int) {
+	if n <= s.numNodes {
+		return
+	}
+	add := n - s.numNodes
+	s.data = append(s.data, make([]float32, add*s.slots*s.dim)...)
+	s.times = append(s.times, make([]float64, add*s.slots)...)
+	s.count = append(s.count, make([]int32, add)...)
+	s.head = append(s.head, make([]int32, add)...)
+	s.numNodes = n
+}
+
+// clone deep-copies the store (used by Sharded snapshots).
+func (s *Store) clone() *Store {
+	return &Store{
+		numNodes: s.numNodes,
+		slots:    s.slots,
+		dim:      s.dim,
+		rule:     s.rule,
+		data:     append([]float32(nil), s.data...),
+		times:    append([]float64(nil), s.times...),
+		count:    append([]int32(nil), s.count...),
+		head:     append([]int32(nil), s.head...),
+	}
 }
 
 // Reset empties every mailbox.

@@ -1,0 +1,207 @@
+package mailbox
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is the lock-striped mailbox store used on the serving path: the
+// flat per-node layout of Store, striped across a power-of-two number of
+// shards, each guarded by its own RWMutex. Node n lives in shard n&mask at
+// local index n>>bits, so consecutive node IDs spread across shards and the
+// asynchronous link's mail deliveries never block synchronous-link readers
+// of other shards.
+//
+// ReadSorted copies mails out under the shard's read lock, so a reader never
+// observes a half-written slot. Per-node operations are atomic; cross-node
+// reads are not a snapshot — use Snapshot (all-shard lock) when a consistent
+// cut is required. Grow admits new nodes at runtime.
+type Sharded struct {
+	slots    int
+	dim      int
+	mask     int32
+	bits     uint
+	numNodes atomic.Int64
+	shards   []mailShard
+}
+
+type mailShard struct {
+	mu sync.RWMutex
+	st *Store
+	// Pad the 24-byte mutex + 8-byte pointer to a full cache line so shard
+	// locks don't false-share.
+	_ [32]byte
+}
+
+// NewSharded creates an empty sharded store for numNodes mailboxes of
+// `slots` mails of dimension dim, striped across `shards` shards (rounded up
+// to a power of two; values < 1 mean one shard, i.e. a single global lock).
+func NewSharded(numNodes, slots, dim, shards int) *Sharded {
+	if numNodes <= 0 || slots <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("mailbox: invalid shape nodes=%d slots=%d dim=%d", numNodes, slots, dim))
+	}
+	n := shardCount(shards)
+	s := &Sharded{slots: slots, dim: dim, mask: int32(n - 1), shards: make([]mailShard, n)}
+	for n>>s.bits > 1 {
+		s.bits++
+	}
+	cap := shardCap(numNodes, n)
+	for i := range s.shards {
+		s.shards[i].st = New(cap, slots, dim)
+	}
+	s.numNodes.Store(int64(numNodes))
+	return s
+}
+
+// shardCount rounds n up to a power of two in [1, 1<<16].
+func shardCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardCap returns the flat-store size each of `shards` shards needs to
+// cover numNodes global IDs (local index is id>>bits, so ceil is exact).
+func shardCap(numNodes, shards int) int {
+	c := (numNodes + shards - 1) / shards
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// SetRule selects the update rule ψ for every mailbox.
+func (s *Sharded) SetRule(r UpdateRule) {
+	s.lockAll()
+	for i := range s.shards {
+		s.shards[i].st.SetRule(r)
+	}
+	s.unlockAll()
+}
+
+// NumShards returns the number of lock shards.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Slots returns the per-node slot count m.
+func (s *Sharded) Slots() int { return s.slots }
+
+// Dim returns the mail dimension d.
+func (s *Sharded) Dim() int { return s.dim }
+
+// NumNodes returns the current number of mailboxes.
+func (s *Sharded) NumNodes() int { return int(s.numNodes.Load()) }
+
+func (s *Sharded) locate(n int32) (*mailShard, int32) {
+	if n < 0 || int64(n) >= s.numNodes.Load() {
+		panic(fmt.Sprintf("mailbox: node %d outside [0,%d)", n, s.numNodes.Load()))
+	}
+	return &s.shards[n&s.mask], n >> s.bits
+}
+
+// Len returns the number of mails currently in node n's mailbox.
+func (s *Sharded) Len(n int32) int {
+	sh, local := s.locate(n)
+	sh.mu.RLock()
+	c := sh.st.Len(local)
+	sh.mu.RUnlock()
+	return c
+}
+
+// Deliver applies ψ to insert mail (with timestamp ts) into node n's
+// mailbox, locking only n's shard.
+func (s *Sharded) Deliver(n int32, mail []float32, ts float64) {
+	sh, local := s.locate(n)
+	sh.mu.Lock()
+	sh.st.Deliver(local, mail, ts)
+	sh.mu.Unlock()
+}
+
+// ReadSorted copies node n's mails into buf sorted by ascending timestamp
+// under the shard's read lock (see Store.ReadSorted for the contract).
+func (s *Sharded) ReadSorted(n int32, buf []float32, tsOut []float64) int {
+	sh, local := s.locate(n)
+	sh.mu.RLock()
+	c := sh.st.ReadSorted(local, buf, tsOut)
+	sh.mu.RUnlock()
+	return c
+}
+
+// Grow extends the store to hold n mailboxes, preserving existing contents.
+// It locks every shard; no-op when n ≤ NumNodes.
+func (s *Sharded) Grow(n int) {
+	if int64(n) <= s.numNodes.Load() {
+		return
+	}
+	s.lockAll()
+	if int64(n) > s.numNodes.Load() {
+		cap := shardCap(n, len(s.shards))
+		for i := range s.shards {
+			s.shards[i].st.Grow(cap)
+		}
+		s.numNodes.Store(int64(n))
+	}
+	s.unlockAll()
+}
+
+// Reset empties every mailbox.
+func (s *Sharded) Reset() {
+	s.lockAll()
+	for i := range s.shards {
+		s.shards[i].st.Reset()
+	}
+	s.unlockAll()
+}
+
+func (s *Sharded) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Sharded) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// ShardedSnapshot captures a Sharded store for later Restore.
+type ShardedSnapshot struct {
+	numNodes int
+	shards   []*Store
+}
+
+// Snapshot returns a deep, cross-shard-consistent copy of the store (all
+// shards locked for the duration).
+func (s *Sharded) Snapshot() *ShardedSnapshot {
+	snap := &ShardedSnapshot{shards: make([]*Store, len(s.shards))}
+	s.lockAll()
+	snap.numNodes = int(s.numNodes.Load())
+	for i := range s.shards {
+		snap.shards[i] = s.shards[i].st.clone()
+	}
+	s.unlockAll()
+	return snap
+}
+
+// Restore resets the store to a previously captured snapshot, including its
+// node count (a store grown since the snapshot shrinks back).
+func (s *Sharded) Restore(snap *ShardedSnapshot) {
+	if len(snap.shards) != len(s.shards) {
+		panic(fmt.Sprintf("mailbox: restore across shard counts (%d vs %d)", len(snap.shards), len(s.shards)))
+	}
+	s.lockAll()
+	for i := range s.shards {
+		s.shards[i].st = snap.shards[i].clone()
+	}
+	s.numNodes.Store(int64(snap.numNodes))
+	s.unlockAll()
+}

@@ -1,0 +1,13 @@
+// Package nn implements the neural-network substrate for APAN and its
+// baselines: a tape-based reverse-mode autograd engine over dense float32
+// matrices, the layers the paper's models need (linear, MLP, layer norm,
+// masked multi-head attention, time encoding, GRU cell), losses, and the
+// Adam optimizer. Gradients of every operation are covered by
+// finite-difference checks in the test suite.
+//
+// Concurrency: layers hold only parameters, and forward passes write all
+// intermediate state to their per-call Tape, so any number of inference
+// (non-training) forward passes may run concurrently over shared
+// parameters. Training is not concurrent: Backward and the optimizer
+// mutate parameter gradients in place.
+package nn

@@ -1,9 +1,3 @@
-// Package nn implements the neural-network substrate for APAN and its
-// baselines: a tape-based reverse-mode autograd engine over dense float32
-// matrices, the layers the paper's models need (linear, MLP, layer norm,
-// masked multi-head attention, time encoding, GRU cell), losses, and the
-// Adam optimizer. Gradients of every operation are covered by
-// finite-difference checks in the test suite.
 package nn
 
 import (

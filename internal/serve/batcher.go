@@ -18,10 +18,16 @@ import (
 // drained greedily; if that found company the batch flushes immediately,
 // otherwise it waits up to the window for a partner before flushing alone.
 // A batch also flushes as soon as it reaches maxBatch.
+//
+// Up to `conc` flushes may score in parallel (the pipeline's synchronous
+// link is concurrent over the sharded stores); with conc=1 the batcher is
+// strictly serialized and batch sizes converge on the number of in-flight
+// clients.
 type Batcher struct {
 	pipe     *async.Pipeline
 	window   time.Duration
 	maxBatch int
+	conc     int
 
 	reqs chan batchReq
 	done chan struct{}
@@ -57,18 +63,23 @@ type BatcherStats struct {
 }
 
 // NewBatcher starts a micro-batcher over pipe. A window ≤ 0 falls back to
-// the pipeline's configured batch window; maxBatch ≤ 0 defaults to 200.
-func NewBatcher(pipe *async.Pipeline, window time.Duration, maxBatch int) *Batcher {
+// the pipeline's configured batch window; maxBatch ≤ 0 defaults to 200;
+// conc ≤ 0 defaults to 1 (serialized flushes).
+func NewBatcher(pipe *async.Pipeline, window time.Duration, maxBatch, conc int) *Batcher {
 	if window <= 0 {
 		window = pipe.BatchWindow()
 	}
 	if maxBatch <= 0 {
 		maxBatch = 200
 	}
+	if conc <= 0 {
+		conc = 1
+	}
 	b := &Batcher{
 		pipe:     pipe,
 		window:   window,
 		maxBatch: maxBatch,
+		conc:     conc,
 		reqs:     make(chan batchReq, 4*maxBatch),
 		done:     make(chan struct{}),
 	}
@@ -113,20 +124,21 @@ func (b *Batcher) Score(ctx context.Context, ev tgraph.Event) (float32, time.Dur
 	}
 }
 
-// loop is the dispatcher. At most one flush runs at a time; requests that
-// arrive while it runs accumulate and launch together the moment it
-// completes, so under sustained concurrency the batch size converges on
-// the number of in-flight clients with no idle stalls. The window only
-// delays a lone request waiting for company — the first companion (or the
-// timer) triggers the flush.
+// loop is the dispatcher. Up to b.conc flushes run at a time; requests that
+// arrive while every lane is busy accumulate and launch together the moment
+// one completes, so under sustained concurrency the batch size converges on
+// the number of in-flight clients divided by the lane count, with no idle
+// stalls. The window only delays a lone request waiting for company — the
+// first companion (or the timer) triggers the flush.
 func (b *Batcher) loop() {
 	defer close(b.done)
 	var (
-		pending   []batchReq
-		flushDone chan struct{}      // non-nil while a flush is in flight
-		timer     *time.Timer        // non-nil while a lone request waits
-		timerC    <-chan time.Time
-		reqs      = b.reqs
+		pending  []batchReq
+		inflight int                     // flushes currently running
+		timer    *time.Timer             // non-nil while a lone request waits
+		timerC   <-chan time.Time
+		flushed  = make(chan struct{}, b.conc) // one signal per finished flush
+		reqs     = b.reqs
 	)
 	launch := func() {
 		if timer != nil {
@@ -139,28 +151,28 @@ func (b *Batcher) loop() {
 		}
 		batch := pending[:n:n]
 		pending = append([]batchReq(nil), pending[n:]...)
-		flushDone = make(chan struct{})
-		go func(batch []batchReq, done chan struct{}) {
+		inflight++
+		go func(batch []batchReq) {
 			b.flush(batch)
-			close(done)
-		}(batch, flushDone)
+			flushed <- struct{}{}
+		}(batch)
 	}
 	for {
 		select {
 		case r, ok := <-reqs:
 			if !ok {
 				reqs = nil // closed: stop receiving, fall through to drain
-				if flushDone == nil && len(pending) > 0 {
+				for inflight < b.conc && len(pending) > 0 {
 					launch()
 				}
-				if flushDone == nil {
+				if inflight == 0 {
 					return
 				}
 				continue
 			}
 			pending = append(pending, r)
-			if flushDone != nil {
-				continue // accumulate behind the in-flight flush
+			if inflight >= b.conc {
+				continue // accumulate behind the busy lanes
 			}
 			switch {
 			case len(pending) >= b.maxBatch:
@@ -173,14 +185,15 @@ func (b *Batcher) loop() {
 			}
 		case <-timerC:
 			timer, timerC = nil, nil
-			if flushDone == nil && len(pending) > 0 {
+			if inflight < b.conc && len(pending) > 0 {
 				launch()
 			}
-		case <-flushDone:
-			flushDone = nil
-			if len(pending) > 0 {
+		case <-flushed:
+			inflight--
+			for inflight < b.conc && len(pending) > 0 {
 				launch() // these waited a full flush already — go now
-			} else if reqs == nil {
+			}
+			if reqs == nil && inflight == 0 && len(pending) == 0 {
 				return
 			}
 		}

@@ -63,7 +63,7 @@ func BenchmarkMicroBatch(b *testing.B) {
 	b.Run("Coalesced", func(b *testing.B) {
 		pipe := async.New(testModel(b), async.WithQueueCap(1024))
 		defer pipe.Close()
-		batcher := NewBatcher(pipe, 500*time.Microsecond, 200)
+		batcher := NewBatcher(pipe, 500*time.Microsecond, 200, 1)
 		defer batcher.Close()
 		run(b, func(ctx context.Context, ev tgraph.Event) error {
 			_, _, _, err := batcher.Score(ctx, ev)

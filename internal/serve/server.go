@@ -13,7 +13,9 @@
 // Single-event POSTs are coalesced server-side: concurrent requests that
 // arrive within the configured batch window ride one InferBatch call, so
 // the synchronous link runs near the paper's batch-200 sweet spot even
-// with one-event-per-request clients. See docs/serving.md for schemas.
+// with one-event-per-request clients. Events naming previously unseen node
+// IDs are admitted dynamically (the model's sharded stores grow at runtime)
+// up to Options.MaxNodes. See docs/serving.md for schemas and semantics.
 package serve
 
 import (
@@ -21,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -38,25 +41,49 @@ type Options struct {
 	// MaxBatch caps the coalesced batch size. Zero means 200 (paper
 	// Table 5's throughput sweet spot).
 	MaxBatch int
+	// FlushConcurrency is how many coalesced batches may score in parallel.
+	// The model's sharded stores make concurrent InferBatch calls safe and
+	// scalable, so under sustained load extra flush lanes raise throughput;
+	// 1 (the zero default) preserves the strictly serialized pre-sharding
+	// behavior, which maximizes per-flush batch size instead.
+	FlushConcurrency int
+	// MaxNodes bounds dynamic node admission: events naming node IDs in
+	// [NumNodes, MaxNodes) grow the model's node space instead of being
+	// rejected; IDs ≥ MaxNodes get a structured 400 (node_limit_exceeded),
+	// since each admitted node costs state+mailbox memory. Zero means 1<<20;
+	// negative disables admission entirely (the pre-v1.1 strict 400
+	// behavior).
+	MaxNodes int
 }
 
 // Server is the v1 HTTP serving surface over an async.Pipeline. Create it
 // with New, mount it anywhere (it implements http.Handler), and Close it
 // before shutting the pipeline down.
 type Server struct {
-	pipe    *async.Pipeline
-	batcher *Batcher
-	mux     *http.ServeMux
-	start   time.Time
+	pipe     *async.Pipeline
+	batcher  *Batcher
+	mux      *http.ServeMux
+	start    time.Time
+	maxNodes int
 }
 
 // New builds a Server over a started pipeline.
 func New(pipe *async.Pipeline, opts Options) *Server {
+	maxNodes := opts.MaxNodes
+	switch {
+	case maxNodes == 0:
+		maxNodes = 1 << 20
+	case maxNodes < 0:
+		maxNodes = -1 // strict: limit tracks the live node space (validate)
+	case maxNodes > math.MaxInt32:
+		maxNodes = math.MaxInt32 // node IDs are int32 on the wire
+	}
 	s := &Server{
-		pipe:    pipe,
-		batcher: NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		pipe:     pipe,
+		batcher:  NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch, opts.FlushConcurrency),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		maxNodes: maxNodes,
 	}
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -141,19 +168,57 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 }
 
 // validate rejects events that would corrupt or crash the model before they
-// reach the pipeline: out-of-range node IDs and wrong feature dimensions.
+// reach the pipeline: negative or over-limit node IDs and wrong feature
+// dimensions. IDs in [NumNodes, maxNodes) are valid — admit (below) grows
+// the model to cover them before submission (dynamic node admission).
 func (s *Server) validate(i int, ev EventJSON) (code, msg string) {
-	n := int32(s.pipe.NumNodes())
-	if ev.Src < 0 || ev.Src >= n {
-		return "node_out_of_range", fmt.Sprintf("event %d: src %d outside [0,%d)", i, ev.Src, n)
+	limit := int32(s.maxNodes)
+	if s.maxNodes < 0 {
+		// Strict mode: no admission, but the node space can still grow
+		// legitimately (LoadCheckpoint of a grown checkpoint), so consult
+		// it live rather than freezing the construction-time value.
+		limit = int32(s.pipe.NumNodes())
 	}
-	if ev.Dst < 0 || ev.Dst >= n {
-		return "node_out_of_range", fmt.Sprintf("event %d: dst %d outside [0,%d)", i, ev.Dst, n)
+	if ev.Src < 0 || ev.Dst < 0 {
+		return "node_out_of_range", fmt.Sprintf("event %d: node ids must be non-negative (src %d, dst %d)", i, ev.Src, ev.Dst)
+	}
+	if ev.Src >= limit || ev.Dst >= limit {
+		return "node_limit_exceeded", fmt.Sprintf("event %d: node id %d exceeds the admission limit %d", i, max(ev.Src, ev.Dst), limit)
 	}
 	if len(ev.Feat) != s.pipe.EdgeDim() {
 		return "bad_feat_dim", fmt.Sprintf("event %d: feat dim %d, want %d", i, len(ev.Feat), s.pipe.EdgeDim())
 	}
 	return "", ""
+}
+
+// admit grows the model's node space to cover every endpoint of the batch.
+// Called after validate, so IDs are known to be within the admission limit.
+// Growth is amortized: since every admission briefly stops the world, the
+// space grows by at least half again (capped at the limit), so a stream of
+// monotonically increasing IDs triggers O(log n) growths, not one per
+// request.
+func (s *Server) admit(events []tgraph.Event) {
+	var maxID int32 = -1
+	for _, ev := range events {
+		if ev.Src > maxID {
+			maxID = ev.Src
+		}
+		if ev.Dst > maxID {
+			maxID = ev.Dst
+		}
+	}
+	n := s.pipe.NumNodes()
+	if int(maxID) < n {
+		return
+	}
+	target := int(maxID) + 1
+	if headroom := n + n/2; headroom > target {
+		target = headroom
+	}
+	if s.maxNodes >= 0 && target > s.maxNodes {
+		target = s.maxNodes
+	}
+	s.pipe.EnsureNodes(target)
 }
 
 func toEvent(ev EventJSON) tgraph.Event {
@@ -201,6 +266,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 			}
 			events[i] = toEvent(ev)
 		}
+		s.admit(events)
 		scores, lat, err := s.pipe.Submit(r.Context(), events)
 		if err != nil {
 			submitErr(w, err)
@@ -221,7 +287,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, code, msg)
 		return
 	}
-	score, lat, size, err := s.batcher.Score(r.Context(), toEvent(req.EventJSON))
+	ev := toEvent(req.EventJSON)
+	s.admit([]tgraph.Event{ev})
+	score, lat, size, err := s.batcher.Score(r.Context(), ev)
 	if err != nil {
 		submitErr(w, err)
 		return

@@ -137,19 +137,20 @@ func TestScoreMalformed(t *testing.T) {
 }
 
 func TestScoreValidation(t *testing.T) {
-	ts, pipe := newTestServer(t, Options{})
+	// MaxNodes bounds dynamic admission: IDs beyond it are structured 400s.
+	ts, pipe := newTestServer(t, Options{MaxNodes: 2 * testNodes})
 	cases := []struct {
 		name string
 		body any
 		code string
 	}{
-		{"src out of range", EventJSON{Src: testNodes, Dst: 1, Time: 1, Feat: feat()}, "node_out_of_range"},
+		{"src beyond admission limit", EventJSON{Src: 2 * testNodes, Dst: 1, Time: 1, Feat: feat()}, "node_limit_exceeded"},
 		{"dst negative", EventJSON{Src: 0, Dst: -1, Time: 1, Feat: feat()}, "node_out_of_range"},
 		{"bad feat dim", EventJSON{Src: 0, Dst: 1, Time: 1, Feat: make([]float32, testDim+1)}, "bad_feat_dim"},
 		{"bad batch member", ScoreRequest{Events: []EventJSON{
 			{Src: 0, Dst: 1, Time: 1, Feat: feat()},
 			{Src: 0, Dst: 99, Time: 2, Feat: feat()},
-		}}, "node_out_of_range"},
+		}}, "node_limit_exceeded"},
 		{"ambiguous body", map[string]any{
 			"src": 0, "dst": 1, "time": 1, "feat": feat(),
 			"events": []EventJSON{{Src: 0, Dst: 1, Time: 1, Feat: feat()}},
@@ -167,9 +168,64 @@ func TestScoreValidation(t *testing.T) {
 			}
 		})
 	}
-	// Nothing invalid may have reached the model.
+	// Nothing invalid may have reached the model, and nothing may have been
+	// admitted as a side effect of a rejected request.
 	if st := pipe.Stats(); st.Submitted != 0 {
 		t.Fatalf("invalid requests reached the pipeline: %+v", st)
+	}
+	if pipe.NumNodes() != testNodes {
+		t.Fatalf("rejected requests grew the model to %d nodes", pipe.NumNodes())
+	}
+}
+
+func TestDynamicNodeAdmission(t *testing.T) {
+	ts, pipe := newTestServer(t, Options{MaxNodes: 64})
+
+	// An event naming unseen node IDs is admitted, scored and propagated —
+	// the old out-of-range 400 is gone.
+	resp, raw := postScore(t, ts.URL, ScoreRequest{Events: []EventJSON{
+		{Src: 0, Dst: 41, Time: 1, Feat: feat()},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unseen dst not admitted: %d %s", resp.StatusCode, raw)
+	}
+	if got := pipe.NumNodes(); got != 42 {
+		t.Fatalf("node space after admission: %d, want 42", got)
+	}
+	if err := pipe.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The admitted node now has streaming state: a follow-up event scores
+	// against its written-back embedding and mailbox.
+	resp, raw = postScore(t, ts.URL, EventJSON{Src: 41, Dst: 1, Time: 2, Feat: feat()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up on admitted node: %d %s", resp.StatusCode, raw)
+	}
+
+	// Admission is monotone: smaller IDs do not shrink the space.
+	resp, _ = postScore(t, ts.URL, EventJSON{Src: 3, Dst: 2, Time: 3, Feat: feat()})
+	if resp.StatusCode != http.StatusOK || pipe.NumNodes() != 42 {
+		t.Fatalf("node space moved: %d", pipe.NumNodes())
+	}
+
+	// The limit still holds.
+	resp, raw = postScore(t, ts.URL, EventJSON{Src: 64, Dst: 0, Time: 4, Feat: feat()})
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, raw) != "node_limit_exceeded" {
+		t.Fatalf("limit not enforced: %d %s", resp.StatusCode, raw)
+	}
+}
+
+func TestStrictValidationOptOut(t *testing.T) {
+	// MaxNodes < 0 restores the strict pre-admission behavior: any ID
+	// beyond the configured node space is rejected.
+	ts, pipe := newTestServer(t, Options{MaxNodes: -1})
+	resp, raw := postScore(t, ts.URL, EventJSON{Src: testNodes, Dst: 0, Time: 1, Feat: feat()})
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, raw) != "node_limit_exceeded" {
+		t.Fatalf("strict mode admitted: %d %s", resp.StatusCode, raw)
+	}
+	if pipe.NumNodes() != testNodes {
+		t.Fatalf("strict mode grew the model: %d", pipe.NumNodes())
 	}
 }
 

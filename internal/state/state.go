@@ -1,11 +1,18 @@
 // Package state stores the last computed embedding z(t−) and last-update
 // time of every node. APAN and the memory-based baselines (TGN, JODIE,
 // DyRep) read this store synchronously instead of querying the graph.
+//
+// Two implementations share one per-node API: Store is a flat,
+// unsynchronized array (single-threaded training and the baselines), and
+// Sharded stripes the same layout across power-of-two lock shards so the
+// serving path can read and write concurrently with shard-local locking and
+// admit new nodes at runtime via Grow.
 package state
 
 import "fmt"
 
-// Store holds per-node embeddings in a flat array.
+// Store holds per-node embeddings in a flat array. It is not safe for
+// concurrent use; see Sharded for the lock-striped variant.
 type Store struct {
 	numNodes int
 	dim      int
@@ -36,6 +43,36 @@ func (s *Store) NumNodes() int { return s.numNodes }
 
 // Get returns a read-only view of node n's embedding z(t−).
 func (s *Store) Get(n int32) []float32 { return s.z[int(n)*s.dim : (int(n)+1)*s.dim] }
+
+// CopyTo copies node n's embedding into dst (len ≥ Dim). This is the
+// copy-out read shared with Sharded, so callers can be written once against
+// either store.
+func (s *Store) CopyTo(n int32, dst []float32) {
+	copy(dst, s.z[int(n)*s.dim:(int(n)+1)*s.dim])
+}
+
+// Grow extends the store to hold n nodes, preserving existing contents. New
+// nodes start zeroed and untouched. No-op when n ≤ NumNodes.
+func (s *Store) Grow(n int) {
+	if n <= s.numNodes {
+		return
+	}
+	s.z = append(s.z, make([]float32, (n-s.numNodes)*s.dim)...)
+	s.lastTime = append(s.lastTime, make([]float64, n-s.numNodes)...)
+	s.touched = append(s.touched, make([]bool, n-s.numNodes)...)
+	s.numNodes = n
+}
+
+// clone deep-copies the store (used by Sharded snapshots).
+func (s *Store) clone() *Store {
+	return &Store{
+		numNodes: s.numNodes,
+		dim:      s.dim,
+		z:        append([]float32(nil), s.z...),
+		lastTime: append([]float64(nil), s.lastTime...),
+		touched:  append([]bool(nil), s.touched...),
+	}
+}
 
 // Set overwrites node n's embedding and stamps its update time.
 func (s *Store) Set(n int32, z []float32, t float64) {

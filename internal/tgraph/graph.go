@@ -50,6 +50,20 @@ func New(numNodes int) *Graph {
 // NumNodes returns the node-set size.
 func (g *Graph) NumNodes() int { return g.numNodes }
 
+// Grow extends the node-ID space to n, so events touching newly admitted
+// nodes pass AddEvent's range check. Existing adjacency is preserved; no-op
+// when n ≤ NumNodes. Like all Graph mutation, Grow requires external
+// serialization against concurrent use.
+func (g *Graph) Grow(n int) {
+	if n <= g.numNodes {
+		return
+	}
+	// append reuses spare capacity, so repeated small growths amortize to
+	// O(n) total copying rather than O(n²).
+	g.adj = append(g.adj, make([][]Incidence, n-g.numNodes)...)
+	g.numNodes = n
+}
+
 // NumEvents returns the number of inserted events.
 func (g *Graph) NumEvents() int { return len(g.events) }
 
