@@ -79,7 +79,14 @@ type (
 	Explanation = core.Explanation
 	// PositionalMode selects the mailbox positional encoding.
 	PositionalMode = core.PositionalMode
+	// Propagator is the asynchronous link (mail generation + delivery).
+	Propagator = core.Propagator
 )
+
+// NewPropagator builds a standalone asynchronous-link propagator writing
+// into mbox; Model wires one up internally — this constructor exists for
+// benchmarks and custom pipelines.
+var NewPropagator = core.NewPropagator
 
 // Positional-encoding modes.
 const (

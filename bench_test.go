@@ -31,6 +31,7 @@ func benchOpts() bench.Options {
 
 // BenchmarkTable1Stats regenerates the dataset-statistics table.
 func BenchmarkTable1Stats(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunTable1(benchOpts()); err != nil {
 			b.Fatal(err)
@@ -41,6 +42,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 // BenchmarkTable2Wikipedia regenerates the Wikipedia link-prediction column
 // over all twelve models.
 func BenchmarkTable2Wikipedia(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunTable2(benchOpts(), "wikipedia", nil); err != nil {
 			b.Fatal(err)
@@ -51,6 +53,7 @@ func BenchmarkTable2Wikipedia(b *testing.B) {
 // BenchmarkTable2Reddit regenerates the Reddit link-prediction column over
 // the dynamic models (the static family is covered by the Wikipedia run).
 func BenchmarkTable2Reddit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunTable2(benchOpts(), "reddit", bench.Table2StreamModels); err != nil {
 			b.Fatal(err)
@@ -61,6 +64,7 @@ func BenchmarkTable2Reddit(b *testing.B) {
 // BenchmarkTable3NodeClassification regenerates the Wikipedia dynamic
 // node-classification column.
 func BenchmarkTable3NodeClassification(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.Scale = 0.02 // ban labels are sparse; needs a larger slice
 	for i := 0; i < b.N; i++ {
@@ -73,6 +77,7 @@ func BenchmarkTable3NodeClassification(b *testing.B) {
 // BenchmarkTable3EdgeClassification regenerates the Alipay fraud
 // edge-classification column.
 func BenchmarkTable3EdgeClassification(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.Scale = 0.02
 	for i := 0; i < b.N; i++ {
@@ -86,6 +91,7 @@ func BenchmarkTable3EdgeClassification(b *testing.B) {
 // with a simulated graph-database round trip on the synchronous models'
 // critical path.
 func BenchmarkFigure6Inference(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.DBLatency = 100 * time.Microsecond
 	for i := 0; i < b.N; i++ {
@@ -107,6 +113,7 @@ func BenchmarkFigure6Inference(b *testing.B) {
 
 // BenchmarkFigure7Training regenerates the training-time vs AP scatter.
 func BenchmarkFigure7Training(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunFigure7(benchOpts(), nil); err != nil {
 			b.Fatal(err)
@@ -116,6 +123,7 @@ func BenchmarkFigure7Training(b *testing.B) {
 
 // BenchmarkFigure8BatchSize regenerates the batch-size robustness curves.
 func BenchmarkFigure8BatchSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunFigure8(benchOpts(), nil, []int{100, 200, 300}); err != nil {
 			b.Fatal(err)
@@ -126,6 +134,7 @@ func BenchmarkFigure8BatchSize(b *testing.B) {
 // BenchmarkFigure9Grid regenerates the slots × neighbors robustness grid
 // (2×2 here; apan-bench runs the full 4×4).
 func BenchmarkFigure9Grid(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunFigure9(benchOpts(), []int{5, 10}, []int{5, 10}); err != nil {
 			b.Fatal(err)
@@ -136,6 +145,7 @@ func BenchmarkFigure9Grid(b *testing.B) {
 // BenchmarkAblation regenerates the design-choice ablation of DESIGN.md §5
 // (positional encoding, mail reduction, mailbox update rule, decoder, hops).
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.Epochs = 1
 	for i := 0; i < b.N; i++ {
@@ -148,6 +158,7 @@ func BenchmarkAblation(b *testing.B) {
 // BenchmarkDriftAblation quantifies the generator's preference-drift knob:
 // the dynamics that separate temporal from static models.
 func BenchmarkDriftAblation(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.Epochs = 1
 	for i := 0; i < b.N; i++ {
@@ -159,18 +170,32 @@ func BenchmarkDriftAblation(b *testing.B) {
 
 // BenchmarkInferBatch measures the synchronous link alone: one batch of 200
 // interactions scored with no graph access — the millisecond path the paper
-// deploys online.
+// deploys online. pool=on is the serving configuration (pooled workspace,
+// reusable tape, blocked kernels; zero steady-state allocations); pool=off
+// allocates every buffer fresh per call, the pre-pooling baseline kept
+// reachable via Config.NoWorkspacePool. Same arithmetic, different memory
+// discipline — compare allocs/op and ns/op.
 func BenchmarkInferBatch(b *testing.B) {
 	ds := Wikipedia(DatasetConfig{Scale: 0.01, Seed: 1})
-	m, err := New(Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200})
-	if err != nil {
-		b.Fatal(err)
-	}
-	m.EvalStream(ds.Events[:1000], nil) // warm state and mailboxes
-	batch := ds.Events[1000:1200]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.InferBatch(batch)
+	for _, mode := range []string{"on", "off"} {
+		b.Run("pool="+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			m, err := New(Config{
+				NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200,
+				NoWorkspacePool: mode == "off",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.EvalStream(ds.Events[:1000], nil) // warm state and mailboxes
+			batch := ds.Events[1000:1200]
+			m.InferBatch(batch).Release() // warm the workspace pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.InferBatch(batch).Release()
+			}
+			b.ReportMetric(float64(b.N)*float64(len(batch))/b.Elapsed().Seconds(), "ev/s")
+		})
 	}
 }
 
@@ -212,12 +237,12 @@ func BenchmarkInferBatchParallel(b *testing.B) {
 				// The pre-sharding global store lock, emulated around the
 				// public API exactly as the old Model held it internally.
 				var global sync.RWMutex
-				score := func() { m.InferBatch(batch) }
+				score := func() { m.InferBatch(batch).Release() }
 				apply := func(inf *Inference) { m.ApplyInference(inf) }
 				if mode == "global" {
 					score = func() {
 						global.RLock()
-						m.InferBatch(batch)
+						m.InferBatch(batch).Release()
 						global.RUnlock()
 					}
 					apply = func(inf *Inference) {
@@ -245,6 +270,7 @@ func BenchmarkInferBatchParallel(b *testing.B) {
 					}
 				}()
 
+				b.ReportAllocs()
 				b.ResetTimer()
 				var next atomic.Int64
 				var wg sync.WaitGroup
@@ -277,6 +303,7 @@ func BenchmarkPropagateBatch(b *testing.B) {
 	}
 	m.EvalStream(ds.Events[:1000], nil)
 	batch := ds.Events[1000:1200]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -285,7 +312,42 @@ func BenchmarkPropagateBatch(b *testing.B) {
 		b.StartTimer()
 		m.ApplyInference(inf)
 		b.StopTimer()
+		inf.Release()
 		m.RestoreRuntime(snap)
 		b.StartTimer()
+	}
+}
+
+// BenchmarkPropagateMailScratch isolates the ProcessBatch allocation fix:
+// the propagator now keeps its inbox map, accumulator freelist and one
+// per-event mail buffer across batches (scratch=reused), where it used to
+// allocate a mail slice per event and a map + accumulator set per batch —
+// reproduced by swapping in a brand-new Propagator every iteration
+// (scratch=fresh). Mailbox deliveries are identical either way; compare
+// B/op and allocs/op for the before/after delta.
+func BenchmarkPropagateMailScratch(b *testing.B) {
+	ds := Wikipedia(DatasetConfig{Scale: 0.01, Seed: 1})
+	for _, hops := range []int{1, 2} {
+		for _, mode := range []string{"reused", "fresh"} {
+			b.Run(fmt.Sprintf("hops=%d/scratch=%s", hops, mode), func(b *testing.B) {
+				m, err := New(Config{NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, BatchSize: 200, Hops: hops})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.EvalStream(ds.Events[:1000], nil)
+				batch := ds.Events[1000:1200]
+				prop := m.Propagator()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "fresh" {
+						b.StopTimer()
+						prop = NewPropagator(m.Cfg, m.DB(), m.Mailbox())
+						b.StartTimer()
+					}
+					prop.ProcessBatch(batch, m.State())
+				}
+			})
+		}
 	}
 }

@@ -7,6 +7,12 @@
 //	apan-bench -exp table2 -dataset wikipedia -scale 0.05 -seeds 3 -epochs 5
 //	apan-bench -exp fig6 -db-latency 1ms
 //	apan-bench -exp all -scale 0.02
+//
+// The perf experiment measures the serving hot paths (pooled vs baseline
+// InferBatch, scratch-reusing vs fresh propagation) and, with -json, writes
+// the machine-readable trajectory record BENCH_apan.json:
+//
+//	apan-bench -exp perf -json
 package main
 
 import (
@@ -24,7 +30,7 @@ func main() {
 	log.SetPrefix("apan-bench: ")
 
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|ablation|drift|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|ablation|drift|perf|all")
 		datasetName = flag.String("dataset", "", "dataset for table2/table3 (default: the paper's)")
 		scale       = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
 		seeds       = flag.Int("seeds", 1, "seeds per cell (paper: 10)")
@@ -35,6 +41,8 @@ func main() {
 		slots       = flag.Int("slots", 10, "mailbox slots")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query (fig6, §4.6)")
 		models      = flag.String("models", "", "comma-separated model subset (default: the paper's)")
+		jsonOut     = flag.Bool("json", false, "write the perf experiment's results to -json-out")
+		jsonPath    = flag.String("json-out", "BENCH_apan.json", "path of the perf trajectory record")
 	)
 	flag.Parse()
 
@@ -105,5 +113,20 @@ func main() {
 	}
 	if *exp == "drift" {
 		run("drift", func() error { _, err := bench.RunDriftAblation(o, nil); return err })
+	}
+	if want("perf") {
+		run("perf", func() error {
+			rep, err := bench.RunPerf(o)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				if err := rep.WriteJSON(*jsonPath); err != nil {
+					return err
+				}
+				log.Printf("wrote %s", *jsonPath)
+			}
+			return nil
+		})
 	}
 }

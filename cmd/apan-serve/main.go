@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"apan"
@@ -51,6 +52,7 @@ func main() {
 		maxNodes    = flag.Int("max-nodes", 1<<20, "dynamic node admission limit (negative disables admission)")
 		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
 		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, allocs, profile, trace — see docs/performance.md)")
 	)
 	flag.Parse()
 
@@ -104,7 +106,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: srv}
+	var handler http.Handler = srv
+	if *pprofOn {
+		// The API keeps its own mux; pprof rides alongside so profiling the
+		// serving hot path (alloc/heap profiles should be near-flat after
+		// warm-up — the workspaces pool) needs no second port.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled on /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

@@ -170,6 +170,10 @@ func (p *Pipeline) worker() {
 	for inf := range p.queue {
 		start := time.Now()
 		p.model.ApplyInference(inf)
+		// The submitter copied the scores out before enqueueing, so after
+		// the apply nothing references the inference: recycle its pooled
+		// workspace for the next scorer.
+		inf.Release()
 		d := time.Since(start)
 		p.mu.Lock()
 		p.asyncHist.Add(d)
@@ -239,6 +243,10 @@ func (p *Pipeline) Submit(ctx context.Context, events []tgraph.Event) ([]float32
 	if err != nil {
 		return nil, 0, err
 	}
+	// Copy the scores out of the inference's pooled workspace: once the
+	// propagation worker applies and releases it, the pooled buffer is
+	// recycled, and the caller may hold the scores indefinitely.
+	scores := append([]float32(nil), inf.Scores...)
 
 	p.sendMu.RLock()
 	defer p.sendMu.RUnlock()
@@ -246,14 +254,18 @@ func (p *Pipeline) Submit(ctx context.Context, events []tgraph.Event) ([]float32
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
+		inf.Release()
 		return nil, lat, ErrClosed
 	}
 	p.noteEnqueued()
 	select {
 	case p.queue <- inf:
-		return inf.Scores, lat, nil
+		return scores, lat, nil
 	case <-ctx.Done():
 		p.unnoteEnqueued()
+		// Cancelled before the enqueue: nothing was applied, nothing else
+		// references the inference.
+		inf.Release()
 		return nil, lat, ctx.Err()
 	}
 }
@@ -267,6 +279,7 @@ func (p *Pipeline) TrySubmit(events []tgraph.Event) ([]float32, time.Duration, e
 	if err != nil {
 		return nil, 0, err
 	}
+	scores := append([]float32(nil), inf.Scores...)
 
 	p.sendMu.RLock()
 	defer p.sendMu.RUnlock()
@@ -274,14 +287,17 @@ func (p *Pipeline) TrySubmit(events []tgraph.Event) ([]float32, time.Duration, e
 	closed := p.closed
 	p.mu.Unlock()
 	if closed {
+		inf.Release()
 		return nil, lat, ErrClosed
 	}
 	p.noteEnqueued()
 	select {
 	case p.queue <- inf:
-		return inf.Scores, lat, nil
+		return scores, lat, nil
 	default:
 		p.unnoteEnqueued()
+		// Shed load: the scored batch is dropped unapplied; recycle it.
+		inf.Release()
 		return nil, lat, ErrQueueFull
 	}
 }

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+// PerfScenario is one serving micro-benchmark's measurement, the unit of
+// the repo's performance trajectory (BENCH_apan.json).
+type PerfScenario struct {
+	Name        string  `json:"name"`
+	Events      int     `json:"events_per_op"`
+	EvPerSec    float64 `json:"ev_per_s"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PerfReport is the BENCH_apan.json payload: the serving hot-path numbers
+// for this commit, comparable across the repo's history.
+type PerfReport struct {
+	GeneratedUnix int64          `json:"generated_unix"`
+	GoVersion     string         `json:"go"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Scale         float64        `json:"dataset_scale"`
+	Scenarios     []PerfScenario `json:"scenarios"`
+}
+
+// perfModel builds a warmed model over the benchmark dataset.
+func perfModel(o Options, ds *dataset.Dataset, noPool bool, hops int) (*core.Model, []tgraph.Event, error) {
+	cfg := core.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+		Slots: o.Slots, Neighbors: o.Fanout,
+		BatchSize: o.BatchSize, Seed: o.Seed,
+		NoWorkspacePool: noPool,
+	}
+	if hops > 0 {
+		cfg.Hops = hops
+	}
+	m, err := core.NewWithDB(cfg, gdb.New(tgraph.New(ds.NumNodes)))
+	if err != nil {
+		return nil, nil, err
+	}
+	warm := 1000
+	if warm+o.BatchSize > len(ds.Events) {
+		return nil, nil, fmt.Errorf("bench: perf needs ≥%d events, dataset has %d (raise -scale)", warm+o.BatchSize, len(ds.Events))
+	}
+	m.EvalStream(ds.Events[:warm], nil)
+	return m, ds.Events[warm : warm+o.BatchSize], nil
+}
+
+// RunPerf measures the serving hot paths with testing.Benchmark — the
+// pooled zero-allocation InferBatch against its allocate-fresh baseline
+// (Config.NoWorkspacePool), and the scratch-reusing propagator against a
+// fresh-per-batch one — and renders a table. The report is the machine-
+// readable trajectory record; WritePerfJSON persists it.
+func RunPerf(o Options) (*PerfReport, error) {
+	o.normalize()
+	ds, err := o.MakeDataset("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         o.Scale,
+	}
+
+	add := func(name string, events int, r testing.BenchmarkResult) {
+		ns := float64(r.NsPerOp())
+		sc := PerfScenario{
+			Name:        name,
+			Events:      events,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if ns > 0 {
+			sc.EvPerSec = float64(events) / (ns / 1e9)
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+		fmt.Fprintf(o.Out, "%-28s %12.0f ns/op %10.0f ev/s %10d B/op %8d allocs/op\n",
+			name, sc.NsPerOp, sc.EvPerSec, sc.BytesPerOp, sc.AllocsPerOp)
+	}
+
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{{"infer_batch_pooled", false}, {"infer_batch_baseline", true}} {
+		m, batch, err := perfModel(o, ds, mode.noPool, 0)
+		if err != nil {
+			return nil, err
+		}
+		m.InferBatch(batch).Release() // warm the workspace pool
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.InferBatch(batch).Release()
+			}
+		})
+		add(mode.name, len(batch), r)
+	}
+
+	// hops=1 isolates mail generation (φ, ρ, ψ) from the k-hop sampler, so
+	// the scratch-reuse delta is not buried under graph-query allocations.
+	for _, mode := range []struct {
+		name  string
+		fresh bool
+	}{{"propagate_scratch_reused", false}, {"propagate_scratch_fresh", true}} {
+		m, batch, err := perfModel(o, ds, false, 1)
+		if err != nil {
+			return nil, err
+		}
+		prop := m.Propagator()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if mode.fresh {
+					b.StopTimer()
+					prop = core.NewPropagator(m.Cfg, m.DB(), m.Mailbox())
+					b.StartTimer()
+				}
+				prop.ProcessBatch(batch, m.State())
+			}
+		})
+		add(mode.name, len(batch), r)
+	}
+	return rep, nil
+}
+
+// WritePerfJSON writes the report to path (the repo convention is
+// BENCH_apan.json at the repo root).
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -54,6 +54,18 @@ type Config struct {
 	// parallelize naturally across shards.
 	InferWorkers int
 
+	// NoWorkspacePool disables the pooled inference workspaces: every
+	// InferBatch/Embed call allocates fresh buffers and a fresh
+	// grad-recording tape, reproducing the pre-pooling behavior. The
+	// arithmetic is identical — this knob exists as the benchmark baseline
+	// and as an escape hatch, like Shards=1 for the store layer.
+	NoWorkspacePool bool
+	// NoExplain skips recording the per-pass attention copy that Explain
+	// serves. The copy happens under a model-wide mutex on every forward
+	// pass, so deployments that never query /v1/explain can turn it off;
+	// Explain then always reports "no explanation".
+	NoExplain bool
+
 	Positional PositionalMode
 	Reduce     MailReduce
 	// KeyValueMailbox switches ψ to the memory-network update (§3.6).

@@ -42,10 +42,10 @@ func (dec *LinkDecoder) Forward(tp *nn.Tape, zi, zj *nn.Tensor) *nn.Tensor {
 		return dec.mlp.Forward(tp, tp.ConcatCols(zi, zj))
 	}
 	dots := tp.RowDot(dec.proj.Forward(tp, zi), dec.proj.Forward(tp, zj))
-	n := dots.Value().Rows
-	gain := tp.Gather(dec.scale, make([]int32, n)) // broadcast 1×1 to n×1
-	off := tp.Gather(dec.bias, make([]int32, n))
-	return tp.Add(tp.Mul(dots, gain), off)
+	// Fused scalar calibration: same arithmetic as the former broadcast
+	// Gather+Mul+Add chain, without the per-call index slice and two
+	// intermediate matrices.
+	return tp.ScalarAffine(dots, dec.scale, dec.bias)
 }
 
 // Params returns the head's trainable tensors.

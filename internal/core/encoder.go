@@ -94,6 +94,10 @@ func ReadInputsParallel(st StateReader, mb MailReader, nodes []tgraph.NodeID, ti
 	b := len(nodes)
 	d := st.Dim()
 	m := mb.Slots()
+	lanes := workers
+	if lanes < 1 {
+		lanes = 1
+	}
 	in := &EncodeInput{
 		Nodes:  nodes,
 		Times:  times,
@@ -102,41 +106,59 @@ func ReadInputsParallel(st StateReader, mb MailReader, nodes []tgraph.NodeID, ti
 		DTs:    make([]float32, b*m),
 		Counts: make([]int, b),
 	}
-	gather := func(lo, hi int) {
-		ts := make([]float64, m)
-		for i := lo; i < hi; i++ {
-			n := nodes[i]
-			st.CopyTo(n, in.ZPrev.Row(i))
-			c := mb.ReadSorted(n, in.Mails.Data[i*m*d:(i+1)*m*d], ts)
-			in.Counts[i] = c
-			for s := 0; s < c; s++ {
-				dt := times[i] - ts[s]
-				if dt < 0 {
-					dt = 0
-				}
-				in.DTs[i*m+s] = float32(dt)
-			}
-		}
-	}
+	gatherInto(st, mb, nodes, times, workers, in, make([]float64, lanes*m))
+	return in
+}
+
+// gatherInto fills in from the stores. The caller owns every buffer: ZPrev
+// (b×d), Mails ((b·m)×d), Counts (len b), DTs (len b·m, zeroed — only valid
+// slots are written), and ts, the per-lane timestamp scratch of at least
+// workers·m float64s. This is the allocation-free core that both
+// ReadInputsParallel and the pooled inference workspace share.
+func gatherInto(st StateReader, mb MailReader, nodes []tgraph.NodeID, times []float64, workers int, in *EncodeInput, ts []float64) {
+	b := len(nodes)
+	m := mb.Slots()
+	// gatherRange is a plain function (not a closure) so the serial path —
+	// the zero-allocation serving configuration — builds no capture struct.
 	if workers <= 1 || b < 2*workers {
-		gather(0, b)
-		return in
+		gatherRange(st, mb, nodes, times, in, ts[:m], 0, b)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (b + workers - 1) / workers
+	lane := 0
 	for lo := 0; lo < b; lo += chunk {
 		hi := lo + chunk
 		if hi > b {
 			hi = b
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int, ts []float64) {
 			defer wg.Done()
-			gather(lo, hi)
-		}(lo, hi)
+			gatherRange(st, mb, nodes, times, in, ts, lo, hi)
+		}(lo, hi, ts[lane*m:(lane+1)*m])
+		lane++
 	}
 	wg.Wait()
-	return in
+}
+
+// gatherRange fills rows [lo, hi) of in; ts is this lane's scratch.
+func gatherRange(st StateReader, mb MailReader, nodes []tgraph.NodeID, times []float64, in *EncodeInput, ts []float64, lo, hi int) {
+	d := st.Dim()
+	m := mb.Slots()
+	for i := lo; i < hi; i++ {
+		n := nodes[i]
+		st.CopyTo(n, in.ZPrev.Row(i))
+		c := mb.ReadSorted(n, in.Mails.Data[i*m*d:(i+1)*m*d], ts)
+		in.Counts[i] = c
+		for s := 0; s < c; s++ {
+			dt := times[i] - ts[s]
+			if dt < 0 {
+				dt = 0
+			}
+			in.DTs[i*m+s] = float32(dt)
+		}
+	}
 }
 
 // Forward computes z(t) for every node in the batch and returns the

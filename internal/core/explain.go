@@ -24,11 +24,12 @@ type Explanation struct {
 func (m *Model) Explain(n tgraph.NodeID) (*Explanation, bool) {
 	m.explainMu.Lock()
 	defer m.explainMu.Unlock()
-	if m.lastAtt == nil {
+	r := &m.explain
+	if !r.valid {
 		return nil, false
 	}
 	row := -1
-	for i, node := range m.lastNodes {
+	for i, node := range r.nodes {
 		if node == n {
 			row = i
 			break
@@ -37,16 +38,15 @@ func (m *Model) Explain(n tgraph.NodeID) (*Explanation, bool) {
 	if row < 0 {
 		return nil, false
 	}
-	count := m.lastCounts[row]
+	count := r.counts[row]
 	ex := &Explanation{Node: n, MailWeights: make([]float32, count)}
-	heads := m.Cfg.Heads
-	ex.PerHead = make([][]float32, heads)
-	for h := 0; h < heads; h++ {
+	ex.PerHead = make([][]float32, r.heads)
+	for h := 0; h < r.heads; h++ {
 		ex.PerHead[h] = make([]float32, count)
 		for i := 0; i < count; i++ {
-			w := m.lastAtt.Weight(row, h, i)
+			w := r.weights[(row*r.heads+h)*r.slots+i]
 			ex.PerHead[h][i] = w
-			ex.MailWeights[i] += w / float32(heads)
+			ex.MailWeights[i] += w / float32(r.heads)
 		}
 	}
 	return ex, true

@@ -51,11 +51,26 @@ type Model struct {
 	graphMu sync.Mutex
 
 	// explainMu guards the per-pass attention record below, which Explain
-	// reads and every forward pass overwrites.
-	explainMu  sync.Mutex
-	lastAtt    *nn.Attention
-	lastNodes  []tgraph.NodeID
-	lastCounts []int
+	// reads and every forward pass overwrites. The record is a copy: the
+	// attention weights a pass produces live in pooled tape storage that is
+	// recycled when the pass's workspace is released, so setExplain copies
+	// them into these model-owned buffers (grown once, then reused).
+	explainMu sync.Mutex
+	explain   explainRec
+
+	// wsPool recycles inference workspaces (gather buffers + reusable tape
+	// + score output) across InferBatch/Embed calls and goroutines.
+	wsPool sync.Pool
+}
+
+// explainRec is the model-owned copy of the most recent forward pass's
+// attention, sized by the pass that wrote it.
+type explainRec struct {
+	valid        bool
+	heads, slots int
+	weights      []float32
+	nodes        []tgraph.NodeID
+	counts       []int
 }
 
 // New builds an APAN model with a fresh in-process graph store.
@@ -91,6 +106,7 @@ func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
 	}
 	m.prop = NewPropagator(cfg, db, m.mbox)
 	m.opt = nn.NewAdam(m.Params(), cfg.LR)
+	m.wsPool.New = func() any { return m.newInferWorkspace() }
 	return m, nil
 }
 
@@ -209,10 +225,32 @@ type batchPlan struct {
 	negs   []tgraph.NodeID
 }
 
+// reset readies the plan for reuse, keeping map buckets and slice capacity.
+func (p *batchPlan) reset(sizeHint int) {
+	if p.rowOf == nil {
+		p.rowOf = make(map[tgraph.NodeID]int, sizeHint)
+	} else {
+		clear(p.rowOf)
+	}
+	p.nodes = p.nodes[:0]
+	p.times = p.times[:0]
+	p.srcRow = p.srcRow[:0]
+	p.dstRow = p.dstRow[:0]
+	p.negRow = p.negRow[:0]
+	p.negs = p.negs[:0]
+}
+
 // planBatch deduplicates batch nodes (each node encoded once, §3.2) and,
 // when withNegs is set, draws one negative destination per event.
 func (m *Model) planBatch(events []tgraph.Event, ns *dataset.NegSampler, withNegs bool) *batchPlan {
-	p := &batchPlan{rowOf: make(map[tgraph.NodeID]int, 3*len(events))}
+	p := &batchPlan{}
+	m.planBatchInto(p, events, ns, withNegs)
+	return p
+}
+
+// planBatchInto is planBatch writing into a caller-owned (reusable) plan.
+func (m *Model) planBatchInto(p *batchPlan, events []tgraph.Event, ns *dataset.NegSampler, withNegs bool) {
+	p.reset(3 * len(events))
 	row := func(n tgraph.NodeID, t float64) int32 {
 		if r, ok := p.rowOf[n]; ok {
 			if t > p.times[r] {
@@ -231,7 +269,7 @@ func (m *Model) planBatch(events []tgraph.Event, ns *dataset.NegSampler, withNeg
 		p.dstRow = append(p.dstRow, row(ev.Dst, ev.Time))
 	}
 	if !withNegs {
-		return p
+		return
 	}
 	for _, ev := range events {
 		var neg tgraph.NodeID
@@ -243,7 +281,6 @@ func (m *Model) planBatch(events []tgraph.Event, ns *dataset.NegSampler, withNeg
 		p.negs = append(p.negs, neg)
 		p.negRow = append(p.negRow, row(neg, ev.Time))
 	}
-	return p
 }
 
 // BatchResult reports one processed batch.
@@ -423,6 +460,12 @@ func (m *Model) CollectStream(events []tgraph.Event, ns *dataset.NegSampler, col
 // Inference is the output of the synchronous link for one served batch: the
 // interaction scores plus the fresh embeddings the asynchronous link needs
 // to write state and generate mails.
+//
+// The scores, embeddings and row indices live in a pooled workspace owned
+// by this Inference; they stay valid until Release. Call Release once the
+// result is fully consumed — after ApplyInference on the serving path — to
+// recycle the workspace; never use the Inference (or slices read from it)
+// afterwards. Skipping Release is safe but forgoes reuse.
 type Inference struct {
 	Events []tgraph.Event
 	Scores []float32
@@ -431,6 +474,28 @@ type Inference struct {
 	emb    *tensor.Matrix
 	srcRow []int32
 	dstRow []int32
+	ws     *inferWorkspace
+}
+
+// Release returns the Inference's workspace (embeddings, scores, tape
+// storage) to the model for reuse. The caller must be done with
+// ApplyInference and with every slice obtained from the Inference.
+//
+// Release must be called at most once per InferBatch result, by whoever
+// owns it last. A duplicate call *before* the model reuses the workspace
+// is a harmless no-op (the first call clears the struct), and Release on
+// an Inference from a pool-disabled model never recycles anything — but
+// once the workspace has been re-acquired by another InferBatch, the old
+// pointer aliases the new pass's live Inference, so a late duplicate
+// Release is a use-after-free-style bug, exactly like touching any other
+// released buffer. In short: after Release, drop every reference.
+func (inf *Inference) Release() {
+	ws := inf.ws
+	if ws == nil {
+		return
+	}
+	*inf = Inference{}
+	ws.release()
 }
 
 // InferBatch runs only the synchronous link on a batch: read mailboxes and
@@ -444,28 +509,31 @@ type Inference struct {
 // Config.InferWorkers > 1 the gather itself additionally fans out across
 // goroutines.
 func (m *Model) InferBatch(events []tgraph.Event) *Inference {
-	plan := m.planBatch(events, nil, false)
+	ws := m.acquireWorkspace()
+	m.planBatchInto(&ws.plan, events, nil, false)
 	m.storeMu.RLock()
-	in := ReadInputsParallel(m.st, m.mbox, plan.nodes, plan.times, m.Cfg.InferWorkers)
+	ws.gather(m.st, m.mbox, ws.plan.nodes, ws.plan.times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
-	tp := nn.NewTape()
-	z, att := m.enc.Forward(tp, in)
-	zsrc := tp.Gather(z, plan.srcRow)
-	zdst := tp.Gather(z, plan.dstRow)
+	tp := ws.tape
+	z, att := m.enc.Forward(tp, &ws.in)
+	zsrc := tp.Gather(z, ws.plan.srcRow)
+	zdst := tp.Gather(z, ws.plan.dstRow)
 	logits := m.dec.Forward(tp, zsrc, zdst)
-	m.setExplain(att, plan.nodes, in.Counts)
-	inf := &Inference{
+	m.setExplain(att, ws.plan.nodes, ws.in.Counts)
+	ws.scores = grow(ws.scores, len(events))
+	for i := range ws.scores {
+		ws.scores[i] = tensor.Sigmoid32(logits.Value().Data[i])
+	}
+	ws.inf = Inference{
 		Events: events,
-		Scores: make([]float32, len(events)),
-		nodes:  plan.nodes,
+		Scores: ws.scores,
+		nodes:  ws.plan.nodes,
 		emb:    z.Value(),
-		srcRow: plan.srcRow,
-		dstRow: plan.dstRow,
+		srcRow: ws.plan.srcRow,
+		dstRow: ws.plan.dstRow,
+		ws:     ws,
 	}
-	for i := range inf.Scores {
-		inf.Scores[i] = tensor.Sigmoid32(logits.Value().Data[i])
-	}
-	return inf
+	return &ws.inf
 }
 
 // ApplyInference performs the post-inference mutations for a served batch:
@@ -489,21 +557,38 @@ func (m *Model) ApplyInference(inf *Inference) {
 	m.graphMu.Unlock()
 }
 
-// setExplain records the most recent forward pass for Explain.
+// setExplain copies the most recent forward pass's attention into the
+// model-owned explain record: the source buffers belong to the pass's
+// workspace and are recycled on Release, so the copy is what makes Explain
+// safe after the pass's memory is reused. The buffers grow to the largest
+// batch seen and then stop allocating.
 func (m *Model) setExplain(att *nn.Attention, nodes []tgraph.NodeID, counts []int) {
+	if m.Cfg.NoExplain {
+		return
+	}
 	m.explainMu.Lock()
-	m.lastAtt, m.lastNodes, m.lastCounts = att, nodes, counts
+	r := &m.explain
+	r.valid = att != nil
+	if att != nil {
+		r.heads, r.slots = att.Heads(), att.Slots()
+		r.weights = append(r.weights[:0], att.Weights...)
+		r.nodes = append(r.nodes[:0], nodes...)
+		r.counts = append(r.counts[:0], counts...)
+	}
 	m.explainMu.Unlock()
 }
 
 // Embed returns the current temporal embeddings z(t) of the given nodes at
 // their query times, with no side effects. This is the public embedding API
 // for downstream consumers; like InferBatch it is safe for concurrent use.
+// The returned matrix is a copy owned by the caller.
 func (m *Model) Embed(nodes []tgraph.NodeID, times []float64) *tensor.Matrix {
+	ws := m.acquireWorkspace()
 	m.storeMu.RLock()
-	in := ReadInputsParallel(m.st, m.mbox, nodes, times, m.Cfg.InferWorkers)
+	ws.gather(m.st, m.mbox, nodes, times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
-	tp := nn.NewTape()
-	z, _ := m.enc.Forward(tp, in)
-	return z.Value().Clone()
+	z, _ := m.enc.Forward(ws.tape, &ws.in)
+	out := z.Value().Clone()
+	ws.release()
+	return out
 }

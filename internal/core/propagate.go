@@ -26,6 +26,16 @@ type Propagator struct {
 	mbox *mailbox.Sharded
 
 	mailsDelivered atomic.Int64
+
+	// Per-batch scratch, reused across ProcessBatch calls: the inbox map
+	// keeps its buckets, retired accumulators sit in a freelist, and one
+	// mail buffer serves every event (mailbox.Deliver copies, so nothing
+	// downstream retains these). Safe because ProcessBatch is serialized by
+	// its callers (see the type comment).
+	inbox    map[tgraph.NodeID]*mailAccum
+	freelist []*mailAccum
+	mail     []float32
+	zScratch []float32
 }
 
 // NewPropagator builds a propagator writing into mbox and reading/writing
@@ -45,6 +55,46 @@ type mailAccum struct {
 	ts  float64
 }
 
+// getAccum checks a zeroed accumulator of size dim out of the freelist.
+func (p *Propagator) getAccum(dim int) *mailAccum {
+	if n := len(p.freelist); n > 0 {
+		acc := p.freelist[n-1]
+		p.freelist[n-1] = nil
+		p.freelist = p.freelist[:n-1]
+		if cap(acc.sum) < dim {
+			acc.sum = make([]float32, dim)
+		}
+		acc.sum = acc.sum[:dim]
+		clear(acc.sum)
+		acc.n, acc.ts = 0, 0
+		return acc
+	}
+	return &mailAccum{sum: make([]float32, dim)}
+}
+
+// deliver routes one mail into the batch inbox, reducing per ψ's rule.
+func (p *Propagator) deliver(n tgraph.NodeID, vec []float32, ts float64) {
+	acc := p.inbox[n]
+	if acc == nil {
+		acc = p.getAccum(len(vec))
+		p.inbox[n] = acc
+	}
+	switch p.cfg.Reduce {
+	case ReduceLatest:
+		if ts >= acc.ts || acc.n == 0 {
+			copy(acc.sum, vec)
+			acc.ts = ts
+		}
+		acc.n = 1
+	default: // ReduceMean
+		tensor.Axpy(acc.sum, vec, 1)
+		acc.n++
+		if ts > acc.ts {
+			acc.ts = ts
+		}
+	}
+}
+
 // ProcessBatch inserts the batch's events into the temporal graph and
 // propagates their mails. zOf must return the *current* embedding z(t) of a
 // node (the state store, already updated with this batch's embeddings).
@@ -60,45 +110,31 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 	if len(events) == 0 {
 		return
 	}
-	inbox := make(map[tgraph.NodeID]*mailAccum)
-	zScratch := make([]float32, p.cfg.EdgeDim)
-
-	deliver := func(n tgraph.NodeID, vec []float32, ts float64) {
-		acc := inbox[n]
-		if acc == nil {
-			acc = &mailAccum{sum: make([]float32, len(vec))}
-			inbox[n] = acc
-		}
-		switch p.cfg.Reduce {
-		case ReduceLatest:
-			if ts >= acc.ts || acc.n == 0 {
-				copy(acc.sum, vec)
-				acc.ts = ts
-			}
-			acc.n = 1
-		default: // ReduceMean
-			tensor.Axpy(acc.sum, vec, 1)
-			acc.n++
-			if ts > acc.ts {
-				acc.ts = ts
-			}
-		}
+	if p.inbox == nil {
+		p.inbox = make(map[tgraph.NodeID]*mailAccum, 4*len(events))
 	}
+	if cap(p.mail) < p.cfg.EdgeDim {
+		p.mail = make([]float32, p.cfg.EdgeDim)
+		p.zScratch = make([]float32, p.cfg.EdgeDim)
+	}
+	mail := p.mail[:p.cfg.EdgeDim]
+	zScratch := p.zScratch[:p.cfg.EdgeDim]
 
 	for _, ev := range events {
 		// Graph write first so later events in the batch see earlier ones.
 		p.db.AddEvent(ev)
 
-		mail := make([]float32, p.cfg.EdgeDim)
+		// One mail buffer serves every event: CopyTo overwrites it fully,
+		// and deliver accumulates copies, never the buffer itself.
 		zOf.CopyTo(ev.Src, mail)
 		tensor.Axpy(mail, ev.Feat, 1)
 		zOf.CopyTo(ev.Dst, zScratch)
 		tensor.Axpy(mail, zScratch, 1)
 
 		// Hop 0: the interactive nodes themselves.
-		deliver(ev.Src, mail, ev.Time)
+		p.deliver(ev.Src, mail, ev.Time)
 		if ev.Dst != ev.Src {
-			deliver(ev.Dst, mail, ev.Time)
+			p.deliver(ev.Dst, mail, ev.Time)
 		}
 		// Hops 1..k−1: neighbors by most-recent sampling, strictly before t,
 		// so the mail travels along pre-existing temporal edges.
@@ -106,13 +142,13 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 			hops := p.db.KHopMostRecent([]tgraph.NodeID{ev.Src, ev.Dst}, ev.Time, p.cfg.Neighbors, p.cfg.Hops-1)
 			for _, level := range hops {
 				for _, inc := range level {
-					deliver(inc.Peer, mail, ev.Time)
+					p.deliver(inc.Peer, mail, ev.Time)
 				}
 			}
 		}
 	}
 
-	for n, acc := range inbox {
+	for n, acc := range p.inbox {
 		if p.cfg.Reduce != ReduceLatest && acc.n > 1 {
 			inv := 1 / float32(acc.n)
 			for i := range acc.sum {
@@ -121,5 +157,7 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 		}
 		p.mbox.Deliver(n, acc.sum, acc.ts)
 		p.mailsDelivered.Add(1)
+		p.freelist = append(p.freelist, acc)
 	}
+	clear(p.inbox)
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"apan/internal/nn"
+	"apan/internal/tensor"
+	"apan/internal/tgraph"
+)
+
+// inferWorkspace bundles every buffer one synchronous-link pass needs —
+// batch plan, EncodeInput gather buffers, the reusable inference tape with
+// its matrix pool, timestamp scratch and the score/Inference output — so a
+// warm InferBatch performs zero heap allocation.
+//
+// Ownership protocol: Model.InferBatch acquires a workspace from the
+// model's sync.Pool and returns an *Inference whose every slice and matrix
+// (Scores, embeddings, row indices) points into it. The Inference OWNS the
+// workspace from that moment: the buffers stay valid until Release is
+// called, and Release must happen only after ApplyInference (or whoever
+// consumes the result) is done reading. async.Pipeline releases after its
+// propagation worker applies the inference; direct Model users who skip
+// Release simply leave the workspace to the garbage collector (correct,
+// just not recycled).
+//
+// A workspace is single-owner by construction — it is never shared between
+// goroutines while checked out, and the sync.Pool handoff provides the
+// happens-before edge between a releasing worker and the next scorer.
+type inferWorkspace struct {
+	owner *Model // nil for unpooled (Config.NoWorkspacePool) instances
+
+	pool tensor.Pool // backing allocator for the tape and gather matrices
+	tape *nn.Tape
+
+	plan   batchPlan
+	in     EncodeInput
+	dts    []float32
+	counts []int
+	ts     []float64 // per-lane ReadSorted timestamp scratch (workers·slots)
+	scores []float32
+	inf    Inference
+}
+
+// newInferWorkspace builds a pooled workspace owned by m.
+func (m *Model) newInferWorkspace() *inferWorkspace {
+	ws := &inferWorkspace{owner: m}
+	ws.tape = nn.NewInferenceTape(&ws.pool)
+	return ws
+}
+
+// acquireWorkspace checks a workspace out of the model's pool, or builds a
+// throwaway one when pooling is disabled (the benchmark baseline): the
+// throwaway uses a grad-recording tape and fresh buffers, reproducing the
+// pre-pooling allocation behavior while running the exact same arithmetic.
+func (m *Model) acquireWorkspace() *inferWorkspace {
+	if m.Cfg.NoWorkspacePool {
+		return &inferWorkspace{tape: nn.NewTape()}
+	}
+	return m.wsPool.Get().(*inferWorkspace)
+}
+
+// release recycles the workspace: the tape returns its matrices to the
+// pool, the gather matrices follow, and the workspace goes back to the
+// model. No-op for unpooled workspaces.
+func (ws *inferWorkspace) release() {
+	if ws.owner == nil {
+		return
+	}
+	ws.tape.Reset()
+	ws.pool.Put(ws.in.ZPrev)
+	ws.pool.Put(ws.in.Mails)
+	ws.in = EncodeInput{}
+	ws.inf = Inference{}
+	ws.owner.wsPool.Put(ws)
+}
+
+// getMatrixRaw allocates through the workspace pool when pooled, without
+// zeroing reused storage. Safe for the gather buffers: ZPrev rows are fully
+// overwritten by CopyTo, and the Mails rows beyond a node's mail count are
+// masked out of attention (counts) and never influence any output.
+func (ws *inferWorkspace) getMatrixRaw(rows, cols int) *tensor.Matrix {
+	if ws.owner == nil {
+		return tensor.New(rows, cols)
+	}
+	return ws.pool.GetRaw(rows, cols)
+}
+
+// gather fills ws.in with z(t−) and the sorted mailboxes of nodes, reusing
+// the workspace buffers (see ReadInputsParallel for the semantics).
+func (ws *inferWorkspace) gather(st StateReader, mb MailReader, nodes []tgraph.NodeID, times []float64, workers int) {
+	b := len(nodes)
+	d := st.Dim()
+	m := mb.Slots()
+	lanes := workers
+	if lanes < 1 {
+		lanes = 1
+	}
+	ws.in.Nodes = nodes
+	ws.in.Times = times
+	ws.in.ZPrev = ws.getMatrixRaw(b, d)
+	ws.in.Mails = ws.getMatrixRaw(b*m, d)
+	ws.dts = grow(ws.dts, b*m)
+	ws.counts = grow(ws.counts, b)
+	ws.ts = grow(ws.ts, lanes*m)
+	in := &ws.in
+	in.DTs = ws.dts[:b*m]
+	clear(in.DTs) // only valid slots are written below
+	in.Counts = ws.counts[:b]
+	gatherInto(st, mb, nodes, times, workers, in, ws.ts)
+}
+
+// grow reslices s to length n, reallocating (without preserving contents)
+// only when capacity falls short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"apan/internal/tgraph"
+)
+
+// buildPair returns two models with identical parameters and streamed
+// state, one on the pooled zero-allocation inference path and one on the
+// allocate-fresh baseline (Config.NoWorkspacePool).
+func buildPair(t *testing.T, mutate func(*Config), seed int64) (pooled, unpooled *Model, batch []tgraph.Event) {
+	t.Helper()
+	ds := tinyData(seed)
+	cfg := tinyConfig(ds.NumNodes)
+	cfg.Seed = seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	base := cfg
+	base.NoWorkspacePool = true
+
+	var err error
+	pooled, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpooled, err = New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := ds.Events[:200]
+	pooled.EvalStream(warm, nil)
+	unpooled.EvalStream(warm, nil)
+	batch = ds.Events[200:240]
+	return pooled, unpooled, batch
+}
+
+// TestQuickPooledInferenceEquivalence: the pooled workspace + reusable tape
+// path must produce bitwise-identical scores and embeddings to the
+// allocate-fresh path, across both ψ mailbox rules and all three
+// positional-encoding modes, including repeated passes over recycled
+// buffers (a dirty workspace must not leak into the next batch).
+func TestQuickPooledInferenceEquivalence(t *testing.T) {
+	f := func(seedRaw uint8, kv bool, posRaw uint8) bool {
+		seed := int64(seedRaw) + 1
+		pos := PositionalMode(posRaw % 3)
+		pooled, unpooled, batch := buildPair(t, func(c *Config) {
+			c.KeyValueMailbox = kv
+			c.Positional = pos
+		}, seed)
+
+		want := unpooled.InferBatch(batch)
+		// Two pooled passes: the second reuses the released workspace.
+		first := pooled.InferBatch(batch)
+		firstScores := append([]float32(nil), first.Scores...)
+		first.Release()
+		got := pooled.InferBatch(batch)
+		defer got.Release()
+
+		for i := range want.Scores {
+			if got.Scores[i] != want.Scores[i] || firstScores[i] != want.Scores[i] {
+				t.Logf("seed=%d kv=%v pos=%d event %d: pooled %v/%v vs unpooled %v",
+					seed, kv, pos, i, firstScores[i], got.Scores[i], want.Scores[i])
+				return false
+			}
+		}
+		for i, v := range want.emb.Data {
+			if got.emb.Data[i] != v {
+				t.Logf("seed=%d kv=%v pos=%d emb elem %d differs", seed, kv, pos, i)
+				return false
+			}
+		}
+		return true
+	}
+	cfgQ := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfgQ.MaxCount = 4
+	}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPooledEmbedEquivalence: Embed (which releases its workspace
+// immediately) agrees with the unpooled path too.
+func TestPooledEmbedEquivalence(t *testing.T) {
+	pooled, unpooled, batch := buildPair(t, nil, 3)
+	nodes := []tgraph.NodeID{batch[0].Src, batch[0].Dst, batch[1].Src}
+	times := []float64{batch[0].Time, batch[0].Time, batch[1].Time}
+	a := pooled.Embed(nodes, times)
+	b := unpooled.Embed(nodes, times)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("elem %d: pooled %v vs unpooled %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestExplainSurvivesRelease: the explain record must be a copy of the
+// pass's attention, not a pointer into its pooled tape storage. Detection:
+// release the pass's workspace, let Embed (which records no explanation)
+// reuse it and overwrite the recycled weights buffer, then ask again — a
+// record aliasing pooled memory would now read Embed's scratch garbage.
+func TestExplainSurvivesRelease(t *testing.T) {
+	pooled, _, batch := buildPair(t, nil, 5)
+	inf := pooled.InferBatch(batch)
+	node := batch[0].Src
+	before, ok := pooled.Explain(node)
+	if !ok {
+		t.Fatalf("no explanation for scored node %d", node)
+	}
+	inf.Release()
+	// Reuse the released workspace without touching the explain record.
+	nodes := []tgraph.NodeID{batch[30].Src, batch[30].Dst, batch[31].Src}
+	times := []float64{batch[30].Time, batch[30].Time, batch[31].Time}
+	pooled.Embed(nodes, times)
+	after, ok := pooled.Explain(node)
+	if !ok {
+		t.Fatalf("explanation vanished after workspace reuse")
+	}
+	if len(after.MailWeights) != len(before.MailWeights) {
+		t.Fatalf("weight count changed %d -> %d", len(before.MailWeights), len(after.MailWeights))
+	}
+	for i := range before.MailWeights {
+		if after.MailWeights[i] != before.MailWeights[i] {
+			t.Fatalf("explain record aliased recycled memory: slot %d %v -> %v",
+				i, before.MailWeights[i], after.MailWeights[i])
+		}
+	}
+}
+
+// TestNoExplain: with recording disabled, scoring must leave no record.
+func TestNoExplain(t *testing.T) {
+	pooled, _, batch := buildPair(t, func(c *Config) { c.NoExplain = true }, 5)
+	inf := pooled.InferBatch(batch)
+	defer inf.Release()
+	if _, ok := pooled.Explain(batch[0].Src); ok {
+		t.Fatalf("Explain returned a record with NoExplain set")
+	}
+}
+
+// TestInferBatchZeroAllocSteadyState is the allocation-regression guard of
+// the zero-allocation serving hot path: after warm-up, a full
+// InferBatch+Release cycle on the pooled inference path must not allocate.
+// Guarded to the serial gather (InferWorkers=1): fan-out spawns goroutines,
+// which allocate by nature.
+func TestInferBatchZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	ds := tinyData(1)
+	cfg := tinyConfig(ds.NumNodes)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:200], nil)
+	batch := ds.Events[200:240]
+	// Warm-up: size the workspace, tape arena and explain buffers.
+	for i := 0; i < 3; i++ {
+		m.InferBatch(batch).Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		m.InferBatch(batch).Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state InferBatch allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestReleaseIdempotent: double release and release-after-zero must not
+// corrupt the pool.
+func TestReleaseIdempotent(t *testing.T) {
+	pooled, _, batch := buildPair(t, nil, 7)
+	inf := pooled.InferBatch(batch)
+	inf.Release()
+	inf.Release()
+	var empty Inference
+	empty.Release()
+	next := pooled.InferBatch(batch)
+	if len(next.Scores) != len(batch) {
+		t.Fatalf("pool corrupted after double release")
+	}
+	next.Release()
+}
+
+// TestPropagatorScratchReuse: consecutive ProcessBatch calls must agree
+// with a propagator that never reuses scratch (fresh instance per batch).
+func TestPropagatorScratchReuse(t *testing.T) {
+	for _, reduce := range []MailReduce{ReduceMean, ReduceLatest} {
+		t.Run(fmt.Sprintf("reduce=%d", reduce), func(t *testing.T) {
+			ds := tinyData(2)
+			cfg := tinyConfig(ds.NumNodes)
+			cfg.Reduce = reduce
+			reused, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := ds.Events[:300]
+			for lo := 0; lo < len(events); lo += 50 {
+				batch := events[lo : lo+50]
+				ri := reused.InferBatch(batch)
+				reused.ApplyInference(ri)
+				ri.Release()
+				// Swap in a brand-new propagator each batch on the control
+				// model: no cross-batch scratch survives.
+				fresh.prop = NewPropagator(fresh.Cfg, fresh.db, fresh.mbox)
+				fi := fresh.InferBatch(batch)
+				fresh.ApplyInference(fi)
+				fi.Release()
+			}
+			n := []tgraph.NodeID{events[0].Src, events[0].Dst, events[299].Src}
+			tm := []float64{events[299].Time, events[299].Time, events[299].Time}
+			a, b := reused.Embed(n, tm), fresh.Embed(n, tm)
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("elem %d: reused-scratch %v vs fresh-propagator %v", i, a.Data[i], b.Data[i])
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,12 @@ func (a *Attention) Weight(q, h, i int) float32 {
 	return a.Weights[(q*a.heads+h)*a.slots+i]
 }
 
+// Heads reports the head count of the recorded pass.
+func (a *Attention) Heads() int { return a.heads }
+
+// Slots reports the per-query slot count of the recorded pass.
+func (a *Attention) Slots() int { return a.slots }
+
 // MaskedMHA computes scaled dot-product multi-head attention where each of
 // the B query rows attends over its own block of `slots` key/value rows.
 //
@@ -57,7 +63,9 @@ func (tp *Tape) MaskedMHA(q, k, v *Tensor, heads int, counts []int) *Attention {
 	scale := 1 / tensor.Sqrt32(float32(dh))
 
 	out := tp.newResult(b, d, q, k, v)
-	weights := make([]float32, b*heads*slots)
+	// Pool-backed on pooled tapes: the weights live until Reset, and
+	// core.Model copies them out for Explain before the tape is recycled.
+	weights := tp.scratch(b * heads * slots)
 
 	for qi := 0; qi < b; qi++ {
 		n := counts[qi]
@@ -88,43 +96,47 @@ func (tp *Tape) MaskedMHA(q, k, v *Tensor, heads int, counts []int) *Attention {
 		}
 	}
 
-	out.back = func() {
-		for qi := 0; qi < b; qi++ {
-			n := counts[qi]
-			if n <= 0 {
-				continue
-			}
-			qrow := q.W.Row(qi)
-			grow := out.G.Row(qi)
-			for h := 0; h < heads; h++ {
-				lo := h * dh
-				qh := qrow[lo : lo+dh]
-				gh := grow[lo : lo+dh]
-				w := weights[(qi*heads+h)*slots : (qi*heads+h)*slots+slots]
-				// dα_i = gh·v_i ; ds_i = α_i (dα_i − Σ_j α_j dα_j).
-				dalpha := make([]float32, n)
-				var dot float32
-				for i := 0; i < n; i++ {
-					vh := v.W.Row(qi*slots + i)[lo : lo+dh]
-					dalpha[i] = tensor.Dot(gh, vh)
-					dot += w[i] * dalpha[i]
+	if out.needGrad {
+		out.back = func() {
+			for qi := 0; qi < b; qi++ {
+				n := counts[qi]
+				if n <= 0 {
+					continue
 				}
-				for i := 0; i < n; i++ {
-					ds := w[i] * (dalpha[i] - dot) * scale
-					if q.needGrad {
-						kh := k.W.Row(qi*slots + i)[lo : lo+dh]
-						tensor.Axpy(q.Grad().Row(qi)[lo:lo+dh], kh, ds)
+				qrow := q.W.Row(qi)
+				grow := out.G.Row(qi)
+				for h := 0; h < heads; h++ {
+					lo := h * dh
+					qh := qrow[lo : lo+dh]
+					gh := grow[lo : lo+dh]
+					w := weights[(qi*heads+h)*slots : (qi*heads+h)*slots+slots]
+					// dα_i = gh·v_i ; ds_i = α_i (dα_i − Σ_j α_j dα_j).
+					dalpha := make([]float32, n)
+					var dot float32
+					for i := 0; i < n; i++ {
+						vh := v.W.Row(qi*slots + i)[lo : lo+dh]
+						dalpha[i] = tensor.Dot(gh, vh)
+						dot += w[i] * dalpha[i]
 					}
-					if k.needGrad {
-						tensor.Axpy(k.Grad().Row(qi*slots + i)[lo:lo+dh], qh, ds)
-					}
-					if v.needGrad {
-						tensor.Axpy(v.Grad().Row(qi*slots + i)[lo:lo+dh], gh, w[i])
+					for i := 0; i < n; i++ {
+						ds := w[i] * (dalpha[i] - dot) * scale
+						if q.needGrad {
+							kh := k.W.Row(qi*slots + i)[lo : lo+dh]
+							tensor.Axpy(q.Grad().Row(qi)[lo:lo+dh], kh, ds)
+						}
+						if k.needGrad {
+							tensor.Axpy(k.Grad().Row(qi*slots + i)[lo:lo+dh], qh, ds)
+						}
+						if v.needGrad {
+							tensor.Axpy(v.Grad().Row(qi*slots + i)[lo:lo+dh], gh, w[i])
+						}
 					}
 				}
 			}
 		}
 	}
 	tp.record(out)
-	return &Attention{Out: out, Weights: weights, heads: heads, slots: slots}
+	att := tp.newAttention()
+	att.Out, att.Weights, att.heads, att.slots = out, weights, heads, slots
+	return att
 }

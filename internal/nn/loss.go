@@ -17,7 +17,7 @@ func (tp *Tape) BCEWithLogits(logits *Tensor, targets []float32) *Tensor {
 	if n == 0 {
 		panic("nn: BCEWithLogits with no targets")
 	}
-	out := tp.newResult(1, 1, logits)
+	out := tp.newResultRaw(1, 1, logits)
 	var sum float32
 	for i, y := range targets {
 		x := logits.W.Data[i]
@@ -32,12 +32,14 @@ func (tp *Tape) BCEWithLogits(logits *Tensor, targets []float32) *Tensor {
 		sum += mx - x*y + tensor.Log32(1+tensor.Exp32(-ax))
 	}
 	out.W.Data[0] = sum / float32(n)
-	out.back = func() {
-		if logits.needGrad {
-			g := logits.Grad()
-			gv := out.G.Data[0] / float32(n)
-			for i, y := range targets {
-				g.Data[i] += gv * (tensor.Sigmoid32(logits.W.Data[i]) - y)
+	if out.needGrad {
+		out.back = func() {
+			if logits.needGrad {
+				g := logits.Grad()
+				gv := out.G.Data[0] / float32(n)
+				for i, y := range targets {
+					g.Data[i] += gv * (tensor.Sigmoid32(logits.W.Data[i]) - y)
+				}
 			}
 		}
 	}
@@ -54,19 +56,21 @@ func (tp *Tape) MSE(pred *Tensor, target *tensor.Matrix) *Tensor {
 	if n == 0 {
 		panic("nn: MSE of empty tensor")
 	}
-	out := tp.newResult(1, 1, pred)
+	out := tp.newResultRaw(1, 1, pred)
 	var sum float32
 	for i, v := range pred.W.Data {
 		d := v - target.Data[i]
 		sum += d * d
 	}
 	out.W.Data[0] = sum / float32(n)
-	out.back = func() {
-		if pred.needGrad {
-			g := pred.Grad()
-			gv := out.G.Data[0] * 2 / float32(n)
-			for i, v := range pred.W.Data {
-				g.Data[i] += gv * (v - target.Data[i])
+	if out.needGrad {
+		out.back = func() {
+			if pred.needGrad {
+				g := pred.Grad()
+				gv := out.G.Data[0] * 2 / float32(n)
+				for i, v := range pred.W.Data {
+					g.Data[i] += gv * (v - target.Data[i])
+				}
 			}
 		}
 	}

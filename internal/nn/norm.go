@@ -16,10 +16,16 @@ func (tp *Tape) LayerNormOp(x, g, b *Tensor) *Tensor {
 	if g.W.Rows != 1 || g.W.Cols != d || b.W.Rows != 1 || b.W.Cols != d {
 		panic(fmt.Sprintf("nn: LayerNorm gain/bias must be 1x%d", d))
 	}
-	out := tp.newResult(x.W.Rows, d, x, g, b)
-	// xhat is cached for the backward pass; invStd per row.
-	xhat := tensor.New(x.W.Rows, d)
-	invStd := make([]float32, x.W.Rows)
+	out := tp.newResultRaw(x.W.Rows, d, x, g, b)
+
+	// xhat and invStd are caches for the backward pass; inference tapes
+	// skip them entirely and compute the normalized value inline.
+	var xhat *tensor.Matrix
+	var invStd []float32
+	if out.needGrad {
+		xhat = tp.newMatrix(x.W.Rows, d)
+		invStd = tp.scratch(x.W.Rows)
+	}
 
 	for r := 0; r < x.W.Rows; r++ {
 		row := x.W.Row(r)
@@ -35,49 +41,58 @@ func (tp *Tape) LayerNormOp(x, g, b *Tensor) *Tensor {
 		}
 		vr /= float32(d)
 		is := 1 / tensor.Sqrt32(vr+layerNormEps)
-		invStd[r] = is
-		xh := xhat.Row(r)
 		o := out.W.Row(r)
-		for j, v := range row {
-			h := (v - mean) * is
-			xh[j] = h
-			o[j] = g.W.Data[j]*h + b.W.Data[j]
+		if out.needGrad {
+			invStd[r] = is
+			xh := xhat.Row(r)
+			for j, v := range row {
+				h := (v - mean) * is
+				xh[j] = h
+				o[j] = g.W.Data[j]*h + b.W.Data[j]
+			}
+		} else {
+			for j, v := range row {
+				h := (v - mean) * is
+				o[j] = g.W.Data[j]*h + b.W.Data[j]
+			}
 		}
 	}
 
-	out.back = func() {
-		n := float32(d)
-		for r := 0; r < out.G.Rows; r++ {
-			gr := out.G.Row(r)
-			xh := xhat.Row(r)
-			if g.needGrad {
-				gg := g.Grad().Data
-				for j, gv := range gr {
-					gg[j] += gv * xh[j]
+	if out.needGrad {
+		out.back = func() {
+			n := float32(d)
+			for r := 0; r < out.G.Rows; r++ {
+				gr := out.G.Row(r)
+				xh := xhat.Row(r)
+				if g.needGrad {
+					gg := g.Grad().Data
+					for j, gv := range gr {
+						gg[j] += gv * xh[j]
+					}
 				}
-			}
-			if b.needGrad {
-				bg := b.Grad().Data
-				for j, gv := range gr {
-					bg[j] += gv
+				if b.needGrad {
+					bg := b.Grad().Data
+					for j, gv := range gr {
+						bg[j] += gv
+					}
 				}
-			}
-			if x.needGrad {
-				// dxhat = dy ⊙ g; dx = invStd (dxhat − mean(dxhat) − xhat·mean(dxhat⊙xhat)).
-				var sum, sumXh float32
-				dxhat := make([]float32, d)
-				for j, gv := range gr {
-					dx := gv * g.W.Data[j]
-					dxhat[j] = dx
-					sum += dx
-					sumXh += dx * xh[j]
-				}
-				mean := sum / n
-				meanXh := sumXh / n
-				xg := x.Grad().Row(r)
-				is := invStd[r]
-				for j, dx := range dxhat {
-					xg[j] += is * (dx - mean - xh[j]*meanXh)
+				if x.needGrad {
+					// dxhat = dy ⊙ g; dx = invStd (dxhat − mean(dxhat) − xhat·mean(dxhat⊙xhat)).
+					var sum, sumXh float32
+					dxhat := make([]float32, d)
+					for j, gv := range gr {
+						dx := gv * g.W.Data[j]
+						dxhat[j] = dx
+						sum += dx
+						sumXh += dx * xh[j]
+					}
+					mean := sum / n
+					meanXh := sumXh / n
+					xg := x.Grad().Row(r)
+					is := invStd[r]
+					for j, dx := range dxhat {
+						xg[j] += is * (dx - mean - xh[j]*meanXh)
+					}
 				}
 			}
 		}

@@ -6,16 +6,24 @@ import (
 	"apan/internal/tensor"
 )
 
+// Every op guards its backward-closure construction behind out.needGrad:
+// the closure is a heap allocation, and on inference tapes (nograd) no
+// output ever needs gradients, which is what makes a warm pooled forward
+// pass allocation-free. On grad-enabled tapes the guard is a no-op change:
+// Backward only ever invokes back() on tensors with needGrad set.
+
 // MatMul returns a·b.
 func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, b.W.Cols, a, b)
+	out := tp.newResultRaw(a.W.Rows, b.W.Cols, a, b)
 	tensor.MatMul(out.W, a.W, b.W)
-	out.back = func() {
-		if a.needGrad {
-			tensor.MatMulBTAcc(a.Grad(), out.G, b.W) // dA += dOut·Bᵀ
-		}
-		if b.needGrad {
-			tensor.MatMulATAcc(b.Grad(), a.W, out.G) // dB += Aᵀ·dOut
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				tensor.MatMulBTAcc(a.Grad(), out.G, b.W) // dA += dOut·Bᵀ
+			}
+			if b.needGrad {
+				tensor.MatMulATAcc(b.Grad(), a.W, out.G) // dB += Aᵀ·dOut
+			}
 		}
 	}
 	return tp.record(out)
@@ -23,15 +31,16 @@ func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
 
 // Add returns a+b element-wise (same shape).
 func (tp *Tape) Add(a, b *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
-	out.W.CopyFrom(a.W)
-	out.W.Add(b.W)
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().Add(out.G)
-		}
-		if b.needGrad {
-			b.Grad().Add(out.G)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, b)
+	tensor.AddScaledTo(out.W.Data, a.W.Data, b.W.Data, 1)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().Add(out.G)
+			}
+			if b.needGrad {
+				b.Grad().Add(out.G)
+			}
 		}
 	}
 	return tp.record(out)
@@ -39,15 +48,16 @@ func (tp *Tape) Add(a, b *Tensor) *Tensor {
 
 // Sub returns a−b element-wise.
 func (tp *Tape) Sub(a, b *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
-	out.W.CopyFrom(a.W)
-	out.W.Sub(b.W)
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().Add(out.G)
-		}
-		if b.needGrad {
-			b.Grad().AddScaled(out.G, -1)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, b)
+	tensor.AddScaledTo(out.W.Data, a.W.Data, b.W.Data, -1)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().Add(out.G)
+			}
+			if b.needGrad {
+				b.Grad().AddScaled(out.G, -1)
+			}
 		}
 	}
 	return tp.record(out)
@@ -55,20 +65,24 @@ func (tp *Tape) Sub(a, b *Tensor) *Tensor {
 
 // Mul returns a⊙b element-wise.
 func (tp *Tape) Mul(a, b *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, b)
-	out.W.CopyFrom(a.W)
-	out.W.MulElem(b.W)
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				g.Data[i] += v * b.W.Data[i]
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, b)
+	bd := b.W.Data
+	for i, v := range a.W.Data {
+		out.W.Data[i] = v * bd[i]
+	}
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					g.Data[i] += v * b.W.Data[i]
+				}
 			}
-		}
-		if b.needGrad {
-			g := b.Grad()
-			for i, v := range out.G.Data {
-				g.Data[i] += v * a.W.Data[i]
+			if b.needGrad {
+				g := b.Grad()
+				for i, v := range out.G.Data {
+					g.Data[i] += v * a.W.Data[i]
+				}
 			}
 		}
 	}
@@ -77,12 +91,15 @@ func (tp *Tape) Mul(a, b *Tensor) *Tensor {
 
 // Scale returns s·a.
 func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
-	out.W.CopyFrom(a.W)
-	out.W.Scale(s)
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().AddScaled(out.G, s)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
+	for i, v := range a.W.Data {
+		out.W.Data[i] = v * s
+	}
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().AddScaled(out.G, s)
+			}
 		}
 	}
 	return tp.record(out)
@@ -90,13 +107,53 @@ func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
 
 // AddConst returns a+c element-wise.
 func (tp *Tape) AddConst(a *Tensor, c float32) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		out.W.Data[i] = v + c
 	}
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().Add(out.G)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().Add(out.G)
+			}
+		}
+	}
+	return tp.record(out)
+}
+
+// ScalarAffine returns g·a + b element-wise, where g and b are 1×1 tensors
+// broadcast over a — the calibrated-decoder head fused into one op (the
+// Gather-broadcast formulation it replaces allocated an index slice and two
+// intermediate matrices per call).
+func (tp *Tape) ScalarAffine(a, g, b *Tensor) *Tensor {
+	if g.W.Rows != 1 || g.W.Cols != 1 || b.W.Rows != 1 || b.W.Cols != 1 {
+		panic(fmt.Sprintf("nn: ScalarAffine gain/bias must be 1x1, got %dx%d and %dx%d",
+			g.W.Rows, g.W.Cols, b.W.Rows, b.W.Cols))
+	}
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, g, b)
+	gv, bv := g.W.Data[0], b.W.Data[0]
+	for i, v := range a.W.Data {
+		out.W.Data[i] = v*gv + bv
+	}
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().AddScaled(out.G, gv)
+			}
+			if g.needGrad {
+				var s float32
+				for i, v := range out.G.Data {
+					s += v * a.W.Data[i]
+				}
+				g.Grad().Data[0] += s
+			}
+			if b.needGrad {
+				var s float32
+				for _, v := range out.G.Data {
+					s += v
+				}
+				b.Grad().Data[0] += s
+			}
 		}
 	}
 	return tp.record(out)
@@ -107,7 +164,7 @@ func (tp *Tape) AddRowVec(a, v *Tensor) *Tensor {
 	if v.W.Rows != 1 || v.W.Cols != a.W.Cols {
 		panic(fmt.Sprintf("nn: AddRowVec wants 1x%d vector, got %dx%d", a.W.Cols, v.W.Rows, v.W.Cols))
 	}
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, v)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, v)
 	for r := 0; r < a.W.Rows; r++ {
 		dst := out.W.Row(r)
 		src := a.W.Row(r)
@@ -115,16 +172,18 @@ func (tp *Tape) AddRowVec(a, v *Tensor) *Tensor {
 			dst[j] = src[j] + b
 		}
 	}
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().Add(out.G)
-		}
-		if v.needGrad {
-			g := v.Grad().Data
-			for r := 0; r < out.G.Rows; r++ {
-				row := out.G.Row(r)
-				for j, gv := range row {
-					g[j] += gv
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().Add(out.G)
+			}
+			if v.needGrad {
+				g := v.Grad().Data
+				for r := 0; r < out.G.Rows; r++ {
+					row := out.G.Row(r)
+					for j, gv := range row {
+						g[j] += gv
+					}
 				}
 			}
 		}
@@ -138,7 +197,7 @@ func (tp *Tape) MulRowVec(a, v *Tensor) *Tensor {
 	if v.W.Rows != 1 || v.W.Cols != a.W.Cols {
 		panic(fmt.Sprintf("nn: MulRowVec wants 1x%d vector, got %dx%d", a.W.Cols, v.W.Rows, v.W.Cols))
 	}
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, v)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, v)
 	for r := 0; r < a.W.Rows; r++ {
 		dst := out.W.Row(r)
 		src := a.W.Row(r)
@@ -146,20 +205,22 @@ func (tp *Tape) MulRowVec(a, v *Tensor) *Tensor {
 			dst[j] = src[j] * m
 		}
 	}
-	out.back = func() {
-		for r := 0; r < out.G.Rows; r++ {
-			gr := out.G.Row(r)
-			if a.needGrad {
-				ag := a.Grad().Row(r)
-				for j, gv := range gr {
-					ag[j] += gv * v.W.Data[j]
+	if out.needGrad {
+		out.back = func() {
+			for r := 0; r < out.G.Rows; r++ {
+				gr := out.G.Row(r)
+				if a.needGrad {
+					ag := a.Grad().Row(r)
+					for j, gv := range gr {
+						ag[j] += gv * v.W.Data[j]
+					}
 				}
-			}
-			if v.needGrad {
-				vg := v.Grad().Data
-				ar := a.W.Row(r)
-				for j, gv := range gr {
-					vg[j] += gv * ar[j]
+				if v.needGrad {
+					vg := v.Grad().Data
+					ar := a.W.Row(r)
+					for j, gv := range gr {
+						vg[j] += gv * ar[j]
+					}
 				}
 			}
 		}
@@ -175,7 +236,7 @@ func (tp *Tape) AddRowsTiled(a, p *Tensor) *Tensor {
 	if a.W.Cols != p.W.Cols || a.W.Rows%m != 0 {
 		panic(fmt.Sprintf("nn: AddRowsTiled %dx%d with tile %dx%d", a.W.Rows, a.W.Cols, p.W.Rows, p.W.Cols))
 	}
-	out := tp.newResult(a.W.Rows, a.W.Cols, a, p)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, p)
 	for r := 0; r < a.W.Rows; r++ {
 		dst := out.W.Row(r)
 		src := a.W.Row(r)
@@ -184,14 +245,16 @@ func (tp *Tape) AddRowsTiled(a, p *Tensor) *Tensor {
 			dst[j] = src[j] + pr[j]
 		}
 	}
-	out.back = func() {
-		if a.needGrad {
-			a.Grad().Add(out.G)
-		}
-		if p.needGrad {
-			pg := p.Grad()
-			for r := 0; r < out.G.Rows; r++ {
-				tensor.Axpy(pg.Row(r%m), out.G.Row(r), 1)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				a.Grad().Add(out.G)
+			}
+			if p.needGrad {
+				pg := p.Grad()
+				for r := 0; r < out.G.Rows; r++ {
+					tensor.Axpy(pg.Row(r%m), out.G.Row(r), 1)
+				}
 			}
 		}
 	}
@@ -204,20 +267,22 @@ func (tp *Tape) ConcatCols(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: ConcatCols rows %d vs %d", a.W.Rows, b.W.Rows))
 	}
 	ac, bc := a.W.Cols, b.W.Cols
-	out := tp.newResult(a.W.Rows, ac+bc, a, b)
+	out := tp.newResultRaw(a.W.Rows, ac+bc, a, b)
 	for r := 0; r < a.W.Rows; r++ {
 		dst := out.W.Row(r)
 		copy(dst[:ac], a.W.Row(r))
 		copy(dst[ac:], b.W.Row(r))
 	}
-	out.back = func() {
-		for r := 0; r < out.G.Rows; r++ {
-			src := out.G.Row(r)
-			if a.needGrad {
-				tensor.Axpy(a.Grad().Row(r), src[:ac], 1)
-			}
-			if b.needGrad {
-				tensor.Axpy(b.Grad().Row(r), src[ac:], 1)
+	if out.needGrad {
+		out.back = func() {
+			for r := 0; r < out.G.Rows; r++ {
+				src := out.G.Row(r)
+				if a.needGrad {
+					tensor.Axpy(a.Grad().Row(r), src[:ac], 1)
+				}
+				if b.needGrad {
+					tensor.Axpy(b.Grad().Row(r), src[ac:], 1)
+				}
 			}
 		}
 	}
@@ -234,14 +299,16 @@ func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
 	if lo < 0 || hi > a.W.Cols || lo >= hi {
 		panic(fmt.Sprintf("nn: SliceCols [%d,%d) of %d cols", lo, hi, a.W.Cols))
 	}
-	out := tp.newResult(a.W.Rows, hi-lo, a)
+	out := tp.newResultRaw(a.W.Rows, hi-lo, a)
 	for r := 0; r < a.W.Rows; r++ {
 		copy(out.W.Row(r), a.W.Row(r)[lo:hi])
 	}
-	out.back = func() {
-		if a.needGrad {
-			for r := 0; r < out.G.Rows; r++ {
-				tensor.Axpy(a.Grad().Row(r)[lo:hi], out.G.Row(r), 1)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				for r := 0; r < out.G.Rows; r++ {
+					tensor.Axpy(a.Grad().Row(r)[lo:hi], out.G.Row(r), 1)
+				}
 			}
 		}
 	}
@@ -256,12 +323,14 @@ func (tp *Tape) ReLU(a *Tensor) *Tensor {
 			out.W.Data[i] = v
 		}
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				if a.W.Data[i] > 0 {
-					g.Data[i] += v
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					if a.W.Data[i] > 0 {
+						g.Data[i] += v
+					}
 				}
 			}
 		}
@@ -271,7 +340,7 @@ func (tp *Tape) ReLU(a *Tensor) *Tensor {
 
 // LeakyReLU returns a where a>0, slope·a otherwise.
 func (tp *Tape) LeakyReLU(a *Tensor, slope float32) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		if v > 0 {
 			out.W.Data[i] = v
@@ -279,14 +348,16 @@ func (tp *Tape) LeakyReLU(a *Tensor, slope float32) *Tensor {
 			out.W.Data[i] = slope * v
 		}
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				if a.W.Data[i] > 0 {
-					g.Data[i] += v
-				} else {
-					g.Data[i] += slope * v
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					if a.W.Data[i] > 0 {
+						g.Data[i] += v
+					} else {
+						g.Data[i] += slope * v
+					}
 				}
 			}
 		}
@@ -296,16 +367,18 @@ func (tp *Tape) LeakyReLU(a *Tensor, slope float32) *Tensor {
 
 // Sigmoid returns σ(a) element-wise.
 func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		out.W.Data[i] = tensor.Sigmoid32(v)
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				s := out.W.Data[i]
-				g.Data[i] += v * s * (1 - s)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					s := out.W.Data[i]
+					g.Data[i] += v * s * (1 - s)
+				}
 			}
 		}
 	}
@@ -314,16 +387,18 @@ func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
 
 // Tanh returns tanh(a) element-wise.
 func (tp *Tape) Tanh(a *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		out.W.Data[i] = tensor.Tanh32(v)
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				t := out.W.Data[i]
-				g.Data[i] += v * (1 - t*t)
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					t := out.W.Data[i]
+					g.Data[i] += v * (1 - t*t)
+				}
 			}
 		}
 	}
@@ -332,15 +407,17 @@ func (tp *Tape) Tanh(a *Tensor) *Tensor {
 
 // Exp returns e^a element-wise.
 func (tp *Tape) Exp(a *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		out.W.Data[i] = tensor.Exp32(v)
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				g.Data[i] += v * out.W.Data[i]
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					g.Data[i] += v * out.W.Data[i]
+				}
 			}
 		}
 	}
@@ -349,15 +426,17 @@ func (tp *Tape) Exp(a *Tensor) *Tensor {
 
 // Square returns a² element-wise.
 func (tp *Tape) Square(a *Tensor) *Tensor {
-	out := tp.newResult(a.W.Rows, a.W.Cols, a)
+	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		out.W.Data[i] = v * v
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				g.Data[i] += 2 * v * a.W.Data[i]
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					g.Data[i] += 2 * v * a.W.Data[i]
+				}
 			}
 		}
 	}
@@ -383,11 +462,13 @@ func (tp *Tape) Dropout(a *Tensor, rate float32) *Tensor {
 			out.W.Data[i] = v * inv
 		}
 	}
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			for i, v := range out.G.Data {
-				g.Data[i] += v * mask[i]
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				for i, v := range out.G.Data {
+					g.Data[i] += v * mask[i]
+				}
 			}
 		}
 	}
@@ -396,18 +477,20 @@ func (tp *Tape) Dropout(a *Tensor, rate float32) *Tensor {
 
 // SumAll reduces a to a 1×1 scalar by summation.
 func (tp *Tape) SumAll(a *Tensor) *Tensor {
-	out := tp.newResult(1, 1, a)
+	out := tp.newResultRaw(1, 1, a)
 	var s float32
 	for _, v := range a.W.Data {
 		s += v
 	}
 	out.W.Data[0] = s
-	out.back = func() {
-		if a.needGrad {
-			g := a.Grad()
-			gv := out.G.Data[0]
-			for i := range g.Data {
-				g.Data[i] += gv
+	if out.needGrad {
+		out.back = func() {
+			if a.needGrad {
+				g := a.Grad()
+				gv := out.G.Data[0]
+				for i := range g.Data {
+					g.Data[i] += gv
+				}
 			}
 		}
 	}
@@ -426,15 +509,17 @@ func (tp *Tape) MeanAll(a *Tensor) *Tensor {
 // Gather selects rows of table by index, the embedding-lookup primitive.
 // Backward scatter-adds into the table gradient.
 func (tp *Tape) Gather(table *Tensor, idx []int32) *Tensor {
-	out := tp.newResult(len(idx), table.W.Cols, table)
+	out := tp.newResultRaw(len(idx), table.W.Cols, table)
 	for r, id := range idx {
 		copy(out.W.Row(r), table.W.Row(int(id)))
 	}
-	out.back = func() {
-		if table.needGrad {
-			g := table.Grad()
-			for r, id := range idx {
-				tensor.Axpy(g.Row(int(id)), out.G.Row(r), 1)
+	if out.needGrad {
+		out.back = func() {
+			if table.needGrad {
+				g := table.Grad()
+				for r, id := range idx {
+					tensor.Axpy(g.Row(int(id)), out.G.Row(r), 1)
+				}
 			}
 		}
 	}
@@ -465,11 +550,13 @@ func (tp *Tape) SegmentMean(x *Tensor, segOf []int32, numSeg int) *Tensor {
 			}
 		}
 	}
-	out.back = func() {
-		if x.needGrad {
-			g := x.Grad()
-			for r, s := range segOf {
-				tensor.Axpy(g.Row(r), out.G.Row(int(s)), 1/counts[s])
+	if out.needGrad {
+		out.back = func() {
+			if x.needGrad {
+				g := x.Grad()
+				for r, s := range segOf {
+					tensor.Axpy(g.Row(r), out.G.Row(int(s)), 1/counts[s])
+				}
 			}
 		}
 	}
@@ -487,7 +574,7 @@ func (tp *Tape) OverlayRows(base, overlay *Tensor, rows []int32) *Tensor {
 	if len(rows) != overlay.W.Rows {
 		panic(fmt.Sprintf("nn: OverlayRows %d rows for %d overlay rows", len(rows), overlay.W.Rows))
 	}
-	out := tp.newResult(base.W.Rows, base.W.Cols, base, overlay)
+	out := tp.newResultRaw(base.W.Rows, base.W.Cols, base, overlay)
 	out.W.CopyFrom(base.W)
 	// winner[r] records which overlay row owns base row r (-1: base).
 	winner := make([]int32, base.W.Rows)
@@ -498,14 +585,16 @@ func (tp *Tape) OverlayRows(base, overlay *Tensor, rows []int32) *Tensor {
 		copy(out.W.Row(int(r)), overlay.W.Row(i))
 		winner[r] = int32(i)
 	}
-	out.back = func() {
-		for r := 0; r < out.G.Rows; r++ {
-			if w := winner[r]; w >= 0 {
-				if overlay.needGrad {
-					tensor.Axpy(overlay.Grad().Row(int(w)), out.G.Row(r), 1)
+	if out.needGrad {
+		out.back = func() {
+			for r := 0; r < out.G.Rows; r++ {
+				if w := winner[r]; w >= 0 {
+					if overlay.needGrad {
+						tensor.Axpy(overlay.Grad().Row(int(w)), out.G.Row(r), 1)
+					}
+				} else if base.needGrad {
+					tensor.Axpy(base.Grad().Row(r), out.G.Row(r), 1)
 				}
-			} else if base.needGrad {
-				tensor.Axpy(base.Grad().Row(r), out.G.Row(r), 1)
 			}
 		}
 	}
@@ -518,18 +607,20 @@ func (tp *Tape) RowDot(a, b *Tensor) *Tensor {
 	if a.W.Rows != b.W.Rows || a.W.Cols != b.W.Cols {
 		panic(fmt.Sprintf("nn: RowDot shape mismatch %dx%d vs %dx%d", a.W.Rows, a.W.Cols, b.W.Rows, b.W.Cols))
 	}
-	out := tp.newResult(a.W.Rows, 1, a, b)
+	out := tp.newResultRaw(a.W.Rows, 1, a, b)
 	for r := 0; r < a.W.Rows; r++ {
 		out.W.Data[r] = tensor.Dot(a.W.Row(r), b.W.Row(r))
 	}
-	out.back = func() {
-		for r := 0; r < out.G.Rows; r++ {
-			gv := out.G.Data[r]
-			if a.needGrad {
-				tensor.Axpy(a.Grad().Row(r), b.W.Row(r), gv)
-			}
-			if b.needGrad {
-				tensor.Axpy(b.Grad().Row(r), a.W.Row(r), gv)
+	if out.needGrad {
+		out.back = func() {
+			for r := 0; r < out.G.Rows; r++ {
+				gv := out.G.Data[r]
+				if a.needGrad {
+					tensor.Axpy(a.Grad().Row(r), b.W.Row(r), gv)
+				}
+				if b.needGrad {
+					tensor.Axpy(b.Grad().Row(r), a.W.Row(r), gv)
+				}
 			}
 		}
 	}

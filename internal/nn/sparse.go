@@ -33,13 +33,15 @@ func (s *SparseMatrix) MulDense(dst, x *tensor.Matrix) {
 // normalized adjacency Â = D^{-1/2}(A+I)D^{-1/2}), which makes the backward
 // pass dX += S·dY.
 func (tp *Tape) SpMM(s *SparseMatrix, x *Tensor) *Tensor {
-	out := tp.newResult(s.N, x.W.Cols, x)
+	out := tp.newResultRaw(s.N, x.W.Cols, x)
 	s.MulDense(out.W, x.W)
-	out.back = func() {
-		if x.needGrad {
-			tmp := tensor.New(s.N, x.W.Cols)
-			s.MulDense(tmp, out.G)
-			x.Grad().Add(tmp)
+	if out.needGrad {
+		out.back = func() {
+			if x.needGrad {
+				tmp := tensor.New(s.N, x.W.Cols)
+				s.MulDense(tmp, out.G)
+				x.Grad().Add(tmp)
+			}
 		}
 	}
 	return tp.record(out)

@@ -48,37 +48,151 @@ func ParamFrom(m *tensor.Matrix) *Tensor {
 	return &Tensor{W: m, G: tensor.New(m.Rows, m.Cols), needGrad: true}
 }
 
-// Tape records operations so Backward can replay them in reverse. A tape is
-// cheap; build a fresh one per forward pass.
+// Tape records operations so Backward can replay them in reverse. A plain
+// tape (NewTape/NewTrainingTape) is cheap to build fresh per forward pass.
+// A pooled tape (NewInferenceTape) is the opposite: it is built once, holds
+// on to every Tensor node and op-output matrix it ever handed out, and
+// Reset recycles them wholesale — after warm-up a forward pass on a pooled
+// tape performs zero heap allocation.
 type Tape struct {
 	nodes    []*Tensor
 	training bool
 	rng      *rand.Rand
+
+	// nograd marks an inference-only tape: op outputs never need
+	// gradients, so the ops skip building their backward closures (each
+	// closure is a heap allocation) and Backward panics.
+	nograd bool
+
+	// pool, when non-nil, supplies op-output matrices and scratch buffers;
+	// everything drawn is tracked in owned and returned on Reset. The tape
+	// owns its pool exclusively (pools are not goroutine-safe).
+	pool  *tensor.Pool
+	owned []*tensor.Matrix
+
+	// arena recycles the Tensor nodes themselves across Reset.
+	arena []*Tensor
+	used  int
+
+	// attArena recycles the Attention records MaskedMHA returns.
+	attArena []*Attention
+	attUsed  int
 }
 
-// NewTape returns an inference-mode tape (dropout disabled).
+// NewTape returns an inference-mode tape (dropout disabled) that still
+// records backward closures, so Backward works when any input needs
+// gradients. Build a fresh one per forward pass.
 func NewTape() *Tape { return &Tape{} }
 
 // NewTrainingTape returns a tape with dropout enabled, drawing masks from rng.
 func NewTrainingTape(rng *rand.Rand) *Tape { return &Tape{training: true, rng: rng} }
 
+// NewInferenceTape returns a reusable zero-allocation tape for serving:
+// gradients are disabled outright (Backward panics), op outputs draw their
+// storage from pool, and Reset recycles every node and matrix for the next
+// pass. The tape takes exclusive ownership of pool.
+func NewInferenceTape(pool *tensor.Pool) *Tape {
+	return &Tape{nograd: true, pool: pool}
+}
+
 // Training reports whether the tape runs in training mode.
 func (tp *Tape) Training() bool { return tp.training }
 
-// Input wraps a constant matrix as a leaf tensor with no gradient.
-func (tp *Tape) Input(m *tensor.Matrix) *Tensor {
-	return &Tensor{W: m}
+// Reset recycles the tape for the next forward pass: every pooled matrix
+// returns to the pool and the Tensor/Attention nodes are reused in place.
+// Values produced by the previous pass become invalid. Only meaningful on
+// pooled tapes; on a plain tape it just truncates the op record.
+func (tp *Tape) Reset() {
+	if tp.pool != nil {
+		for i, m := range tp.owned {
+			tp.pool.Put(m)
+			tp.owned[i] = nil
+		}
+		tp.owned = tp.owned[:0]
+	}
+	tp.nodes = tp.nodes[:0]
+	tp.used = 0
+	tp.attUsed = 0
 }
 
-// record registers an op output on the tape.
+// alloc hands out a zeroed Tensor node, reusing the arena on pooled tapes.
+func (tp *Tape) alloc() *Tensor {
+	if tp.used < len(tp.arena) {
+		t := tp.arena[tp.used]
+		tp.used++
+		*t = Tensor{}
+		return t
+	}
+	t := &Tensor{}
+	tp.arena = append(tp.arena, t)
+	tp.used++
+	return t
+}
+
+// newMatrix allocates zeroed op-output storage, from the pool when present.
+func (tp *Tape) newMatrix(rows, cols int) *tensor.Matrix {
+	if tp.pool == nil {
+		return tensor.New(rows, cols)
+	}
+	m := tp.pool.Get(rows, cols)
+	tp.owned = append(tp.owned, m)
+	return m
+}
+
+// newMatrixRaw is newMatrix without the zeroing, for ops that overwrite
+// every element of their output (reused pool storage carries stale values).
+func (tp *Tape) newMatrixRaw(rows, cols int) *tensor.Matrix {
+	if tp.pool == nil {
+		return tensor.New(rows, cols)
+	}
+	m := tp.pool.GetRaw(rows, cols)
+	tp.owned = append(tp.owned, m)
+	return m
+}
+
+// scratch allocates a zeroed float32 buffer with tape lifetime (returned to
+// the pool on Reset) for op-internal caches like attention weights.
+func (tp *Tape) scratch(n int) []float32 {
+	return tp.newMatrix(1, n).Data
+}
+
+// Input wraps a constant matrix as a leaf tensor with no gradient.
+func (tp *Tape) Input(m *tensor.Matrix) *Tensor {
+	t := tp.alloc()
+	t.W = m
+	return t
+}
+
+// record registers an op output on the tape. Inference tapes skip the
+// bookkeeping: they never replay.
 func (tp *Tape) record(out *Tensor) *Tensor {
-	tp.nodes = append(tp.nodes, out)
+	if !tp.nograd {
+		tp.nodes = append(tp.nodes, out)
+	}
 	return out
 }
 
-// newResult builds the output tensor for an op with the given inputs.
+// newResult builds the output tensor for an op with the given inputs. The
+// value matrix is zeroed — required by ops that write sparsely (ReLU,
+// MaskedMHA, SegmentMean, Dropout).
 func (tp *Tape) newResult(rows, cols int, inputs ...*Tensor) *Tensor {
-	out := &Tensor{W: tensor.New(rows, cols)}
+	out := tp.alloc()
+	out.W = tp.newMatrix(rows, cols)
+	return tp.finishResult(out, inputs)
+}
+
+// newResultRaw is newResult with uninitialized value storage, for ops that
+// assign every output element.
+func (tp *Tape) newResultRaw(rows, cols int, inputs ...*Tensor) *Tensor {
+	out := tp.alloc()
+	out.W = tp.newMatrixRaw(rows, cols)
+	return tp.finishResult(out, inputs)
+}
+
+func (tp *Tape) finishResult(out *Tensor, inputs []*Tensor) *Tensor {
+	if tp.nograd {
+		return out
+	}
 	for _, in := range inputs {
 		if in.needGrad {
 			out.needGrad = true
@@ -88,10 +202,27 @@ func (tp *Tape) newResult(rows, cols int, inputs ...*Tensor) *Tensor {
 	return out
 }
 
+// newAttention hands out an Attention record, reused across Reset.
+func (tp *Tape) newAttention() *Attention {
+	if tp.attUsed < len(tp.attArena) {
+		a := tp.attArena[tp.attUsed]
+		tp.attUsed++
+		*a = Attention{}
+		return a
+	}
+	a := &Attention{}
+	tp.attArena = append(tp.attArena, a)
+	tp.attUsed++
+	return a
+}
+
 // Backward seeds d(loss)/d(loss)=1 and propagates gradients to every tensor
 // reachable from loss that needs them. loss must be a 1×1 tensor produced on
 // this tape.
 func (tp *Tape) Backward(loss *Tensor) {
+	if tp.nograd {
+		panic("nn: Backward on an inference tape (NewInferenceTape disables gradients)")
+	}
 	if loss.W.Rows != 1 || loss.W.Cols != 1 {
 		panic(fmt.Sprintf("nn: Backward needs a scalar loss, got %dx%d", loss.W.Rows, loss.W.Cols))
 	}

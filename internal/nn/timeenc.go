@@ -16,25 +16,27 @@ func (tp *Tape) TimeEncode(dts []float32, omega, phi *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: TimeEncode omega/phi must be 1x%d", dim))
 	}
 	n := len(dts)
-	out := tp.newResult(n, dim, omega, phi)
+	out := tp.newResultRaw(n, dim, omega, phi)
 	for i, dt := range dts {
 		row := out.W.Row(i)
 		for j := 0; j < dim; j++ {
 			row[j] = tensor.Cos32(omega.W.Data[j]*dt + phi.W.Data[j])
 		}
 	}
-	out.back = func() {
-		og := omega.Grad()
-		pg := phi.Grad()
-		for i, dt := range dts {
-			gr := out.G.Row(i)
-			for j, gv := range gr {
-				s := -tensor.Sin32(omega.W.Data[j]*dt+phi.W.Data[j]) * gv
-				if omega.needGrad {
-					og.Data[j] += s * dt
-				}
-				if phi.needGrad {
-					pg.Data[j] += s
+	if out.needGrad {
+		out.back = func() {
+			og := omega.Grad()
+			pg := phi.Grad()
+			for i, dt := range dts {
+				gr := out.G.Row(i)
+				for j, gv := range gr {
+					s := -tensor.Sin32(omega.W.Data[j]*dt+phi.W.Data[j]) * gv
+					if omega.needGrad {
+						og.Data[j] += s * dt
+					}
+					if phi.needGrad {
+						pg.Data[j] += s
+					}
 				}
 			}
 		}

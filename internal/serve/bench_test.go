@@ -24,6 +24,7 @@ func BenchmarkMicroBatch(b *testing.B) {
 		ctx := context.Background()
 		var next atomic.Int64
 		start := time.Now()
+		b.ReportAllocs()
 		b.ResetTimer()
 		var wg sync.WaitGroup
 		for c := 0; c < clients; c++ {

@@ -1,0 +1,133 @@
+package tensor
+
+import "fmt"
+
+// This file holds the blocked/unrolled float32 kernels behind the public
+// linear-algebra entry points in matrix.go. The shapes APAN serves are
+// short-fat: row vectors of the embedding dimension d (~100–200 floats)
+// multiplied against d×d projection weights, so the kernels optimize for
+// (a) keeping a handful of independent accumulators in registers to hide
+// FMA latency, and (b) streaming each output row once per four k-steps
+// instead of once per k-step. Summation order differs from the naive
+// loops, so results are equal to the naive path only up to float32
+// rounding (ε); see kernels_test.go for the testing/quick equivalence
+// properties against straight-line references.
+
+// dotKernel is the 4-accumulator inner product.
+func dotKernel(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// dot4Kernel computes four inner products of a against b0..b3 in one pass
+// over a, so a is loaded once per four outputs (the a·Bᵀ access pattern of
+// attention K·Q scoring, where four key rows share one query row).
+func dot4Kernel(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32) {
+	for i, av := range a {
+		d0 += av * b0[i]
+		d1 += av * b1[i]
+		d2 += av * b2[i]
+		d3 += av * b3[i]
+	}
+	return
+}
+
+// axpyKernel computes y += s*x, unrolled by four. Element-wise independent,
+// so it is bitwise identical to the naive loop.
+func axpyKernel(y, x []float32, s float32) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += s * x[i]
+		y[i+1] += s * x[i+1]
+		y[i+2] += s * x[i+2]
+		y[i+3] += s * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += s * x[i]
+	}
+}
+
+// AddScaledTo computes dst = a + s*b element-wise in one pass (the fused
+// form of CopyFrom+AddScaled, saving a full write+read of dst).
+func AddScaledTo(dst, a, b []float32, s float32) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic(fmt.Sprintf("tensor: AddScaledTo length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	for i, av := range a {
+		dst[i] = av + s*b[i]
+	}
+}
+
+// matMulAccKernel computes dst += a·b with the ikj loop order blocked four
+// k-steps deep: each dst row is streamed once per four rows of b, quartering
+// the dominant load/store traffic of the naive loop. All-zero k-blocks of a
+// are skipped, which keeps the post-ReLU sparsity win of the naive kernel.
+func matMulAccKernel(dst, a, b *Matrix) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : (k+1)*n]
+			b1 := b.Data[(k+1)*n : (k+2)*n]
+			b2 := b.Data[(k+2)*n : (k+3)*n]
+			b3 := b.Data[(k+3)*n : (k+4)*n]
+			for j := range drow {
+				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < len(arow); k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulBTAccKernel computes dst += a·bᵀ, four b-rows per pass so each a-row
+// stays hot while four output columns are produced.
+func matMulBTAccKernel(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[j*b.Cols : (j+1)*b.Cols]
+			b1 := b.Data[(j+1)*b.Cols : (j+2)*b.Cols]
+			b2 := b.Data[(j+2)*b.Cols : (j+3)*b.Cols]
+			b3 := b.Data[(j+3)*b.Cols : (j+4)*b.Cols]
+			d0, d1, d2, d3 := dot4Kernel(arow, b0, b1, b2, b3)
+			drow[j] += d0
+			drow[j+1] += d1
+			drow[j+2] += d2
+			drow[j+3] += d3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			drow[j] += dotKernel(arow, brow)
+		}
+	}
+}

@@ -121,25 +121,12 @@ func MatMul(dst, a, b *Matrix) {
 	MatMulAcc(dst, a, b)
 }
 
-// MatMulAcc computes dst += a·b (ikj loop order for cache locality).
+// MatMulAcc computes dst += a·b (blocked ikj loop order; see kernels.go).
 func MatMulAcc(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulAcc shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*n : (i+1)*n]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	matMulAccKernel(dst, a, b)
 }
 
 // MatMulATAcc computes dst += aᵀ·b where a is stored untransposed.
@@ -163,31 +150,22 @@ func MatMulATAcc(dst, a, b *Matrix) {
 	}
 }
 
-// MatMulBTAcc computes dst += a·bᵀ where b is stored untransposed.
+// MatMulBTAcc computes dst += a·bᵀ where b is stored untransposed (the
+// attention K·Q access pattern; four b-rows per pass, see kernels.go).
 func MatMulBTAcc(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulBTAcc shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			drow[j] += Dot(arow, brow)
-		}
-	}
+	matMulBTAccKernel(dst, a, b)
 }
 
-// Dot returns the inner product of equal-length vectors a and b.
+// Dot returns the inner product of equal-length vectors a and b
+// (4-accumulator kernel; equal to a sequential sum up to float32 rounding).
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float32
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+	return dotKernel(a, b)
 }
 
 // Axpy accumulates s*x into y.
@@ -195,9 +173,7 @@ func Axpy(y, x []float32, s float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(y), len(x)))
 	}
-	for i, v := range x {
-		y[i] += s * v
-	}
+	axpyKernel(y, x, s)
 }
 
 // Transpose returns a new matrix mᵀ.

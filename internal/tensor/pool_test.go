@@ -1,0 +1,56 @@
+package tensor
+
+import "testing"
+
+func TestPoolReusesBySizeClass(t *testing.T) {
+	var p Pool
+	m1 := p.Get(10, 17) // 170 elems → class 256
+	m1.Fill(3)
+	p.Put(m1)
+	m2 := p.Get(17, 10) // same class, different shape
+	if m2 != m1 {
+		t.Fatalf("expected the pooled matrix back")
+	}
+	if m2.Rows != 17 || m2.Cols != 10 {
+		t.Fatalf("reshaped to %dx%d", m2.Rows, m2.Cols)
+	}
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("Get must zero reused storage; elem %d = %g", i, v)
+		}
+	}
+	if _, misses := p.Stats(); misses != 1 {
+		t.Fatalf("want 1 allocation, got %d", misses)
+	}
+}
+
+func TestPoolDropsForeignCapacity(t *testing.T) {
+	var p Pool
+	p.Put(FromSlice(3, 5, make([]float32, 15))) // cap 15: not a power of two
+	m := p.Get(3, 5)
+	if _, misses := p.Stats(); misses != 1 {
+		t.Fatalf("foreign matrix must not be pooled")
+	}
+	_ = m
+}
+
+func TestPoolZeroSize(t *testing.T) {
+	var p Pool
+	m := p.Get(0, 5)
+	if m.Rows != 0 || m.Cols != 5 || len(m.Data) != 0 {
+		t.Fatalf("zero-size get: %v", m)
+	}
+	p.Put(m) // must not panic
+}
+
+func TestPoolSteadyStateNoAlloc(t *testing.T) {
+	var p Pool
+	p.Put(p.Get(64, 64))
+	allocs := testing.AllocsPerRun(100, func() {
+		m := p.Get(64, 64)
+		p.Put(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocated %.1f times per run", allocs)
+	}
+}
