@@ -13,9 +13,19 @@
 // the machine-readable trajectory record BENCH_apan.json:
 //
 //	apan-bench -exp perf -json
+//
+// The scenarios experiment runs the deterministic simulation harness
+// (internal/scenario): bundled workloads — flash crowd, Zipf hotspot, node
+// churn, out-of-order streams, fraud rings — through the full stack under
+// fault injection, printing a per-scenario table of AP/AUC, drop/latency
+// stats and invariant verdicts; it exits non-zero on any invariant
+// violation. See docs/testing.md.
+//
+//	apan-bench -exp scenarios -json
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -30,7 +40,7 @@ func main() {
 	log.SetPrefix("apan-bench: ")
 
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|ablation|drift|perf|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|table3|fig6|fig7|fig8|fig9|ablation|drift|perf|scenarios|all")
 		datasetName = flag.String("dataset", "", "dataset for table2/table3 (default: the paper's)")
 		scale       = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
 		seeds       = flag.Int("seeds", 1, "seeds per cell (paper: 10)")
@@ -41,8 +51,8 @@ func main() {
 		slots       = flag.Int("slots", 10, "mailbox slots")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query (fig6, §4.6)")
 		models      = flag.String("models", "", "comma-separated model subset (default: the paper's)")
-		jsonOut     = flag.Bool("json", false, "write the perf experiment's results to -json-out")
-		jsonPath    = flag.String("json-out", "BENCH_apan.json", "path of the perf trajectory record")
+		jsonOut     = flag.Bool("json", false, "write the perf/scenarios experiment's results to -json-out")
+		jsonPath    = flag.String("json-out", "BENCH_apan.json", "path of the machine-readable experiment record")
 	)
 	flag.Parse()
 
@@ -127,6 +137,22 @@ func main() {
 				log.Printf("wrote %s", *jsonPath)
 			}
 			return nil
+		})
+	}
+	if *exp == "scenarios" {
+		run("scenarios", func() error {
+			rep, err := bench.RunScenarios(o)
+			// Persist the table even when invariants were violated — the
+			// JSON is the diagnosis artifact. A write failure must not mask
+			// the violation verdict, so the errors are joined.
+			if rep != nil && *jsonOut {
+				if werr := rep.WriteJSON(*jsonPath); werr != nil {
+					err = errors.Join(err, werr)
+				} else {
+					log.Printf("wrote %s", *jsonPath)
+				}
+			}
+			return err
 		})
 	}
 }

@@ -44,6 +44,7 @@ type options struct {
 	queueCap    int
 	workers     int
 	batchWindow time.Duration
+	beforeApply func(events []tgraph.Event)
 }
 
 // WithQueueCap bounds the propagation queue. Capacity bounds memory during
@@ -86,6 +87,20 @@ func WithBatchWindow(d time.Duration) Option {
 			o.batchWindow = d
 		}
 	}
+}
+
+// WithBeforeApply registers fn to run on a propagation worker immediately
+// before each batch's ApplyInference, with the batch's events. It is the
+// pipeline's deterministic fault-injection seam: internal/scenario parks
+// workers on a channel here to saturate the queue with an exactly
+// reproducible drop pattern, or sleeps to emulate a slow graph-database
+// consumer — both without reaching into pipeline internals. It also serves
+// as an apply-side instrumentation hook. fn runs on worker goroutines and
+// must be safe for concurrent calls when WithWorkers > 1; it must not call
+// back into the pipeline's Submit/Drain/Shutdown (the worker it runs on is
+// the one that would have to make progress).
+func WithBeforeApply(fn func(events []tgraph.Event)) Option {
+	return func(o *options) { o.beforeApply = fn }
 }
 
 // Pipeline connects a core.Model's synchronous and asynchronous links.
@@ -169,6 +184,9 @@ func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for inf := range p.queue {
 		start := time.Now()
+		if p.opts.beforeApply != nil {
+			p.opts.beforeApply(inf.Events)
+		}
 		p.model.ApplyInference(inf)
 		// The submitter copied the scores out before enqueueing, so after
 		// the apply nothing references the inference: recycle its pooled

@@ -61,7 +61,7 @@ func TestConcurrentInferApply(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for i := 0; i < rounds; i++ {
-					m.ApplyInference(m.InferBatch(concBatch(int32(10 + g), 8, float64(200+i))))
+					m.ApplyInference(m.InferBatch(concBatch(int32(10+g), 8, float64(200+i))))
 				}
 			}(g)
 		}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apan/internal/tgraph"
+)
+
+// randomBipartite draws a random bipartite dataset exercising the CSV
+// format's edge cases: varying feature dims (including zero-length features),
+// labeled/unlabeled events, non-monotone timestamps with exact ties, and
+// extreme float values. The max user and item IDs are always present so the
+// parser's inferred NumUsers/NumNodes match the generator's.
+func randomBipartite(rng *rand.Rand) *Dataset {
+	users := 1 + rng.Intn(8)
+	items := 1 + rng.Intn(8)
+	dim := rng.Intn(5) // 0 exercises the empty-feature path
+	n := 2 + rng.Intn(40)
+	d := &Dataset{
+		Name:      "quick",
+		NumUsers:  users,
+		NumNodes:  users + items,
+		EdgeDim:   dim,
+		Bipartite: true,
+	}
+	randFeat := func() []float32 {
+		f := make([]float32, dim)
+		for j := range f {
+			switch rng.Intn(4) {
+			case 0:
+				f[j] = 0
+			case 1:
+				f[j] = float32(rng.NormFloat64())
+			case 2:
+				f[j] = float32(rng.NormFloat64() * 1e-38) // near-denormal
+			default:
+				f[j] = float32(rng.NormFloat64() * 1e30)
+			}
+		}
+		return f
+	}
+	var prev float64
+	for i := 0; i < n; i++ {
+		user, item := rng.Intn(users), rng.Intn(items)
+		switch i {
+		case 0:
+			user = users - 1 // pin the ID space
+		case 1:
+			item = items - 1
+		}
+		var ts float64
+		switch {
+		case i > 0 && rng.Float64() < 0.2:
+			ts = prev // exact duplicate timestamp
+		case rng.Float64() < 0.3:
+			ts = rng.Float64() * 100 // out of order vs. neighbors
+		default:
+			ts = prev + rng.Float64()
+		}
+		prev = ts
+		d.Events = append(d.Events, tgraph.Event{
+			ID:    int64(i),
+			Src:   tgraph.NodeID(user),
+			Dst:   tgraph.NodeID(users + item),
+			Time:  ts,
+			Feat:  randFeat(),
+			Label: int8(rng.Intn(3) - 1), // -1, 0, 1
+		})
+	}
+	return d
+}
+
+// normalizeExpected applies the documented lossy parts of the CSV format to
+// the generated dataset, yielding what a Write→Parse round trip must return
+// bit-for-bit: unlabeled (-1) events collapse to 0 (the files only record
+// state *changes*), empty features gain the constant channel, and events are
+// stably sorted by timestamp with sequential IDs.
+func normalizeExpected(d *Dataset) *Dataset {
+	exp := &Dataset{
+		Name:      d.Name,
+		NumUsers:  d.NumUsers,
+		NumNodes:  d.NumNodes,
+		EdgeDim:   d.EdgeDim,
+		Bipartite: true,
+	}
+	if exp.EdgeDim == 0 {
+		exp.EdgeDim = 1
+	}
+	for _, ev := range d.Events {
+		if ev.Label == -1 {
+			ev.Label = 0
+		}
+		if len(ev.Feat) == 0 {
+			ev.Feat = []float32{1}
+		}
+		exp.Events = append(exp.Events, ev)
+	}
+	exp.finalize()
+	return exp
+}
+
+// TestQuickCSVRoundTrip is the persistence property the scenario harness
+// relies on to store traces as golden fixtures: WriteCSV followed by
+// ParseCSV reproduces the dataset exactly (modulo the format's documented
+// normalization), including float32 features and float64 timestamps
+// bit-for-bit, under non-monotone and duplicated timestamps.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomBipartite(rng)
+		exp := normalizeExpected(d)
+
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Logf("seed %d: WriteCSV: %v", seed, err)
+			return false
+		}
+		got, err := ParseCSV(&buf, d.Name)
+		if err != nil {
+			t.Logf("seed %d: ParseCSV: %v", seed, err)
+			return false
+		}
+
+		if got.NumUsers != exp.NumUsers || got.NumNodes != exp.NumNodes ||
+			got.EdgeDim != exp.EdgeDim || !got.Bipartite || len(got.Events) != len(exp.Events) {
+			t.Logf("seed %d: shape mismatch: got users=%d nodes=%d dim=%d n=%d, want users=%d nodes=%d dim=%d n=%d",
+				seed, got.NumUsers, got.NumNodes, got.EdgeDim, len(got.Events),
+				exp.NumUsers, exp.NumNodes, exp.EdgeDim, len(exp.Events))
+			return false
+		}
+		for i := range exp.Events {
+			g, w := &got.Events[i], &exp.Events[i]
+			if g.ID != int64(i) || g.Src != w.Src || g.Dst != w.Dst || g.Label != w.Label {
+				t.Logf("seed %d: event %d: got %+v, want %+v", seed, i, g, w)
+				return false
+			}
+			if math.Float64bits(g.Time) != math.Float64bits(w.Time) {
+				t.Logf("seed %d: event %d: time %v != %v (not bitwise)", seed, i, g.Time, w.Time)
+				return false
+			}
+			if len(g.Feat) != len(w.Feat) {
+				t.Logf("seed %d: event %d: feat len %d != %d", seed, i, len(g.Feat), len(w.Feat))
+				return false
+			}
+			for j := range w.Feat {
+				if math.Float32bits(g.Feat[j]) != math.Float32bits(w.Feat[j]) {
+					t.Logf("seed %d: event %d feat %d: %v != %v (not bitwise)", seed, i, j, g.Feat[j], w.Feat[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -162,8 +162,18 @@ func NewNegSampler(numNodes int) *NegSampler {
 	return &NegSampler{in: make([]bool, numNodes)}
 }
 
-// Observe admits the destination of a processed event into the pool.
+// Observe admits the destination of a processed event into the pool. The
+// membership bitmap grows on demand: dynamic node admission (EnsureNodes on
+// the serving path) can stream events whose Dst exceeds the node count the
+// sampler was constructed with, which must enlarge the pool, not panic.
 func (ns *NegSampler) Observe(e *tgraph.Event) {
+	if d := int(e.Dst); d >= len(ns.in) {
+		// Grow with headroom so a monotone stream of new IDs costs O(log n)
+		// reallocations, mirroring the stores' amortized admission growth.
+		grown := make([]bool, d+1+len(ns.in)/2)
+		copy(grown, ns.in)
+		ns.in = grown
+	}
 	if !ns.in[e.Dst] {
 		ns.in[e.Dst] = true
 		ns.pool = append(ns.pool, e.Dst)

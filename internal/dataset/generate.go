@@ -137,13 +137,13 @@ func genBipartite(p bipartiteParams, cfg Config) *Dataset {
 	// a dedicated "vandal direction" perturbs features of misbehaving users.
 	projU := randProjection(rng, latentDim, p.edgeDim)
 	projI := randProjection(rng, latentDim, p.edgeDim)
-	vandalDir := randUnit(rng, p.edgeDim)
+	vandalDir := RandUnitVec(rng, p.edgeDim)
 
 	// Zipf-like activity for users and popularity for items.
-	userW := zipfWeights(rng, p.users, 0.9)
-	itemW := zipfWeights(rng, p.items, 1.0)
-	userPick := newAlias(userW)
-	itemPick := newAlias(itemW)
+	userW := ZipfWeights(rng, p.users, 0.9)
+	itemW := ZipfWeights(rng, p.items, 1.0)
+	userPick := NewAliasSampler(userW)
+	itemPick := NewAliasSampler(itemW)
 
 	// Vandals are banned at a time uniform over the span and stop
 	// interacting afterwards; their last labelPerVan interactions carry the
@@ -178,7 +178,7 @@ func genBipartite(p bipartiteParams, cfg Config) *Dataset {
 	vandalEvents := make([][]int, p.users) // event indexes per vandal for labeling
 
 	for len(d.Events) < p.events {
-		u := userPick.draw(rng)
+		u := userPick.Draw(rng)
 		// Session: a burst of events close in time. Vandal sessions happen
 		// before the ban only.
 		horizon := span
@@ -200,14 +200,14 @@ func genBipartite(p bipartiteParams, cfg Config) *Dataset {
 				// Affinity-driven discovery: best of a popularity sample.
 				item = bestAffinity(rng, itemPick, itemLat, userLat(u, t), 4)
 			} else {
-				item = itemPick.draw(rng)
+				item = itemPick.Draw(rng)
 			}
 			history[u] = append(history[u], item)
 
 			feat := makeFeature(rng, userLat(u, t), itemLat[item], projU, projI, 0.3)
 			if vandal[u] {
 				// Vandal sessions carry a detectable feature signature.
-				addScaled(feat, vandalDir, 1.2+0.4*rng.Float32())
+				AddScaled(feat, vandalDir, 1.2+0.4*rng.Float32())
 			}
 			ev := tgraph.Event{
 				Src:   tgraph.NodeID(u),
@@ -287,9 +287,9 @@ func Alipay(cfg Config) *Dataset {
 	userLat := randLatents(rng, users)
 	proj := randProjection(rng, latentDim, edgeDim)
 	proj2 := randProjection(rng, latentDim, edgeDim)
-	fraudDir := randUnit(rng, edgeDim)
-	userW := zipfWeights(rng, users, 0.8)
-	userPick := newAlias(userW)
+	fraudDir := RandUnitVec(rng, edgeDim)
+	userW := ZipfWeights(rng, users, 0.8)
+	userPick := NewAliasSampler(userW)
 
 	d := &Dataset{
 		Name:      "alipay",
@@ -311,13 +311,13 @@ func Alipay(cfg Config) *Dataset {
 
 	// Normal traffic.
 	for len(d.Events) < events-fraudEvents {
-		u := userPick.draw(rng)
+		u := userPick.Draw(rng)
 		var v int
 		if rng.Float64() < 0.85 {
 			m := members[community[u]]
 			v = m[rng.Intn(len(m))]
 		} else {
-			v = userPick.draw(rng)
+			v = userPick.Draw(rng)
 		}
 		if v == u {
 			continue
@@ -360,7 +360,7 @@ func Alipay(cfg Config) *Dataset {
 			}
 			t := start + rng.Float64()*window
 			f := normalFeature(u, v, 400)
-			addScaled(f, fraudDir, 1.0+0.5*rng.Float32())
+			AddScaled(f, fraudDir, 1.0+0.5*rng.Float32())
 			d.Events = append(d.Events, tgraph.Event{
 				Src: tgraph.NodeID(u), Dst: tgraph.NodeID(v),
 				Time: t, Feat: f, Label: 1,
@@ -400,20 +400,6 @@ func randProjection(rng *rand.Rand, in, out int) [][]float32 {
 	return m
 }
 
-func randUnit(rng *rand.Rand, dim int) []float32 {
-	v := make([]float32, dim)
-	var norm float64
-	for j := range v {
-		v[j] = float32(rng.NormFloat64())
-		norm += float64(v[j]) * float64(v[j])
-	}
-	inv := float32(1 / math.Sqrt(norm))
-	for j := range v {
-		v[j] *= inv
-	}
-	return v
-}
-
 // makeFeature projects the two latents into feature space and adds noise.
 func makeFeature(rng *rand.Rand, a, b []float32, projA, projB [][]float32, noise float64) []float32 {
 	dim := len(projA[0])
@@ -436,28 +422,12 @@ func makeFeature(rng *rand.Rand, a, b []float32, projA, projB [][]float32, noise
 	return f
 }
 
-func addScaled(dst, dir []float32, s float32) {
-	for j := range dst {
-		dst[j] += dir[j] * s
-	}
-}
-
-// zipfWeights returns n weights w_i ∝ rank^{-exp} with ranks shuffled.
-func zipfWeights(rng *rand.Rand, n int, exp float64) []float64 {
-	w := make([]float64, n)
-	perm := rng.Perm(n)
-	for i := 0; i < n; i++ {
-		w[perm[i]] = math.Pow(float64(i+1), -exp)
-	}
-	return w
-}
-
 // bestAffinity samples k candidate items from pick and returns the one whose
 // latent best matches the user latent.
-func bestAffinity(rng *rand.Rand, pick *alias, itemLat [][]float32, u []float32, k int) int {
-	best, bestDot := pick.draw(rng), float32(math.Inf(-1))
+func bestAffinity(rng *rand.Rand, pick *AliasSampler, itemLat [][]float32, u []float32, k int) int {
+	best, bestDot := pick.Draw(rng), float32(math.Inf(-1))
 	for i := 0; i < k; i++ {
-		c := pick.draw(rng)
+		c := pick.Draw(rng)
 		var dot float32
 		for j, uv := range u {
 			dot += uv * itemLat[c][j]
@@ -491,58 +461,4 @@ func geometric(rng *rand.Rand, p float64) int {
 		k++
 	}
 	return k
-}
-
-// alias implements Walker's alias method for O(1) weighted sampling.
-type alias struct {
-	prob  []float64
-	alias []int
-}
-
-func newAlias(weights []float64) *alias {
-	n := len(weights)
-	var sum float64
-	for _, w := range weights {
-		sum += w
-	}
-	a := &alias{prob: make([]float64, n), alias: make([]int, n)}
-	scaled := make([]float64, n)
-	var small, large []int
-	for i, w := range weights {
-		scaled[i] = w * float64(n) / sum
-		if scaled[i] < 1 {
-			small = append(small, i)
-		} else {
-			large = append(large, i)
-		}
-	}
-	for len(small) > 0 && len(large) > 0 {
-		s := small[len(small)-1]
-		small = small[:len(small)-1]
-		l := large[len(large)-1]
-		large = large[:len(large)-1]
-		a.prob[s] = scaled[s]
-		a.alias[s] = l
-		scaled[l] = scaled[l] + scaled[s] - 1
-		if scaled[l] < 1 {
-			small = append(small, l)
-		} else {
-			large = append(large, l)
-		}
-	}
-	for _, i := range large {
-		a.prob[i] = 1
-	}
-	for _, i := range small {
-		a.prob[i] = 1
-	}
-	return a
-}
-
-func (a *alias) draw(rng *rand.Rand) int {
-	i := rng.Intn(len(a.prob))
-	if rng.Float64() < a.prob[i] {
-		return i
-	}
-	return a.alias[i]
 }

@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"apan/internal/tgraph"
+)
+
+// TestNegSamplerObserveGrowsBitmap is the regression test for the dynamic-
+// admission panic: a model grown via EnsureNodes streams events whose Dst
+// exceeds the node count the sampler was constructed with, and Observe used
+// to index past its bitmap. It must grow instead.
+func TestNegSamplerObserveGrowsBitmap(t *testing.T) {
+	ns := NewNegSampler(4)
+	ev := tgraph.Event{Src: 0, Dst: 10, Time: 1}
+	ns.Observe(&ev) // would panic before the fix
+	if got := ns.PoolSize(); got != 1 {
+		t.Fatalf("PoolSize after out-of-range Observe = %d, want 1", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := ns.Sample(rng, 3); got != 10 {
+		t.Fatalf("Sample = %d, want the only admitted destination 10", got)
+	}
+
+	// Re-observing the same destination must not duplicate it, and in-range
+	// destinations keep working alongside grown ones.
+	ns.Observe(&ev)
+	ns.Observe(&tgraph.Event{Src: 0, Dst: 2, Time: 2})
+	if got := ns.PoolSize(); got != 2 {
+		t.Fatalf("PoolSize = %d, want 2", got)
+	}
+
+	// Monotonically increasing IDs (the serving admission pattern) stay safe.
+	for d := int32(11); d < 300; d += 7 {
+		ns.Observe(&tgraph.Event{Src: 0, Dst: d, Time: 3})
+	}
+	if ns.PoolSize() < 40 {
+		t.Fatalf("PoolSize = %d after monotone admission, want ≥ 40", ns.PoolSize())
+	}
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file exports the workload-synthesis primitives the dataset generators
+// are built from — Zipf-skewed weights, O(1) alias sampling, unit feature
+// directions and feature-signature injection — so simulation harnesses
+// (internal/scenario) can compose the same skew and signal structure into
+// custom traces (flash crowds, hotspots, fraud rings) without duplicating
+// the machinery. Everything here is driven by a caller-supplied *rand.Rand:
+// equal seeds give equal outputs, which the scenario harness's determinism
+// invariants rely on.
+
+// ZipfWeights returns n sampling weights w_i ∝ rank^{-exp} with the ranks
+// assigned by a random permutation, so the hot identities are scattered
+// across the ID space rather than clustered at 0.
+func ZipfWeights(rng *rand.Rand, n int, exp float64) []float64 {
+	w := make([]float64, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		w[perm[i]] = math.Pow(float64(i+1), -exp)
+	}
+	return w
+}
+
+// AliasSampler draws from a fixed discrete distribution in O(1) per draw
+// using Walker's alias method.
+type AliasSampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasSampler builds a sampler over the given (unnormalized) weights.
+func NewAliasSampler(weights []float64) *AliasSampler {
+	n := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	a := &AliasSampler{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Draw samples one index from the distribution.
+func (a *AliasSampler) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// RandUnitVec returns a uniformly random direction of the given dimension —
+// the generators use these as detectable feature signatures (vandal/fraud
+// directions) that classifiers can learn to separate.
+func RandUnitVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var norm float64
+	for j := range v {
+		v[j] = float32(rng.NormFloat64())
+		norm += float64(v[j]) * float64(v[j])
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for j := range v {
+		v[j] *= inv
+	}
+	return v
+}
+
+// AddScaled adds s·dir into dst in place: the feature-signature injection
+// used to mark vandal/fraud interactions.
+func AddScaled(dst, dir []float32, s float32) {
+	for j := range dst {
+		dst[j] += dir[j] * s
+	}
+}

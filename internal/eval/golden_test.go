@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden fixtures for the ranking metrics: hand-computed values for tiny
+// known tables, tied scores, and the single-class NaN contract. These pin
+// the exact estimator semantics (step-wise AP, Mann-Whitney AUC with
+// midrank ties, stable ordering) that the scenario harness's per-scenario
+// AP/AUC columns depend on, so a "refactor" that silently switches
+// estimators fails here rather than skewing every report.
+
+const goldenTol = 1e-12
+
+func almost(got, want float64) bool { return math.Abs(got-want) <= goldenTol }
+
+func TestAveragePrecisionGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float32
+		labels []bool
+		want   float64
+	}{
+		// Ranked T F T F: hits at ranks 1 and 3.
+		// AP = 1·(1/2) + (2/3)·(1/2) = 5/6.
+		{"alternating", []float32{0.9, 0.8, 0.7, 0.6}, []bool{true, false, true, false}, 5.0 / 6.0},
+		// Ranked F T: single hit at rank 2: AP = 1/2.
+		{"positive_last", []float32{0.8, 0.2}, []bool{false, true}, 0.5},
+		// All positives: every prefix has precision 1.
+		{"all_positive", []float32{0.3, 0.9, 0.5}, []bool{true, true, true}, 1.0},
+		// Tied scores keep input order (stable sort): T first ⇒ AP 1.
+		{"tie_positive_first", []float32{0.5, 0.5}, []bool{true, false}, 1.0},
+		// Same tie, F first ⇒ the positive ranks second: AP 1/2. Together
+		// with the case above this pins the stable-order tie contract.
+		{"tie_negative_first", []float32{0.5, 0.5}, []bool{false, true}, 0.5},
+		// sklearn's worked example: ranked .8 T, .4 F, .35 T, .1 F
+		// AP = 1·(1/2) + (2/3)·(1/2) = 5/6 ≈ 0.8333…
+		{"sklearn_table", []float32{0.1, 0.4, 0.35, 0.8}, []bool{false, false, true, true}, 5.0 / 6.0},
+	}
+	for _, c := range cases {
+		if got := AveragePrecision(c.scores, c.labels); !almost(got, c.want) {
+			t.Errorf("%s: AP = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAveragePrecisionNaNContract(t *testing.T) {
+	for name, tc := range map[string]struct {
+		scores []float32
+		labels []bool
+	}{
+		"empty":        {nil, nil},
+		"no_positives": {[]float32{0.9, 0.1}, []bool{false, false}},
+		"len_mismatch": {[]float32{0.9}, []bool{true, false}},
+	} {
+		if got := AveragePrecision(tc.scores, tc.labels); !math.IsNaN(got) {
+			t.Errorf("%s: AP = %v, want NaN", name, got)
+		}
+	}
+}
+
+func TestROCAUCGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float32
+		labels []bool
+		want   float64
+	}{
+		// The classic sklearn example: ranks asc .1 F, .35 T, .4 F, .8 T;
+		// positive rank sum 2+4 = 6, U = 6 − 3 = 3, AUC = 3/(2·2) = 0.75.
+		{"sklearn_table", []float32{0.1, 0.4, 0.35, 0.8}, []bool{false, false, true, true}, 0.75},
+		// Perfect separation and its inversion.
+		{"perfect", []float32{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false}, 1.0},
+		{"inverted", []float32{0.1, 0.2, 0.8, 0.9}, []bool{true, true, false, false}, 0.0},
+		// Midrank tie handling: T@0.5 vs F@0.5 is half a win, T@0.5 vs
+		// F@0.2 a full win: AUC = (0.5 + 1)/2 = 0.75.
+		{"tie_midrank", []float32{0.5, 0.5, 0.2}, []bool{true, false, false}, 0.75},
+		// Every score tied: chance level exactly.
+		{"all_tied", []float32{0.4, 0.4, 0.4, 0.4}, []bool{true, false, true, false}, 0.5},
+		// 3×2 table, no ties: wins = 2+2+1 of 6 pairs ⇒ AUC = 5/6.
+		{"three_by_two", []float32{0.9, 0.7, 0.5, 0.6, 0.2}, []bool{true, true, true, false, false}, 5.0 / 6.0},
+	}
+	for _, c := range cases {
+		if got := ROCAUC(c.scores, c.labels); !almost(got, c.want) {
+			t.Errorf("%s: AUC = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestROCAUCNaNContract(t *testing.T) {
+	for name, tc := range map[string]struct {
+		scores []float32
+		labels []bool
+	}{
+		"empty":         {nil, nil},
+		"all_positive":  {[]float32{0.9, 0.1}, []bool{true, true}},
+		"all_negative":  {[]float32{0.9, 0.1}, []bool{false, false}},
+		"len_mismatch":  {[]float32{0.9}, []bool{true, false}},
+		"single_sample": {[]float32{0.9}, []bool{true}},
+	} {
+		if got := ROCAUC(tc.scores, tc.labels); !math.IsNaN(got) {
+			t.Errorf("%s: AUC = %v, want NaN", name, got)
+		}
+	}
+}

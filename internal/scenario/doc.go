@@ -1,0 +1,41 @@
+// Package scenario is the deterministic simulation harness for the full
+// APAN serving stack: it composes synthetic workload generators (flash
+// crowds, Zipf hotspots, node churn and cold-start admission, out-of-order
+// and duplicated timestamps, fraud rings with ground-truth labels), drives
+// the resulting traces through three full-stack paths — core.Model directly,
+// async.Pipeline, and the HTTP serve.Server — under fault injection (gated
+// slow consumers, queue saturation with TrySubmit drops, mid-stream
+// snapshot/restore), and checks system invariants on every run:
+//
+//   - score parity: the three paths return bitwise-identical float32 scores
+//     for identical streams (the serving layers add latency, never error);
+//   - mailbox monotonicity: every node's mailbox readout is timestamp-sorted
+//     and bounded by its capacity, even under out-of-order arrival (§3.6);
+//   - drop accounting: every submitted event is either applied to the graph
+//     or reported dropped — nothing vanishes under saturation;
+//   - replay determinism: a fixed seed reproduces the trace, the scores and
+//     the final runtime digest bit-for-bit, including the exact drop pattern
+//     of the queue-saturation protocol;
+//   - checkpoint replay: restoring a mid-stream SnapshotRuntime and
+//     replaying the tail reproduces the first pass bitwise.
+//
+// Divergences are reported as minimal reproducible traces: the scenario
+// seed plus the global event index of the first mismatch (Violation).
+//
+// # Determinism rules
+//
+// Everything a scenario decides flows from its seed: workload generation
+// uses one seeded *rand.Rand, event times come from a virtual clock advanced
+// by draws from that RNG (never the wall clock), and fault injection is
+// gated on channels (a parked consumer is released by the harness, not by a
+// timer), so the queue-saturation drop pattern is a pure function of the
+// seed and queue capacity. Wall time appears only in *reported* latency
+// metrics, never in control flow. The slow-consumer scenario is the one
+// deliberate exception: its backpressure timing is real, so it checks the
+// conservation invariants (drop accounting, mailbox monotonicity) and
+// reports score drift as a metric rather than asserting bitwise parity.
+//
+// See docs/testing.md for how to add a scenario and which invariants each
+// bundled scenario asserts; cmd/apan-bench -exp scenarios renders the
+// per-scenario table.
+package scenario

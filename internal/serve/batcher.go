@@ -134,8 +134,8 @@ func (b *Batcher) loop() {
 	defer close(b.done)
 	var (
 		pending  []batchReq
-		inflight int                     // flushes currently running
-		timer    *time.Timer             // non-nil while a lone request waits
+		inflight int         // flushes currently running
+		timer    *time.Timer // non-nil while a lone request waits
 		timerC   <-chan time.Time
 		flushed  = make(chan struct{}, b.conc) // one signal per finished flush
 		reqs     = b.reqs
