@@ -59,9 +59,11 @@ import (
 	"apan/internal/dataset"
 	"apan/internal/gdb"
 	"apan/internal/mailbox"
+	"apan/internal/nn"
 	"apan/internal/serve"
 	"apan/internal/state"
 	"apan/internal/tgraph"
+	"apan/internal/train"
 )
 
 // Core model API.
@@ -196,7 +198,33 @@ var (
 	// WithBatchWindow sets the micro-batching window the serving layer
 	// coalesces concurrent single-event submissions within.
 	WithBatchWindow = async.WithBatchWindow
+	// WithOnlineTrainer taps the propagation workers' apply path to feed an
+	// online trainer with every applied batch.
+	WithOnlineTrainer = async.WithOnlineTrainer
 )
+
+// Online continual learning (see docs/training.md).
+type (
+	// ParamSet is an immutable, versioned parameter snapshot — the unit of
+	// hot-swappable weights (Model.SwapParams / Model.CurrentParams).
+	ParamSet = nn.ParamSet
+	// OnlineTrainer adapts a serving model to its own stream: it consumes
+	// applied events off the propagation path, steps a private parameter
+	// copy, and publishes new versions with holdout-gated hot swaps.
+	OnlineTrainer = train.OnlineTrainer
+	// TrainerConfig tunes an OnlineTrainer (buffer sizes, step cadence,
+	// learning rate, holdout gate, rollback policy).
+	TrainerConfig = train.Config
+	// TrainerStats is a point-in-time view of trainer health.
+	TrainerStats = train.Stats
+)
+
+// NewOnlineTrainer builds an online trainer over a model; wire it into the
+// pipeline with WithOnlineTrainer and drive it with Start/Stop (or Pump for
+// deterministic tests).
+func NewOnlineTrainer(m *Model, cfg TrainerConfig) (*OnlineTrainer, error) {
+	return train.New(m, cfg)
+}
 
 // Serving errors.
 var (

@@ -6,16 +6,24 @@
 //
 // Endpoints (schemas in docs/serving.md):
 //
-//	POST /v1/score          {"src":12,"dst":9311,"time":1234.5,"feat":[...]}
-//	                        or {"events":[{...},...]} for a batch
-//	GET  /v1/stats          pipeline + micro-batcher instrumentation
-//	GET  /v1/healthz        liveness
-//	GET  /v1/explain/{node} attention explanation of the last scored batch
+//	POST /v1/score                {"src":12,"dst":9311,"time":1234.5,"feat":[...]}
+//	                              or {"events":[{...},...]} for a batch
+//	GET  /v1/stats                pipeline + batcher + online-trainer instrumentation
+//	GET  /v1/healthz              liveness
+//	GET  /v1/explain/{node}       attention explanation of the last scored batch
+//	POST /v1/admin/train/freeze   pause online training (with -train-online)
+//	POST /v1/admin/train/resume   resume online training
 //
 // Run a self-contained demo (train briefly, serve over HTTP, replay the
 // test stream through the batch endpoint, print latency figures):
 //
 //	apan-serve -demo -scale 0.02 -db-latency 500us
+//
+// Long-running deployments can learn from the stream they score and survive
+// restarts (see docs/training.md):
+//
+//	apan-serve -train-online -checkpoint-every 5m -checkpoint /var/lib/apan.ckpt
+//	apan-serve -load /var/lib/apan.ckpt -train-online
 package main
 
 import (
@@ -53,6 +61,15 @@ func main() {
 		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
 		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, allocs, profile, trace — see docs/performance.md)")
+
+		loadPath  = flag.String("load", "", "start from this checkpoint (parameters + streaming state) instead of training")
+		ckptPath  = flag.String("checkpoint", "apan-serve.ckpt", "checkpoint path for -checkpoint-every")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "write -checkpoint atomically at this interval (0 disables)")
+
+		trainOnline = flag.Bool("train-online", false, "adapt to the served stream: background trainer + hot parameter swaps (docs/training.md)")
+		trainLR     = flag.Float64("train-lr", 0, "online trainer learning rate (0: the model's rate)")
+		trainStep   = flag.Int("train-step-every", 0, "applied events per online training step (0: default 64)")
+		trainFrozen = flag.Bool("train-frozen", false, "attach the online trainer frozen (resume via POST /v1/admin/train/resume)")
 	)
 	flag.Parse()
 
@@ -72,26 +89,57 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("training %d epochs on %d events…", *epochs, len(split.Train))
-	for e := 0; e < *epochs; e++ {
+	if *loadPath != "" {
+		// Resume from a checkpoint: parameters and the full streaming state
+		// (node embeddings, mailboxes, temporal graph) in one load.
+		if err := model.LoadCheckpointFile(*loadPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded checkpoint %s (param version %d, %d graph events, %d nodes)",
+			*loadPath, model.ParamVersion(), model.GraphEvents(), model.NumNodes())
+	} else {
+		log.Printf("training %d epochs on %d events…", *epochs, len(split.Train))
+		for e := 0; e < *epochs; e++ {
+			model.ResetRuntime()
+			ns := apan.NewNegSampler(ds.NumNodes)
+			tr := model.TrainEpoch(split.Train, ns)
+			log.Printf("epoch %d loss %.4f", e+1, tr.Loss)
+		}
+		// Rebuild streaming state for serving.
 		model.ResetRuntime()
-		ns := apan.NewNegSampler(ds.NumNodes)
-		tr := model.TrainEpoch(split.Train, ns)
-		log.Printf("epoch %d loss %.4f", e+1, tr.Loss)
+		model.EvalStream(split.Train, nil)
+		model.EvalStream(split.Val, nil)
 	}
-	// Rebuild streaming state for serving.
-	model.ResetRuntime()
-	model.EvalStream(split.Train, nil)
-	model.EvalStream(split.Val, nil)
 
-	pipe := apan.StartPipeline(model,
+	var trainer *apan.OnlineTrainer
+	popts := []apan.PipelineOption{
 		apan.WithQueueCap(*queueCap),
 		apan.WithWorkers(*workers),
 		apan.WithBatchWindow(*batchWindow),
-	)
+	}
+	if *trainOnline {
+		trainer, err = apan.NewOnlineTrainer(model, apan.TrainerConfig{
+			LR:        float32(*trainLR),
+			StepEvery: *trainStep,
+			Seed:      1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *trainFrozen {
+			trainer.Freeze()
+		}
+		trainer.Start()
+		defer trainer.Stop()
+		popts = append(popts, apan.WithOnlineTrainer(trainer))
+		log.Printf("online training enabled (frozen=%v); control via POST /v1/admin/train/{freeze,resume}", *trainFrozen)
+	}
+
+	pipe := apan.StartPipeline(model, popts...)
 	srv := apan.NewServer(pipe, apan.ServerOptions{
 		FlushConcurrency: *flushConc,
 		MaxNodes:         *maxNodes,
+		Trainer:          trainer,
 	})
 	defer func() {
 		srv.Close()
@@ -101,6 +149,26 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
+
+	if *ckptEvery > 0 {
+		// Periodic background checkpoints: SaveCheckpointFile is atomic
+		// (temp + rename) and snapshots under the store latch, so serving
+		// stalls only for the in-memory copy, not the file I/O.
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for range tick.C {
+				start := time.Now()
+				if err := model.SaveCheckpointFile(*ckptPath); err != nil {
+					log.Printf("checkpoint: %v", err)
+					continue
+				}
+				log.Printf("checkpoint %s written in %v (param version %d, watermark %d graph events)",
+					*ckptPath, time.Since(start).Round(time.Millisecond), model.ParamVersion(), model.GraphEvents())
+			}
+		}()
+		log.Printf("checkpointing to %s every %v", *ckptPath, *ckptEvery)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -40,11 +40,21 @@ var (
 // Option configures a Pipeline at construction time.
 type Option func(*options)
 
+// Trainer is the slice of an online trainer the pipeline feeds: Observe is
+// called on a propagation worker with each batch's events immediately after
+// they are applied, and must not block (internal/train.OnlineTrainer
+// buffers into a bounded queue). Defined as an interface so the pipeline
+// does not depend on the trainer implementation.
+type Trainer interface {
+	Observe(events []tgraph.Event)
+}
+
 type options struct {
 	queueCap    int
 	workers     int
 	batchWindow time.Duration
 	beforeApply func(events []tgraph.Event)
+	trainer     Trainer
 }
 
 // WithQueueCap bounds the propagation queue. Capacity bounds memory during
@@ -101,6 +111,15 @@ func WithBatchWindow(d time.Duration) Option {
 // the one that would have to make progress).
 func WithBeforeApply(fn func(events []tgraph.Event)) Option {
 	return func(o *options) { o.beforeApply = fn }
+}
+
+// WithOnlineTrainer feeds t with every applied batch's events, from the
+// propagation worker right after ApplyInference — the online continual-
+// learning tap: the trainer sees exactly the events that mutated the
+// streaming state, in apply order, off the scoring path. With WithWorkers >
+// 1 Observe must be safe for concurrent calls (the bundled trainer is).
+func WithOnlineTrainer(t Trainer) Option {
+	return func(o *options) { o.trainer = t }
 }
 
 // Pipeline connects a core.Model's synchronous and asynchronous links.
@@ -180,6 +199,10 @@ func (p *Pipeline) EnsureNodes(n int) { p.model.EnsureNodes(n) }
 // EdgeDim reports the expected event feature dimension.
 func (p *Pipeline) EdgeDim() int { return p.model.Cfg.EdgeDim }
 
+// ParamVersion reports the served model's currently published parameter
+// version (see core.Model.SwapParams) for the serving stats surface.
+func (p *Pipeline) ParamVersion() uint64 { return p.model.ParamVersion() }
+
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
 	for inf := range p.queue {
@@ -188,6 +211,11 @@ func (p *Pipeline) worker() {
 			p.opts.beforeApply(inf.Events)
 		}
 		p.model.ApplyInference(inf)
+		if p.opts.trainer != nil {
+			// Tap the apply path for online learning. Observe copies what it
+			// keeps, so releasing the inference below is safe.
+			p.opts.trainer.Observe(inf.Events)
+		}
 		// The submitter copied the scores out before enqueueing, so after
 		// the apply nothing references the inference: recycle its pooled
 		// workspace for the next scorer.

@@ -12,6 +12,7 @@ import (
 	"apan/internal/dataset"
 	"apan/internal/gdb"
 	"apan/internal/tgraph"
+	"apan/internal/train"
 )
 
 // PerfScenario is one serving micro-benchmark's measurement, the unit of
@@ -134,6 +135,48 @@ func RunPerf(o Options) (*PerfReport, error) {
 			}
 		})
 		add(mode.name, len(batch), r)
+	}
+
+	// Online continual learning: one trainer mini-batch step (replay-buffer
+	// sample, live-state gather, forward/backward, Adam) and one hot swap
+	// (snapshot copy + module binding + atomic publish).
+	{
+		m, _, err := perfModel(o, ds, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		const miniBatch = 64
+		tn, err := train.New(m, train.Config{
+			// Both gates effectively disabled: the benchmark drives steps
+			// and publishes manually, the Pump below only fills the buffer.
+			MiniBatch: miniBatch, StepEvery: 1 << 30, PublishEvery: 1 << 30,
+			Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tn.Observe(ds.Events[:1000])
+		tn.Pump() // fill the replay buffer without stepping
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !tn.TrainStep() {
+					b.Fatal("train step skipped: replay buffer underfilled")
+				}
+			}
+		})
+		add("online_train_step", miniBatch, r)
+
+		params := m.Params()
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.SwapParams(params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("swap_params_publish", 0, r)
 	}
 	return rep, nil
 }

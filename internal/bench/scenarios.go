@@ -83,6 +83,10 @@ func RunScenarios(o Options) (*ScenarioReport, error) {
 			metric(res.AP), metric(res.AUC),
 			res.SyncMeanU, res.SyncP99U, res.MaxDepth, res.ScoreDrift,
 			res.InvariantSummary())
+		if res.OnlineAP != nil && res.FrozenAP != nil {
+			fmt.Fprintf(o.Out, "  continual learning: online AP %.3f vs frozen %.3f post-shift, %d versions published\n",
+				*res.OnlineAP, *res.FrozenAP, res.VersionsPublished)
+		}
 		for _, v := range res.Violations {
 			fmt.Fprintf(o.Out, "  VIOLATION %s\n", v)
 		}

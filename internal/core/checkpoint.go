@@ -30,15 +30,22 @@ const (
 	ckptMaxGrowBytes = 4 << 30
 )
 
-// SaveParams writes only the trained parameters (encoder + decoder).
+// SaveParams writes the currently published parameters (encoder + decoder)
+// — the version the serving paths score with, which after online training
+// may be newer than the model's own offline copy.
 func (m *Model) SaveParams(w io.Writer) error {
-	return nn.SaveParams(w, m.Params())
+	return m.CurrentParams().Save(w)
 }
 
 // LoadParams restores parameters saved by SaveParams into a model built
-// with an identical Config.
+// with an identical Config, loading the model's own copy and publishing it
+// as a new version so serving picks the loaded weights up immediately.
 func (m *Model) LoadParams(r io.Reader) error {
-	return nn.LoadParams(r, m.Params())
+	if err := nn.LoadParams(r, m.Params()); err != nil {
+		return err
+	}
+	m.publishOwn()
+	return nil
 }
 
 // SaveCheckpoint writes parameters and streaming state.

@@ -9,6 +9,11 @@ import "apan/internal/tgraph"
 // identifies which past interaction drove the decision.
 type Explanation struct {
 	Node tgraph.NodeID
+	// ParamVersion is the published parameter version of the forward pass
+	// that produced these weights (0 for offline training/eval passes, which
+	// run on the model's own mutable parameters). An explanation is pinned to
+	// the version its pass scored with, even if weights were swapped since.
+	ParamVersion uint64
 	// MailWeights[i] is the attention probability on the i-th mail (oldest
 	// first, timestamp order), averaged over heads. Sums to 1 when the node
 	// had any mail.
@@ -39,7 +44,7 @@ func (m *Model) Explain(n tgraph.NodeID) (*Explanation, bool) {
 		return nil, false
 	}
 	count := r.counts[row]
-	ex := &Explanation{Node: n, MailWeights: make([]float32, count)}
+	ex := &Explanation{Node: n, ParamVersion: r.version, MailWeights: make([]float32, count)}
 	ex.PerHead = make([][]float32, r.heads)
 	for h := 0; h < r.heads; h++ {
 		ex.PerHead[h] = make([]float32, count)

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apan/internal/dataset"
@@ -22,9 +23,12 @@ import (
 // Concurrency: the stores are sharded and lock-striped (Config.Shards), so
 // any number of goroutines may run InferBatch, Embed and ApplyInference
 // concurrently — readers and writers contend only when they touch the same
-// shard. Training entry points (TrainEpoch and the Eval/Collect streams) are
-// not safe to run concurrently with anything else: backpropagation mutates
-// shared parameters.
+// shard. Parameters are versioned: the serving paths read an atomically
+// published immutable snapshot (see SwapParams), so a background trainer can
+// hot-swap weights while serving continues. The deprecated offline entry
+// points (TrainEpoch and the Eval/Collect streams) mutate the model's own
+// parameter copy in place and are not safe to run concurrently with each
+// other or with SwapParams on the same tensors.
 type Model struct {
 	Cfg Config
 
@@ -36,6 +40,12 @@ type Model struct {
 	db   *gdb.DB
 	prop *Propagator
 	opt  *nn.Adam
+
+	// cur is the published parameter generation the serving hot paths score
+	// with: InferBatch/Embed load it exactly once per pass, so every result
+	// is attributable to one version. verCounter allocates publish versions.
+	cur        atomic.Pointer[paramVersion]
+	verCounter atomic.Uint64
 
 	// storeMu is a latch, not a data lock: every per-batch operation
 	// (InferBatch, ApplyInference, Embed, processBatch) holds it SHARED —
@@ -68,6 +78,7 @@ type Model struct {
 type explainRec struct {
 	valid        bool
 	heads, slots int
+	version      uint64 // parameter version of the recording pass (0: offline)
 	weights      []float32
 	nodes        []tgraph.NodeID
 	counts       []int
@@ -107,6 +118,7 @@ func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
 	m.prop = NewPropagator(cfg, db, m.mbox)
 	m.opt = nn.NewAdam(m.Params(), cfg.LR)
 	m.wsPool.New = func() any { return m.newInferWorkspace() }
+	m.publishOwn()
 	return m, nil
 }
 
@@ -119,13 +131,26 @@ func (m *Model) Name() string {
 	return "APAN-2layers"
 }
 
-// Params returns every trainable tensor of the model.
+// Params returns every trainable tensor of the model's own parameter copy —
+// the one the deprecated offline entry points step in place. The serving
+// paths do not read these tensors; they read the published snapshot (see
+// SwapParams/CurrentParams). Online trainers keep their own private copy and
+// never touch this one.
 func (m *Model) Params() []*nn.Tensor {
 	return append(m.enc.Params(), m.dec.Params()...)
 }
 
 // DB exposes the underlying graph database wrapper (for accounting).
 func (m *Model) DB() *gdb.DB { return m.db }
+
+// GraphEvents returns the number of events applied to the temporal graph —
+// the serving watermark — safely with respect to concurrent propagation
+// (the graph itself is unsharded and guarded by the model's graph mutex).
+func (m *Model) GraphEvents() int {
+	m.graphMu.Lock()
+	defer m.graphMu.Unlock()
+	return m.db.G.NumEvents()
+}
 
 // Mailbox exposes the sharded mailbox store. Its per-node operations are
 // safe to call concurrently with serving.
@@ -137,6 +162,17 @@ func (m *Model) State() *state.Sharded { return m.st }
 
 // Propagator exposes the asynchronous-link implementation.
 func (m *Model) Propagator() *Propagator { return m.prop }
+
+// GatherInputs reads z(t−) and the timestamp-sorted mailboxes of nodes at
+// the given query times under the shared store latch — the read-only view an
+// online trainer uses to build mini-batch inputs from the live streaming
+// state without blocking serving (it contends only per shard, like any other
+// reader). The returned bundle is freshly allocated and owned by the caller.
+func (m *Model) GatherInputs(nodes []tgraph.NodeID, times []float64) *EncodeInput {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	return ReadInputsParallel(m.st, m.mbox, nodes, times, 1)
+}
 
 // NumNodes returns the current node-ID space, which EnsureNodes may have
 // grown past Cfg.NumNodes.
@@ -346,7 +382,9 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 		res.NegScores[i] = tensor.Sigmoid32(negLogits.Value().Data[i])
 	}
 
-	m.setExplain(att, plan.nodes, in.Counts)
+	// Offline passes run on the model's own mutable parameters, outside any
+	// published version — recorded as version 0.
+	m.setExplain(att, plan.nodes, in.Counts, 0)
 
 	// Post-inference state write: z(t) becomes z(t−) for the next batch.
 	// Negative nodes did not interact, so their state is untouched. The
@@ -429,10 +467,20 @@ func (m *Model) runStream(events []tgraph.Event, ns *dataset.NegSampler, train b
 	return res
 }
 
-// TrainEpoch trains over one chronological pass of events. The caller is
-// responsible for ResetRuntime at epoch starts.
+// TrainEpoch trains over one chronological pass of events, stepping the
+// model's own parameter copy, and republishes the result so subsequent
+// serving passes score with the trained weights. The caller is responsible
+// for ResetRuntime at epoch starts.
+//
+// Deprecated: the offline epoch loop exists for the paper-reproduction
+// benchmarks and the pre-training step of a deployment. Long-running serving
+// processes should adapt with internal/train.OnlineTrainer, which steps a
+// private parameter copy off the propagation path and publishes through
+// SwapParams without ever blocking inference.
 func (m *Model) TrainEpoch(events []tgraph.Event, ns *dataset.NegSampler) StreamResult {
-	return m.runStream(events, ns, true, nil, nil)
+	res := m.runStream(events, ns, true, nil, nil)
+	m.publishOwn()
+	return res
 }
 
 // EvalStream evaluates link prediction over events without training,
@@ -470,12 +518,18 @@ type Inference struct {
 	Events []tgraph.Event
 	Scores []float32
 
-	nodes  []tgraph.NodeID
-	emb    *tensor.Matrix
-	srcRow []int32
-	dstRow []int32
-	ws     *inferWorkspace
+	nodes   []tgraph.NodeID
+	emb     *tensor.Matrix
+	srcRow  []int32
+	dstRow  []int32
+	version uint64
+	ws      *inferWorkspace
 }
+
+// ParamVersion reports which published parameter version scored this batch.
+// The whole pass ran on that one immutable snapshot — pinned at entry, so a
+// concurrent SwapParams cannot mix versions within a batch.
+func (inf *Inference) ParamVersion() uint64 { return inf.version }
 
 // Release returns the Inference's workspace (embeddings, scores, tape
 // storage) to the model for reuse. The caller must be done with
@@ -504,34 +558,38 @@ func (inf *Inference) Release() {
 // (directly or through async.Pipeline) to run the asynchronous link.
 //
 // InferBatch is safe to call from any number of goroutines concurrently with
-// itself and with ApplyInference: the gather takes only shard read locks
-// (plus the shared latch), and the forward pass works on copies. With
+// itself, with ApplyInference and with SwapParams: the gather takes only
+// shard read locks (plus the shared latch), the forward pass works on
+// copies, and the parameter version is pinned by a single atomic load at
+// entry — the entire pass scores with that one immutable snapshot. With
 // Config.InferWorkers > 1 the gather itself additionally fans out across
 // goroutines.
 func (m *Model) InferBatch(events []tgraph.Event) *Inference {
+	pv := m.cur.Load()
 	ws := m.acquireWorkspace()
 	m.planBatchInto(&ws.plan, events, nil, false)
 	m.storeMu.RLock()
 	ws.gather(m.st, m.mbox, ws.plan.nodes, ws.plan.times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
 	tp := ws.tape
-	z, att := m.enc.Forward(tp, &ws.in)
+	z, att := pv.enc.Forward(tp, &ws.in)
 	zsrc := tp.Gather(z, ws.plan.srcRow)
 	zdst := tp.Gather(z, ws.plan.dstRow)
-	logits := m.dec.Forward(tp, zsrc, zdst)
-	m.setExplain(att, ws.plan.nodes, ws.in.Counts)
+	logits := pv.dec.Forward(tp, zsrc, zdst)
+	m.setExplain(att, ws.plan.nodes, ws.in.Counts, pv.set.Version())
 	ws.scores = grow(ws.scores, len(events))
 	for i := range ws.scores {
 		ws.scores[i] = tensor.Sigmoid32(logits.Value().Data[i])
 	}
 	ws.inf = Inference{
-		Events: events,
-		Scores: ws.scores,
-		nodes:  ws.plan.nodes,
-		emb:    z.Value(),
-		srcRow: ws.plan.srcRow,
-		dstRow: ws.plan.dstRow,
-		ws:     ws,
+		Events:  events,
+		Scores:  ws.scores,
+		nodes:   ws.plan.nodes,
+		emb:     z.Value(),
+		srcRow:  ws.plan.srcRow,
+		dstRow:  ws.plan.dstRow,
+		version: pv.set.Version(),
+		ws:      ws,
 	}
 	return &ws.inf
 }
@@ -562,13 +620,14 @@ func (m *Model) ApplyInference(inf *Inference) {
 // workspace and are recycled on Release, so the copy is what makes Explain
 // safe after the pass's memory is reused. The buffers grow to the largest
 // batch seen and then stop allocating.
-func (m *Model) setExplain(att *nn.Attention, nodes []tgraph.NodeID, counts []int) {
+func (m *Model) setExplain(att *nn.Attention, nodes []tgraph.NodeID, counts []int, version uint64) {
 	if m.Cfg.NoExplain {
 		return
 	}
 	m.explainMu.Lock()
 	r := &m.explain
 	r.valid = att != nil
+	r.version = version
 	if att != nil {
 		r.heads, r.slots = att.Heads(), att.Slots()
 		r.weights = append(r.weights[:0], att.Weights...)
@@ -579,15 +638,18 @@ func (m *Model) setExplain(att *nn.Attention, nodes []tgraph.NodeID, counts []in
 }
 
 // Embed returns the current temporal embeddings z(t) of the given nodes at
-// their query times, with no side effects. This is the public embedding API
-// for downstream consumers; like InferBatch it is safe for concurrent use.
-// The returned matrix is a copy owned by the caller.
+// their query times, with no side effects, computed with the published
+// parameter version pinned at entry. This is the public embedding API for
+// downstream consumers; like InferBatch it is safe for concurrent use,
+// including during SwapParams churn. The returned matrix is a copy owned by
+// the caller.
 func (m *Model) Embed(nodes []tgraph.NodeID, times []float64) *tensor.Matrix {
+	pv := m.cur.Load()
 	ws := m.acquireWorkspace()
 	m.storeMu.RLock()
 	ws.gather(m.st, m.mbox, nodes, times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
-	z, _ := m.enc.Forward(ws.tape, &ws.in)
+	z, _ := pv.enc.Forward(ws.tape, &ws.in)
 	out := z.Value().Clone()
 	ws.release()
 	return out

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apan/internal/tensor"
+)
+
+func randomParams(rng *rand.Rand, n int) []*Tensor {
+	ps := make([]*Tensor, n)
+	for i := range ps {
+		p := Param(1+rng.Intn(5), 1+rng.Intn(7))
+		p.W.RandN(rng, 1)
+		ps[i] = p
+	}
+	return ps
+}
+
+// TestParamSetSnapshotIsolation: a snapshot must be a deep copy — stepping
+// the source parameters afterwards (what a trainer does) must not change the
+// published values or their fingerprint.
+func TestParamSetSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := randomParams(rng, 4)
+	ps := NewParamSet(3, params)
+	if ps.Version() != 3 {
+		t.Fatalf("version %d, want 3", ps.Version())
+	}
+	before := ps.Fingerprint()
+	for _, p := range params {
+		p.W.Fill(42)
+	}
+	if got := ps.RecomputeFingerprint(); got != before {
+		t.Fatalf("snapshot mutated by source update: fingerprint %016x -> %016x", before, got)
+	}
+}
+
+// TestParamSetCopyToRoundTrip: CopyTo into a fresh parameter list must
+// reproduce the snapshot bitwise, and shape mismatches must be rejected.
+func TestParamSetCopyToRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	params := randomParams(rng, 5)
+	ps := NewParamSet(1, params)
+
+	dst := make([]*Tensor, len(params))
+	for i, p := range params {
+		dst[i] = Param(p.W.Rows, p.W.Cols)
+	}
+	if err := ps.CopyTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := NewParamSet(1, dst).Fingerprint(); got != ps.Fingerprint() {
+		t.Fatalf("CopyTo changed values: %016x vs %016x", got, ps.Fingerprint())
+	}
+
+	bad := append(append([]*Tensor(nil), dst...), Param(1, 1))
+	if err := ps.CopyTo(bad); err == nil {
+		t.Fatal("CopyTo accepted a longer parameter list")
+	}
+	dst[0] = Param(dst[0].W.Rows+1, dst[0].W.Cols)
+	if err := ps.CopyTo(dst); err == nil {
+		t.Fatal("CopyTo accepted a shape mismatch")
+	}
+}
+
+// TestBindParamsAliases: bound tensors must read the snapshot's storage
+// directly (zero copy), so a forward pass over them sees exactly one version.
+func TestBindParamsAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	params := randomParams(rng, 3)
+	ps := NewParamSet(1, params)
+	bound := make([]*Tensor, len(params))
+	for i, p := range params {
+		bound[i] = Param(p.W.Rows, p.W.Cols)
+	}
+	if err := BindParams(bound, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bound {
+		if b.W != ps.Value(i) {
+			t.Fatalf("param %d not aliased to the set's matrix", i)
+		}
+	}
+}
+
+// TestQuickParamSetSaveLoadRoundTrip: a published ParamSet serialized with
+// Save and read back with LoadParams must round-trip bit-exactly, for
+// arbitrary shapes and values (including negative zero and denormals scaled
+// down from random normals).
+func TestQuickParamSetSaveLoadRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := randomParams(rng, 1+int(nRaw%6))
+		// Exercise special values: flip signs, zero a few entries.
+		for _, p := range params {
+			for j := range p.W.Data {
+				switch rng.Intn(8) {
+				case 0:
+					p.W.Data[j] = 0
+				case 1:
+					p.W.Data[j] = float32(math32Copysign(0, -1))
+				case 2:
+					p.W.Data[j] *= 1e-30
+				}
+			}
+		}
+		ps := NewParamSet(7, params)
+
+		var buf bytes.Buffer
+		if err := ps.Save(&buf); err != nil {
+			t.Log(err)
+			return false
+		}
+		dst := make([]*Tensor, len(params))
+		for i, p := range params {
+			dst[i] = Param(p.W.Rows, p.W.Cols)
+		}
+		if err := LoadParams(&buf, dst); err != nil {
+			t.Log(err)
+			return false
+		}
+		if got := NewParamSet(7, dst).Fingerprint(); got != ps.Fingerprint() {
+			t.Logf("round-trip fingerprint %016x, want %016x", got, ps.Fingerprint())
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func math32Copysign(x, sign float32) float32 {
+	if sign < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestReusableTrainingTapeSteadyState: after warm-up, repeated
+// forward/backward passes on a reusable training tape must recycle their
+// matrix storage through the pool (pool misses stop growing).
+func TestReusableTrainingTapeSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pool tensor.Pool
+	tp := NewReusableTrainingTape(&pool, rng)
+	lin := NewLinear(8, 8, rng)
+	x := tensor.New(16, 8)
+	x.RandN(rng, 1)
+	target := make([]float32, 16)
+
+	step := func() {
+		tp.Reset()
+		out := lin.Forward(tp, tp.Input(x))
+		loss := tp.BCEWithLogits(tp.RowDot(out, out), target)
+		tp.Backward(loss)
+		for _, p := range lin.Params() {
+			p.ZeroGrad()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	_, missesBefore := pool.Stats()
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if _, misses := pool.Stats(); misses != missesBefore {
+		t.Fatalf("steady-state training pass missed the pool %d times", misses-missesBefore)
+	}
+}

@@ -87,6 +87,17 @@ func NewTape() *Tape { return &Tape{} }
 // NewTrainingTape returns a tape with dropout enabled, drawing masks from rng.
 func NewTrainingTape(rng *rand.Rand) *Tape { return &Tape{training: true, rng: rng} }
 
+// NewReusableTrainingTape returns a training-mode tape (dropout from rng,
+// gradients recorded) whose op outputs and gradient matrices draw from pool
+// and are recycled wholesale by Reset — the per-step tape of the online
+// trainer, which runs one mini-batch forward/backward every few applied
+// batches for the lifetime of the process. Backward closures are still
+// rebuilt per pass; only the matrix storage is pooled. The tape takes
+// exclusive ownership of pool.
+func NewReusableTrainingTape(pool *tensor.Pool, rng *rand.Rand) *Tape {
+	return &Tape{training: true, rng: rng, pool: pool}
+}
+
 // NewInferenceTape returns a reusable zero-allocation tape for serving:
 // gradients are disabled outright (Backward panics), op outputs draw their
 // storage from pool, and Reset recycles every node and matrix for the next
@@ -198,6 +209,11 @@ func (tp *Tape) finishResult(out *Tensor, inputs []*Tensor) *Tensor {
 			out.needGrad = true
 			break
 		}
+	}
+	// On a pooled training tape, draw the gradient from the pool up front so
+	// it is recycled on Reset instead of lazily heap-allocated every pass.
+	if out.needGrad && tp.pool != nil {
+		out.G = tp.newMatrix(out.W.Rows, out.W.Cols)
 	}
 	return out
 }

@@ -1,0 +1,46 @@
+package scenario
+
+import "testing"
+
+// findScenario pulls a bundled scenario by name.
+func findScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	for _, sc := range Bundled() {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %q not bundled", name)
+	return Scenario{}
+}
+
+// TestConceptDriftScenario runs the continual-learning scenario at both the
+// default harness size and (in non-short mode) the CI table size, asserting
+// every invariant — frozen determinism, no torn params, online adaptation —
+// holds and the online trainer actually published versions.
+func TestConceptDriftScenario(t *testing.T) {
+	sc := findScenario(t, "concept_drift")
+	configs := []RunOptions{{Seed: 1}} // defaults: 2000 events
+	if !testing.Short() {
+		// The CI table configuration: apan-bench -exp scenarios -scale 0.01
+		// runs 600 events at batch 50.
+		configs = append(configs, RunOptions{Seed: 1, Events: 600, BatchSize: 50})
+	}
+	for _, cfg := range configs {
+		res, err := Run(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		if res.OnlineAP == nil || res.FrozenAP == nil {
+			t.Fatal("drift APs not reported")
+		}
+		t.Logf("events=%d online AP %.4f frozen AP %.4f versions=%d invariants=%s",
+			res.Events, *res.OnlineAP, *res.FrozenAP, res.VersionsPublished, res.InvariantSummary())
+		if res.VersionsPublished == 0 {
+			t.Error("online trainer never published a version during the drift stream")
+		}
+	}
+}

@@ -39,6 +39,15 @@ const (
 	InvDropAccounting   = "drop_accounting"
 	InvReplayDeterism   = "replay_determinism"
 	InvCheckpointReplay = "checkpoint_replay"
+	// InvNoTornParams: every served score is attributable to exactly one
+	// published parameter version, and published sets stay bitwise intact.
+	InvNoTornParams = "no_torn_params"
+	// InvFrozenDeterminism: a drift run with the trainer frozen is bitwise
+	// deterministic (scores, negative twins and runtime digest).
+	InvFrozenDeterminism = "frozen_determinism"
+	// InvOnlineAdaptation: after the concept shift, the online-trained run's
+	// holdout AP is at least the frozen-parameter run's.
+	InvOnlineAdaptation = "online_adaptation"
 )
 
 // compareScores checks bitwise float32 equality of two per-batch score sets

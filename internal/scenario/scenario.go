@@ -40,6 +40,13 @@ type Scenario struct {
 	// MidCheckpoint snapshots mid-stream, finishes, restores and replays the
 	// tail, asserting a bitwise-identical second pass.
 	MidCheckpoint bool
+	// Drift runs the online-continual-learning protocol: the stream is
+	// played three times — twice with a frozen trainer (bitwise determinism
+	// asserted) and once with the trainer pumped deterministically — and the
+	// post-shift holdout AP of the online run must be at least the frozen
+	// run's. The no-torn-params invariant audits every served batch's
+	// pinned parameter version against the trainer's publish log.
+	Drift bool
 }
 
 // Bundled returns the scenario suite the repo ships: the workload ×
@@ -65,6 +72,8 @@ func Bundled() []Scenario {
 			Description: "delayed propagation consumer; backpressure, conservation, score drift"},
 		{Name: "checkpoint_midstream", Workload: OutOfOrder, MidCheckpoint: true,
 			Description: "mid-stream SnapshotRuntime/RestoreRuntime bitwise rewind"},
+		{Name: "concept_drift", Workload: ConceptDrift, Drift: true, TrainFrac: 0.3,
+			Description: "community rewiring mid-stream; online trainer vs frozen params, torn-param audit"},
 	}
 }
 
@@ -134,6 +143,12 @@ type Result struct {
 	ScoreDrift float64  `json:"score_drift"`
 	AP         *float64 `json:"ap,omitempty"`
 	AUC        *float64 `json:"auc,omitempty"`
+	// Drift-scenario metrics: post-shift holdout AP of the online-trained
+	// and frozen-parameter runs, and how many parameter versions the online
+	// trainer published during the stream.
+	OnlineAP          *float64 `json:"online_ap,omitempty"`
+	FrozenAP          *float64 `json:"frozen_ap,omitempty"`
+	VersionsPublished int      `json:"versions_published,omitempty"`
 
 	Invariants []InvariantResult `json:"invariants"`
 	Violations []Violation       `json:"violations,omitempty"`
@@ -276,6 +291,47 @@ func Run(sc Scenario, o RunOptions) (*Result, error) {
 		res.addInvariant(InvDropAccounting+"_slow", vs)
 		res.ScoreDrift = scoreDrift(ref.scores, slow.scores)
 		res.MaxDepth = slow.maxDepth
+	}
+
+	// Online continual learning under concept drift: frozen determinism,
+	// torn-parameter audit, and the adaptation check.
+	if sc.Drift {
+		frozenA, err := runDrift(tr, o, sc.TrainFrac, false)
+		if err != nil {
+			return nil, err
+		}
+		frozenB, err := runDrift(tr, o, sc.TrainFrac, false)
+		if err != nil {
+			return nil, err
+		}
+		res.addInvariant(InvFrozenDeterminism,
+			compareDrift(InvFrozenDeterminism, sc.Name, o.Seed, batches, frozenA, frozenB, "frozen1", "frozen2"))
+
+		online, err := runDrift(tr, o, sc.TrainFrac, true)
+		if err != nil {
+			return nil, err
+		}
+		vs := checkTornParams(online, sc.Name, o.Seed)
+		vs = append(vs, checkTornParams(frozenA, sc.Name, o.Seed)...)
+		res.addInvariant(InvNoTornParams, vs)
+
+		onAP := driftAP(batches, online.scores, online.negScores, tr.Shift, tr.Span)
+		frAP := driftAP(batches, frozenA.scores, frozenA.negScores, tr.Shift, tr.Span)
+		res.OnlineAP, res.FrozenAP = &onAP, &frAP
+		res.VersionsPublished = len(online.pubLog) - 1 // minus the attach version
+		var avs []Violation
+		if math.IsNaN(onAP) || math.IsNaN(frAP) {
+			avs = append(avs, Violation{Invariant: InvOnlineAdaptation, Scenario: sc.Name, Seed: o.Seed, EventIndex: -1,
+				Detail: "post-shift AP not computable (no post-shift events in the streamed portion?)"})
+		} else if onAP < frAP {
+			avs = append(avs, Violation{Invariant: InvOnlineAdaptation, Scenario: sc.Name, Seed: o.Seed, EventIndex: -1,
+				Detail: fmt.Sprintf("online-trained post-shift AP %.4f < frozen-params AP %.4f", onAP, frAP)})
+		}
+		res.addInvariant(InvOnlineAdaptation, avs)
+	} else {
+		res.skipInvariant(InvNoTornParams)
+		res.skipInvariant(InvFrozenDeterminism)
+		res.skipInvariant(InvOnlineAdaptation)
 	}
 
 	// Mid-stream checkpoint/restore rewind.

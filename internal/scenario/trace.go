@@ -35,7 +35,11 @@ type Trace struct {
 	MaxNodes int // exclusive upper bound on IDs appearing in Events
 	EdgeDim  int
 	Span     float64
-	Events   []tgraph.Event
+	// Shift is the concept-drift timestamp: events at Time ≥ Shift follow a
+	// different interaction structure than those before (0 for stationary
+	// workloads). The drift driver measures adaptation on the ≥-Shift part.
+	Shift  float64
+	Events []tgraph.Event
 }
 
 // MaxTime returns the largest event timestamp (0 for an empty trace).
@@ -221,6 +225,86 @@ func OutOfOrder(rng *rand.Rand, p WorkloadParams) *Trace {
 			dup.Feat = append([]float32(nil), evs[i-1].Feat...)
 			evs[i] = dup
 		}
+	}
+	return tr
+}
+
+// ConceptDrift is the online-continual-learning workload: community-
+// structured traffic whose community memberships are rewired mid-stream.
+// Every node carries a fixed latent identity; features identify the
+// interacting pair (0.5·(a+b) + noise), so attention has stable signal
+// about who is who. Before the shift (at 45% of the span), interactions
+// are intra-community under partition A — the rule every pre-shift
+// training pass learns. At the shift the partition is reshuffled: the same
+// nodes regroup into new communities (each new community mixes nodes from
+// all old ones) and traffic becomes intra-community under partition B.
+// "Nodes that interact are similar" stays true — the drift is in WHICH
+// nodes count as similar — so the rule remains representable by the
+// inner-product decoder, but a model with frozen parameters keeps mapping
+// identities to the dead grouping while an online trainer re-fits encoder
+// and decoder to the new one. That gap is what the adaptation check
+// measures.
+func ConceptDrift(rng *rand.Rand, p WorkloadParams) *Trace {
+	communities := 4
+	if communities > p.Nodes {
+		communities = p.Nodes
+	}
+	dim := p.EdgeDim
+	// Distinct per-node latent identities (unit direction, fixed scale):
+	// the features must identify nodes, not communities, or the reshuffle
+	// would be invisible.
+	lat := make([][]float32, p.Nodes)
+	for u := range lat {
+		v := dataset.RandUnitVec(rng, dim)
+		for j := range v {
+			v[j] *= 2
+		}
+		lat[u] = v
+	}
+	// Partition A: contiguous stripes. Partition B: a seeded reshuffle, so
+	// each new community draws members from every old one.
+	memberA := make([][]int, communities)
+	memberB := make([][]int, communities)
+	commA := make([]int, p.Nodes)
+	commB := make([]int, p.Nodes)
+	perm := rng.Perm(p.Nodes)
+	for u := 0; u < p.Nodes; u++ {
+		a := u % communities
+		b := perm[u] % communities
+		commA[u], commB[u] = a, b
+		memberA[a] = append(memberA[a], u)
+		memberB[b] = append(memberB[b], u)
+	}
+	feat := func(u, v int) []float32 {
+		f := make([]float32, dim)
+		for j := range f {
+			f[j] = 0.5*(lat[u][j]+lat[v][j]) + float32(rng.NormFloat64()*0.15)
+		}
+		return f
+	}
+
+	tr := &Trace{Name: "concept_drift", NumNodes: p.Nodes, MaxNodes: p.Nodes,
+		EdgeDim: dim, Span: p.Span, Shift: 0.45 * p.Span}
+	rate := float64(p.Events) / p.Span
+	var t float64
+	for len(tr.Events) < p.Events {
+		t += rng.ExpFloat64() / rate
+		u := rng.Intn(p.Nodes)
+		pool := memberA[commA[u]]
+		if t >= tr.Shift {
+			pool = memberB[commB[u]]
+		}
+		v := pool[rng.Intn(len(pool))]
+		if v == u {
+			v = pool[(rng.Intn(len(pool))+1)%len(pool)]
+			if v == u {
+				v = (u + 1) % p.Nodes
+			}
+		}
+		tr.Events = append(tr.Events, tgraph.Event{
+			Src: tgraph.NodeID(u), Dst: tgraph.NodeID(v), Time: t,
+			Feat: feat(u, v), Label: -1,
+		})
 	}
 	return tr
 }

@@ -5,10 +5,12 @@
 //
 // v1 endpoints:
 //
-//	POST /v1/score          score one event or a batch (micro-batched)
-//	GET  /v1/stats          pipeline + micro-batcher instrumentation
-//	GET  /v1/healthz        liveness and queue headroom
-//	GET  /v1/explain/{node} attention explanation for the last scored batch
+//	POST /v1/score                score one event or a batch (micro-batched)
+//	GET  /v1/stats                pipeline + batcher + trainer instrumentation
+//	GET  /v1/healthz              liveness and queue headroom
+//	GET  /v1/explain/{node}       attention explanation for the last scored batch
+//	POST /v1/admin/train/freeze   pause online training (when a trainer is wired)
+//	POST /v1/admin/train/resume   resume online training
 //
 // Single-event POSTs are coalesced server-side: concurrent requests that
 // arrive within the configured batch window ride one InferBatch call, so
@@ -26,10 +28,12 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"apan/internal/async"
 	"apan/internal/tgraph"
+	"apan/internal/train"
 )
 
 // Options configures a Server.
@@ -54,17 +58,37 @@ type Options struct {
 	// negative disables admission entirely (the pre-v1.1 strict 400
 	// behavior).
 	MaxNodes int
+	// Trainer, when non-nil, is the online trainer attached to the served
+	// pipeline (async.WithOnlineTrainer): /v1/stats reports its health and
+	// the admin endpoints control it. Nil disables the training surface
+	// (admin endpoints answer 404 no_trainer).
+	//
+	// Deliberately the concrete type, unlike async.Trainer (which only
+	// needs Observe): the stats handler serializes typed train.Stats, and
+	// a concrete pointer keeps the nil check honest — an interface field
+	// here would turn a nil *OnlineTrainer into a non-nil interface and
+	// panic on first admin call.
+	Trainer *train.OnlineTrainer
 }
 
 // Server is the v1 HTTP serving surface over an async.Pipeline. Create it
 // with New, mount it anywhere (it implements http.Handler), and Close it
-// before shutting the pipeline down.
+// before shutting the pipeline down: Close waits for every in-flight
+// handler — score, admin and explain alike — so a subsequent
+// Pipeline.Shutdown can never race a request still using the pipeline.
 type Server struct {
 	pipe     *async.Pipeline
 	batcher  *Batcher
+	trainer  *train.OnlineTrainer
 	mux      *http.ServeMux
 	start    time.Time
 	maxNodes int
+
+	// closeMu/closed gate new requests during shutdown; handlerWG counts
+	// requests in flight so Close can wait them out.
+	closeMu   sync.RWMutex
+	closed    bool
+	handlerWG sync.WaitGroup
 }
 
 // New builds a Server over a started pipeline.
@@ -81,6 +105,7 @@ func New(pipe *async.Pipeline, opts Options) *Server {
 	s := &Server{
 		pipe:     pipe,
 		batcher:  NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch, opts.FlushConcurrency),
+		trainer:  opts.Trainer,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		maxNodes: maxNodes,
@@ -89,14 +114,43 @@ func New(pipe *async.Pipeline, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/explain/{node}", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/admin/train/freeze", s.handleTrainFreeze)
+	s.mux.HandleFunc("POST /v1/admin/train/resume", s.handleTrainResume)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches a request, registering it with the in-flight
+// accounting Close waits on. Requests arriving after Close starts get a
+// structured 503.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "server_closing", "the server is shutting down")
+		return
+	}
+	s.handlerWG.Add(1)
+	s.closeMu.RUnlock()
+	defer s.handlerWG.Done()
+	s.mux.ServeHTTP(w, r)
+}
 
-// Close stops the micro-batcher, flushing queued requests. The pipeline is
-// owned by the caller and left running.
-func (s *Server) Close() { s.batcher.Close() }
+// Close stops accepting requests, flushes and stops the micro-batcher, and
+// waits for every in-flight handler to return. After Close the caller may
+// safely Shutdown the pipeline: no handler still references it. The
+// pipeline itself is owned by the caller and left running; an attached
+// trainer is likewise left to the caller to Stop.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	// Both calls are safe and blocking under concurrent Close: a repeat
+	// batcher.Close waits for the first to finish, and every Close waits
+	// out the in-flight handlers — so whichever caller returns first, the
+	// pipeline is no longer referenced by any handler.
+	s.batcher.Close()
+	s.handlerWG.Wait()
+}
 
 // EventJSON is the wire form of one temporal interaction.
 type EventJSON struct {
@@ -135,9 +189,23 @@ type ErrorBody struct {
 
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
-	Pipeline      async.Stats  `json:"pipeline"`
-	Batcher       BatcherStats `json:"batcher"`
+	Pipeline async.Stats  `json:"pipeline"`
+	Batcher  BatcherStats `json:"batcher"`
+	// ParamVersion is the served model's currently published parameter
+	// version; it advances on every hot swap (online trainer publish,
+	// checkpoint load).
+	ParamVersion uint64 `json:"param_version"`
+	// Training reports online-trainer health; absent when no trainer is
+	// attached.
+	Training      *train.Stats `json:"training,omitempty"`
 	UptimeSeconds float64      `json:"uptime_s"`
+}
+
+// TrainAdminResponse answers the POST /v1/admin/train/{freeze,resume}
+// endpoints.
+type TrainAdminResponse struct {
+	Frozen       bool   `json:"frozen"`
+	ParamVersion uint64 `json:"param_version"`
 }
 
 // HealthResponse answers GET /v1/healthz.
@@ -304,11 +372,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Pipeline:      s.pipe.Stats(),
 		Batcher:       s.batcher.Stats(),
+		ParamVersion:  s.pipe.ParamVersion(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if s.trainer != nil {
+		st := s.trainer.Stats()
+		resp.Training = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTrainFreeze(w http.ResponseWriter, _ *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusNotFound, "no_trainer", "no online trainer is attached to this server")
+		return
+	}
+	s.trainer.Freeze()
+	writeJSON(w, http.StatusOK, TrainAdminResponse{Frozen: true, ParamVersion: s.pipe.ParamVersion()})
+}
+
+func (s *Server) handleTrainResume(w http.ResponseWriter, _ *http.Request) {
+	if s.trainer == nil {
+		writeError(w, http.StatusNotFound, "no_trainer", "no online trainer is attached to this server")
+		return
+	}
+	s.trainer.Resume()
+	writeJSON(w, http.StatusOK, TrainAdminResponse{Frozen: false, ParamVersion: s.pipe.ParamVersion()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -407,7 +407,10 @@ func TestServerCloseRejectsScores(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d: %s", resp.StatusCode, out.Bytes())
 	}
-	if got := errCode(t, out.Bytes()); got != "pipeline_closed" {
+	// Requests arriving after Close are rejected at the door, before they
+	// can touch the batcher or pipeline (the in-flight handler accounting
+	// makes Close safe to follow with Pipeline.Shutdown).
+	if got := errCode(t, out.Bytes()); got != "server_closing" {
 		t.Fatalf("code %q", got)
 	}
 }
