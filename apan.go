@@ -64,6 +64,7 @@ import (
 	"apan/internal/state"
 	"apan/internal/tgraph"
 	"apan/internal/train"
+	"apan/internal/wal"
 )
 
 // Core model API.
@@ -233,6 +234,38 @@ var (
 	// ErrQueueFull is returned by TrySubmit instead of blocking.
 	ErrQueueFull = async.ErrQueueFull
 )
+
+// Durability (write-ahead event log + checkpoints; docs/durability.md).
+type (
+	// WAL is the append-only, CRC-framed, segment-rotated write-ahead event
+	// log. Attach one to a Model (Model.AttachWAL) and every applied batch
+	// is logged at the serial apply point with group commit; recover a
+	// crashed replica with Model.LoadCheckpointFile + Model.RecoverWAL.
+	WAL = wal.Log
+	// WALOptions configures OpenWAL (directory, fsync policy, segment size).
+	WALOptions = wal.Options
+	// WALPolicy selects when the log fsyncs (group, interval, none).
+	WALPolicy = wal.Policy
+	// WALStats is a point-in-time view of log health and volume.
+	WALStats = wal.Stats
+)
+
+// Fsync policies.
+const (
+	// SyncGroup fsyncs every commit group before acknowledging it.
+	SyncGroup = wal.SyncGroup
+	// SyncInterval fsyncs on a background ticker (bounded-loss, default).
+	SyncInterval = wal.SyncInterval
+	// SyncNone never fsyncs; the OS page cache is the only durability.
+	SyncNone = wal.SyncNone
+)
+
+// OpenWAL opens (or creates) the log in opts.Dir, truncating any torn tail
+// left by a crash.
+func OpenWAL(opts WALOptions) (*WAL, error) { return wal.Open(opts) }
+
+// ParseSyncPolicy parses a -fsync flag value ("group", "interval", "none").
+var ParseSyncPolicy = wal.ParsePolicy
 
 // StartPipeline starts the serving pipeline over a trained model.
 func StartPipeline(m *Model, opts ...PipelineOption) *Pipeline { return async.New(m, opts...) }

@@ -24,6 +24,14 @@
 //
 //	apan-serve -train-online -checkpoint-every 5m -checkpoint /var/lib/apan.ckpt
 //	apan-serve -load /var/lib/apan.ckpt -train-online
+//
+// With a write-ahead log, a crash loses at most the fsync window instead of
+// everything since the last checkpoint — recovery is checkpoint + replay to
+// the log's end (see docs/durability.md). SIGINT/SIGTERM trigger a graceful
+// exit: drain the pipeline, sync the log, write a final checkpoint.
+//
+//	apan-serve -wal /var/lib/apan-wal -fsync group -checkpoint-every 5m -checkpoint /var/lib/apan.ckpt
+//	apan-serve -load /var/lib/apan.ckpt -wal /var/lib/apan-wal
 package main
 
 import (
@@ -36,6 +44,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"apan"
@@ -65,6 +76,10 @@ func main() {
 		loadPath  = flag.String("load", "", "start from this checkpoint (parameters + streaming state) instead of training")
 		ckptPath  = flag.String("checkpoint", "apan-serve.ckpt", "checkpoint path for -checkpoint-every")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "write -checkpoint atomically at this interval (0 disables)")
+
+		walDir     = flag.String("wal", "", "write-ahead log directory: every applied batch is logged for replay-to-watermark recovery (empty disables durability)")
+		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: group (durable before ack), interval (bounded loss), none (page cache only)")
+		fsyncEvery = flag.Duration("fsync-interval", 0, "with -fsync interval: background fsync cadence (0: 50ms)")
 
 		trainOnline = flag.Bool("train-online", false, "adapt to the served stream: background trainer + hot parameter swaps (docs/training.md)")
 		trainLR     = flag.Float64("train-lr", 0, "online trainer learning rate (0: the model's rate)")
@@ -111,6 +126,44 @@ func main() {
 		model.EvalStream(split.Val, nil)
 	}
 
+	// Durability: open the WAL, recover past the checkpoint watermark, and
+	// attach so every applied batch is logged at the serial apply point.
+	var walLog *apan.WAL
+	if *walDir != "" {
+		policy, err := apan.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walLog, err = apan.OpenWAL(apan.WALOptions{Dir: *walDir, Policy: policy, SyncEvery: *fsyncEvery})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *loadPath != "" {
+			// Crash recovery: the checkpoint restored state up to its
+			// watermark; re-apply every logged batch past it through the
+			// full inference path. The WAL's open already truncated any
+			// torn tail a mid-write crash left behind.
+			replayed, err := model.RecoverWAL(walLog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wal: replayed %d events from %s (%d graph events now)", replayed, *walDir, model.GraphEvents())
+		} else {
+			// Fresh start: the training warm-up predates the log, so write
+			// the base checkpoint recovery will replay from before any
+			// batch is logged.
+			wm, err := model.Checkpoint(*ckptPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wal: base checkpoint %s written (watermark %d)", *ckptPath, wm)
+		}
+		if err := model.AttachWAL(walLog); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wal: logging applied batches to %s (fsync=%s)", *walDir, policy)
+	}
+
 	var trainer *apan.OnlineTrainer
 	popts := []apan.PipelineOption{
 		apan.WithQueueCap(*queueCap),
@@ -130,7 +183,6 @@ func main() {
 			trainer.Freeze()
 		}
 		trainer.Start()
-		defer trainer.Stop()
 		popts = append(popts, apan.WithOnlineTrainer(trainer))
 		log.Printf("online training enabled (frozen=%v); control via POST /v1/admin/train/{freeze,resume}", *trainFrozen)
 	}
@@ -141,30 +193,39 @@ func main() {
 		MaxNodes:         *maxNodes,
 		Trainer:          trainer,
 	})
-	defer func() {
-		srv.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := pipe.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
-	}()
+
+	done := make(chan struct{}) // closed once, when shutdown begins
 
 	if *ckptEvery > 0 {
-		// Periodic background checkpoints: SaveCheckpointFile is atomic
-		// (temp + rename) and snapshots under the store latch, so serving
-		// stalls only for the in-memory copy, not the file I/O.
+		// Periodic background checkpoints: Checkpoint is atomic (temp +
+		// fsync + rename) and cuts on a batch boundary without taking the
+		// store latch exclusively, so serving keeps scoring while the file
+		// is written. With a WAL the returned watermark lets the log drop
+		// segments the checkpoint has made redundant.
 		go func() {
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
-			for range tick.C {
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+				}
 				start := time.Now()
-				if err := model.SaveCheckpointFile(*ckptPath); err != nil {
+				wm, err := model.Checkpoint(*ckptPath)
+				if err != nil {
 					log.Printf("checkpoint: %v", err)
 					continue
 				}
 				log.Printf("checkpoint %s written in %v (param version %d, watermark %d graph events)",
-					*ckptPath, time.Since(start).Round(time.Millisecond), model.ParamVersion(), model.GraphEvents())
+					*ckptPath, time.Since(start).Round(time.Millisecond), model.ParamVersion(), wm)
+				if walLog != nil {
+					if removed, err := walLog.TruncateBefore(wm); err != nil {
+						log.Printf("wal truncate: %v", err)
+					} else if removed > 0 {
+						log.Printf("wal: dropped %d segments behind watermark %d", removed, wm)
+					}
+				}
 			}
 		}()
 		log.Printf("checkpointing to %s every %v", *ckptPath, *ckptEvery)
@@ -195,14 +256,53 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
-	defer hs.Close()
 	log.Printf("serving v1 HTTP API on http://%s (db-latency=%v on async link)", ln.Addr(), *dbLatency)
+
+	// shutdown is the one exit path, demo or signal: stop intake, drain the
+	// propagation pipeline, stop the trainer, then seal durability — sync
+	// the WAL, write a final checkpoint so the next start needs no replay,
+	// and close the log.
+	shutdown := func() {
+		close(done)
+		hs.Close()
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := pipe.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if trainer != nil {
+			trainer.Stop()
+		}
+		if walLog != nil {
+			model.DetachWAL()
+			if err := walLog.Sync(); err != nil {
+				log.Printf("wal sync: %v", err)
+			}
+			wm, err := model.Checkpoint(*ckptPath)
+			if err != nil {
+				log.Printf("final checkpoint: %v", err)
+			} else {
+				log.Printf("final checkpoint %s written (watermark %d)", *ckptPath, wm)
+			}
+			if err := walLog.Close(); err != nil {
+				log.Printf("wal close: %v", err)
+			}
+		}
+	}
 
 	if *demo {
 		runDemo("http://"+ln.Addr().String(), split.Test, *demoBatch, pipe)
+		shutdown()
 		return
 	}
-	select {} // serve forever
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-sigCtx.Done()
+	stop() // restore default handling: a second signal kills immediately
+	log.Printf("shutdown signal received; draining pipeline and sealing durability…")
+	shutdown()
 }
 
 // runDemo replays the test stream through the HTTP batch endpoint and

@@ -26,6 +26,7 @@ import (
 	"apan/internal/core"
 	"apan/internal/eval"
 	"apan/internal/tgraph"
+	"apan/internal/wal"
 )
 
 // Errors returned by the submission API.
@@ -202,6 +203,17 @@ func (p *Pipeline) EdgeDim() int { return p.model.Cfg.EdgeDim }
 // ParamVersion reports the served model's currently published parameter
 // version (see core.Model.SwapParams) for the serving stats surface.
 func (p *Pipeline) ParamVersion() uint64 { return p.model.ParamVersion() }
+
+// WALStats reports the attached write-ahead log's health for the serving
+// stats surface, or nil when the model serves without durability.
+func (p *Pipeline) WALStats() *wal.Stats {
+	l := p.model.WAL()
+	if l == nil {
+		return nil
+	}
+	st := l.Stats()
+	return &st
+}
 
 func (p *Pipeline) worker() {
 	defer p.wg.Done()

@@ -13,6 +13,7 @@ import (
 	"apan/internal/gdb"
 	"apan/internal/tgraph"
 	"apan/internal/train"
+	"apan/internal/wal"
 )
 
 // PerfScenario is one serving micro-benchmark's measurement, the unit of
@@ -109,6 +110,79 @@ func RunPerf(o Options) (*PerfReport, error) {
 				m.InferBatch(batch).Release()
 			}
 		})
+		add(mode.name, len(batch), r)
+	}
+
+	// Concurrent scoring throughput across a GOMAXPROCS sweep: the sharded,
+	// lock-striped stores are supposed to scale synchronous-link reads, and
+	// this row set records whether they do on this machine (flat beyond the
+	// core count is the hardware's fault, falling at p>1 is ours).
+	{
+		prev := runtime.GOMAXPROCS(0)
+		for _, p := range []int{1, 4, 8} {
+			m, batch, err := perfModel(o, ds, false, 0)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return nil, err
+			}
+			m.InferBatch(batch).Release()
+			runtime.GOMAXPROCS(p)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						m.InferBatch(batch).Release()
+					}
+				})
+			})
+			runtime.GOMAXPROCS(prev)
+			add(fmt.Sprintf("infer_parallel_p%d", p), len(batch), r)
+		}
+	}
+
+	// Durability overhead on the serving path: one full serve cycle
+	// (InferBatch + ApplyInference) with and without a WAL attached. The
+	// wal_on row uses the serving default SyncInterval policy, so the apply
+	// pays encode + group-commit write but not a per-batch fsync; the repo's
+	// budget is wal_on within 15% of wal_off (docs/durability.md).
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"infer_batch_wal_off", false}, {"infer_batch_wal_on", true}} {
+		m, batch, err := perfModel(o, ds, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		var l *wal.Log
+		if mode.on {
+			dir, err := os.MkdirTemp("", "apan-bench-wal-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			if l, err = wal.Open(wal.Options{Dir: dir, Policy: wal.SyncInterval}); err != nil {
+				return nil, err
+			}
+			if err := m.AttachWAL(l); err != nil {
+				return nil, err
+			}
+		}
+		inf := m.InferBatch(batch)
+		m.ApplyInference(inf)
+		inf.Release()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inf := m.InferBatch(batch)
+				m.ApplyInference(inf)
+				inf.Release()
+			}
+		})
+		if mode.on {
+			if err := m.DetachWAL().Close(); err != nil {
+				return nil, err
+			}
+		}
 		add(mode.name, len(batch), r)
 	}
 

@@ -50,35 +50,35 @@ func (m *Model) LoadParams(r io.Reader) error {
 
 // SaveCheckpoint writes parameters and streaming state.
 func (m *Model) SaveCheckpoint(w io.Writer) error {
+	_, err := m.saveCheckpoint(w)
+	return err
+}
+
+// saveCheckpoint is SaveCheckpoint returning the cut's watermark — the
+// number of graph events captured, which is also the WAL index replay
+// resumes from after loading this checkpoint.
+func (m *Model) saveCheckpoint(w io.Writer) (uint64, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := io.WriteString(bw, ckptMagic); err != nil {
-		return fmt.Errorf("core: save checkpoint: %w", err)
+		return 0, fmt.Errorf("core: save checkpoint: %w", err)
 	}
 	le := binary.LittleEndian
 	if err := binary.Write(bw, le, uint32(ckptVersion)); err != nil {
-		return fmt.Errorf("core: save checkpoint: %w", err)
+		return 0, fmt.Errorf("core: save checkpoint: %w", err)
 	}
 	if err := m.SaveParams(bw); err != nil {
-		return err
+		return 0, err
 	}
 
-	// Capture a consistent cut across both stores and the graph under the
-	// exclusive latch — one memcpy-speed snapshot pass each, no encoding —
-	// then release it and serialize from the copies, so scoring stalls for
-	// the duration of a memory copy, not of the checkpoint I/O.
-	m.storeMu.Lock()
-	numNodes := m.Cfg.NumNodes
+	// Capture the shared durability cut — deep store clones under shard
+	// read locks plus a zero-copy event-log prefix, all on one batch
+	// boundary — then serialize from the copies. Scoring proceeds
+	// throughout; only the appliers pause, for the clone (see
+	// Model.runtimeCut).
+	stSnap, mbSnap, events, numNodes := m.runtimeCut()
 	dim := m.Cfg.EdgeDim
 	slots := m.Cfg.Slots
 	stShards, mbShards := m.st.NumShards(), m.mbox.NumShards()
-	stSnap := m.st.Snapshot()
-	mbSnap := m.mbox.Snapshot()
-	g := m.db.G
-	events := make([]tgraph.Event, g.NumEvents())
-	for i := range events {
-		events[i] = *g.Event(int64(i)) // Feat slices are immutable once inserted
-	}
-	m.storeMu.Unlock()
 
 	// Materialize readable stores from the snapshots off the latch: these
 	// are function-local, so the allocation and re-clone cost stalls nobody.
@@ -89,26 +89,26 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 
 	// Node state: dim, numNodes, then z / lastTime / touched per node.
 	if err := binary.Write(bw, le, uint32(numNodes)); err != nil {
-		return fmt.Errorf("core: save checkpoint: %w", err)
+		return 0, fmt.Errorf("core: save checkpoint: %w", err)
 	}
 	if err := binary.Write(bw, le, uint32(dim)); err != nil {
-		return fmt.Errorf("core: save checkpoint: %w", err)
+		return 0, fmt.Errorf("core: save checkpoint: %w", err)
 	}
 	zrow := make([]float32, dim)
 	for n := int32(0); n < int32(numNodes); n++ {
 		st.CopyTo(n, zrow)
 		if err := writeF32s(bw, zrow); err != nil {
-			return fmt.Errorf("core: save checkpoint state: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint state: %w", err)
 		}
 		if err := binary.Write(bw, le, st.LastTime(n)); err != nil {
-			return fmt.Errorf("core: save checkpoint state: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint state: %w", err)
 		}
 		touched := uint8(0)
 		if st.Touched(n) {
 			touched = 1
 		}
 		if err := binary.Write(bw, le, touched); err != nil {
-			return fmt.Errorf("core: save checkpoint state: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint state: %w", err)
 		}
 	}
 
@@ -118,44 +118,47 @@ func (m *Model) SaveCheckpoint(w io.Writer) error {
 	for n := int32(0); n < int32(numNodes); n++ {
 		c := mbox.ReadSorted(n, buf, ts)
 		if err := binary.Write(bw, le, uint32(c)); err != nil {
-			return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint mailbox: %w", err)
 		}
 		for i := 0; i < c; i++ {
 			if err := binary.Write(bw, le, ts[i]); err != nil {
-				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+				return 0, fmt.Errorf("core: save checkpoint mailbox: %w", err)
 			}
 			if err := writeF32s(bw, buf[i*dim:(i+1)*dim]); err != nil {
-				return fmt.Errorf("core: save checkpoint mailbox: %w", err)
+				return 0, fmt.Errorf("core: save checkpoint mailbox: %w", err)
 			}
 		}
 	}
 
 	// Temporal graph: event log in arrival order, from the captured prefix.
 	if err := binary.Write(bw, le, uint64(len(events))); err != nil {
-		return fmt.Errorf("core: save checkpoint graph: %w", err)
+		return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 	}
 	for id := range events {
 		ev := &events[id]
 		if err := binary.Write(bw, le, ev.Src); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 		if err := binary.Write(bw, le, ev.Dst); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 		if err := binary.Write(bw, le, ev.Time); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 		if err := binary.Write(bw, le, int8(ev.Label)); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 		if err := binary.Write(bw, le, uint32(len(ev.Feat))); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 		if err := writeF32s(bw, ev.Feat); err != nil {
-			return fmt.Errorf("core: save checkpoint graph: %w", err)
+			return 0, fmt.Errorf("core: save checkpoint graph: %w", err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	return uint64(len(events)), nil
 }
 
 // LoadCheckpoint restores a checkpoint written by SaveCheckpoint into a
@@ -289,21 +292,41 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 
 // SaveCheckpointFile writes a checkpoint to path atomically (temp + rename).
 func (m *Model) SaveCheckpointFile(path string) error {
+	_, err := m.Checkpoint(path)
+	return err
+}
+
+// Checkpoint writes a checkpoint to path atomically (temp + fsync + rename)
+// and returns the cut's watermark: the number of graph events captured.
+// The file is durable before the rename makes it visible, so a crash never
+// leaves a valid-looking checkpoint missing its tail. The caller can hand
+// the watermark to wal.Log.TruncateBefore — everything below it is now
+// covered by the checkpoint — closing the snapshot/truncation protocol.
+func (m *Model) Checkpoint(path string) (uint64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("core: %w", err)
+		return 0, fmt.Errorf("core: %w", err)
 	}
-	if err := m.SaveCheckpoint(f); err != nil {
+	watermark, err := m.saveCheckpoint(f)
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("core: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("core: %w", err)
+		return 0, fmt.Errorf("core: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return watermark, nil
 }
 
 // LoadCheckpointFile restores a checkpoint from path.

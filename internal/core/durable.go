@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"apan/internal/tgraph"
+	"apan/internal/wal"
+)
+
+// Recovery glue between the model and the write-ahead log: a crashed
+// replica comes back as checkpoint + replay-to-watermark. The checkpoint
+// restores parameters and streaming state as of its cut; RecoverWAL then
+// re-applies every logged batch past the cut through the full inference
+// path, which reconstructs node state, mailboxes and the graph exactly as
+// the uninterrupted process would have — bitwise, because inference is
+// deterministic given (params, state, batch) and the log preserves the
+// original batch boundaries in graph order.
+
+// RecoverWAL re-applies the log's records past the model's current graph
+// watermark (typically the checkpoint just loaded; a fresh model replays
+// from zero). Each batch runs InferBatch + ApplyInference — the same code
+// path that produced it — after admitting any node ids the checkpoint
+// predates, mirroring what serving's admission did live. Returns the number
+// of events re-applied.
+//
+// The model must not have a WAL attached (replay would re-log every batch);
+// attach after recovery, which also aligns the log to the recovered
+// watermark. Replay must not race serving — run it before the pipeline
+// starts.
+func (m *Model) RecoverWAL(l *wal.Log) (int, error) {
+	if m.WAL() != nil {
+		return 0, fmt.Errorf("core: recover with a WAL attached would re-log the replay — detach first")
+	}
+	replayed := 0
+	err := l.Replay(uint64(m.GraphEvents()), func(first uint64, events []tgraph.Event) error {
+		maxID := tgraph.NodeID(-1)
+		for i := range events {
+			if events[i].Src > maxID {
+				maxID = events[i].Src
+			}
+			if events[i].Dst > maxID {
+				maxID = events[i].Dst
+			}
+		}
+		m.EnsureNodes(int(maxID) + 1)
+		inf := m.InferBatch(events)
+		m.ApplyInference(inf)
+		inf.Release()
+		replayed += len(events)
+		return nil
+	})
+	if err != nil {
+		return replayed, fmt.Errorf("core: wal recovery: %w", err)
+	}
+	return replayed, nil
+}

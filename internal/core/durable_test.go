@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"apan/internal/tgraph"
+	"apan/internal/wal"
+)
+
+func openTestWAL(t *testing.T, dir string, policy wal.Policy) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWALCheckpointRecoverDigest is the core-level crash-recovery contract:
+// checkpoint + replay-to-watermark reconstructs the exact pre-crash runtime.
+// A model streams with a WAL attached, checkpoints mid-stream, streams on,
+// then "crashes" (Abandon: the log is dropped without a final flush, keeping
+// only what commit acknowledgement already made durable). A fresh process
+// loads the checkpoint, replays the log past the watermark, and must land on
+// a bitwise-identical RuntimeDigest — then keep serving, ending bitwise
+// equal to a process that never crashed at all.
+func TestWALCheckpointRecoverDigest(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	ckpt := filepath.Join(dir, "ckpt")
+
+	batches := make([][]tgraph.Event, 20)
+	for i := range batches {
+		batches[i] = concBatch(int32(3*i), 8, float64(100*i))
+	}
+
+	m := concModel(t, 8)
+	if err := m.AttachWAL(openTestWAL(t, walDir, wal.SyncGroup)); err != nil {
+		t.Fatal(err)
+	}
+	apply := func(m *Model, b []tgraph.Event) {
+		inf := m.InferBatch(b)
+		m.ApplyInference(inf)
+		inf.Release()
+	}
+	for _, b := range batches[:8] {
+		apply(m, b)
+	}
+	wm, err := m.Checkpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != uint64(m.GraphEvents()) {
+		t.Fatalf("checkpoint watermark %d, graph has %d events", wm, m.GraphEvents())
+	}
+	for _, b := range batches[8:15] {
+		apply(m, b)
+	}
+	crashDigest := m.RuntimeDigest()
+	crashEvents := m.GraphEvents()
+	m.DetachWAL().Abandon() // crash: no Close, no final flush
+
+	// Recovery: fresh process, same binary/config.
+	m2 := concModel(t, 8)
+	if err := m2.LoadCheckpointFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.GraphEvents(); uint64(got) != wm {
+		t.Fatalf("checkpoint restored %d events, watermark says %d", got, wm)
+	}
+	log2 := openTestWAL(t, walDir, wal.SyncGroup)
+	replayed, err := m2.RecoverWAL(log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := crashEvents - int(wm); replayed != want {
+		t.Fatalf("replayed %d events, want %d", replayed, want)
+	}
+	if got := m2.RuntimeDigest(); got != crashDigest {
+		t.Fatalf("recovered digest %016x != pre-crash digest %016x", got, crashDigest)
+	}
+
+	// The recovered replica keeps serving where the crashed one left off…
+	if err := m2.AttachWAL(log2); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[15:] {
+		apply(m2, b)
+	}
+	if err := m2.DetachWAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// …and ends bitwise equal to an uninterrupted run of the whole stream.
+	ref := concModel(t, 8)
+	for _, b := range batches {
+		apply(ref, b)
+	}
+	if got, want := m2.RuntimeDigest(), ref.RuntimeDigest(); got != want {
+		t.Fatalf("post-recovery stream digest %016x != uninterrupted digest %016x", got, want)
+	}
+}
+
+// TestRecoverWALRejectsAttached: replaying with a WAL attached would re-log
+// every replayed batch; the API must refuse.
+func TestRecoverWALRejectsAttached(t *testing.T) {
+	m := concModel(t, 4)
+	l := openTestWAL(t, t.TempDir(), wal.SyncNone)
+	if err := m.AttachWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RecoverWAL(l); err == nil {
+		t.Fatal("RecoverWAL with a WAL attached must fail")
+	}
+	if err := m.DetachWAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttachWALTwiceFails: a second attach must be rejected, and detach must
+// return the original log.
+func TestAttachWALTwiceFails(t *testing.T) {
+	m := concModel(t, 4)
+	l := openTestWAL(t, t.TempDir(), wal.SyncNone)
+	if err := m.AttachWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachWAL(l); err == nil {
+		t.Fatal("double attach must fail")
+	}
+	if got := m.DetachWAL(); got != l {
+		t.Fatalf("DetachWAL returned %p, want %p", got, l)
+	}
+	if m.WAL() != nil {
+		t.Fatal("WAL still attached after detach")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInferBatchProceedsDuringCut proves the non-blocking-snapshot claim
+// structurally: a checkpoint cut holds exactly storeMu shared + the apply
+// gate exclusive + graphMu, and the synchronous link must score right
+// through it. (Before the durability work, SnapshotRuntime took the store
+// latch exclusively and this would deadlock-by-timeout.)
+func TestInferBatchProceedsDuringCut(t *testing.T) {
+	m := concModel(t, 8)
+	m.EvalStream(concBatch(0, 32, 0), nil)
+	batch := concBatch(5, 8, 50)
+
+	// Hold the full lock set of runtimeCut.
+	m.storeMu.RLock()
+	m.applyMu.Lock()
+	m.graphMu.Lock()
+
+	done := make(chan *Inference, 1)
+	go func() { done <- m.InferBatch(batch) }()
+	select {
+	case inf := <-done:
+		if len(inf.Scores) != len(batch) {
+			t.Errorf("scored %d of %d events", len(inf.Scores), len(batch))
+		}
+		inf.Release()
+	case <-time.After(10 * time.Second):
+		t.Error("InferBatch blocked behind a snapshot cut")
+	}
+
+	m.graphMu.Unlock()
+	m.applyMu.Unlock()
+	m.storeMu.RUnlock()
+}
+
+// TestConcurrentCheckpointServing is the deadlock/race regression for the
+// full durability lock order (storeMu → applyMu → shard locks | graphMu):
+// scorers, appliers, a checkpoint+truncate loop, a digest loop and dynamic
+// node admission all run at once against a WAL-attached model. Run under
+// -race. Afterwards the crash-free recovery path (load last checkpoint,
+// replay to end) must account for every logged event.
+func TestConcurrentCheckpointServing(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+
+	m := concModel(t, 8)
+	l := openTestWAL(t, walDir, wal.SyncNone)
+	if err := m.AttachWAL(l); err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(concBatch(0, 32, 0), nil)
+
+	const rounds = 30
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		lastCk string
+		lastWM uint64
+	)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				inf := m.InferBatch(concBatch(int32(g), 8, float64(100+i)))
+				m.ApplyInference(inf)
+				inf.Release()
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m.InferBatch(concBatch(int32(8+g), 8, float64(100+i))).Release()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			path := filepath.Join(dir, fmt.Sprintf("ck-%d", i))
+			wm, err := m.Checkpoint(path)
+			if err != nil {
+				t.Errorf("checkpoint %d: %v", i, err)
+				return
+			}
+			if _, err := l.TruncateBefore(wm); err != nil {
+				t.Errorf("truncate at %d: %v", wm, err)
+				return
+			}
+			mu.Lock()
+			lastCk, lastWM = path, wm
+			mu.Unlock()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			m.RuntimeDigest()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 40; n <= 96; n += 8 {
+			m.EnsureNodes(n)
+		}
+	}()
+	wg.Wait()
+
+	final := m.GraphEvents()
+	if err := m.DetachWAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lastCk == "" {
+		t.Fatal("no checkpoint completed")
+	}
+
+	// Crash-free recovery: last checkpoint + replay to end covers the stream.
+	m2 := concModel(t, 8)
+	if err := m2.LoadCheckpointFile(lastCk); err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(m2.GraphEvents()); got != lastWM {
+		t.Fatalf("checkpoint restored %d events, watermark %d", got, lastWM)
+	}
+	log2 := openTestWAL(t, walDir, wal.SyncNone)
+	replayed, err := m2.RecoverWAL(log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := final - int(lastWM); replayed != want {
+		t.Fatalf("replayed %d events, want %d (final %d, watermark %d)", replayed, want, final, lastWM)
+	}
+	if got := m2.GraphEvents(); got != final {
+		t.Fatalf("recovered graph has %d events, live run had %d", got, final)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInferBatchZeroAllocSteadyStateWAL re-runs the hot-path allocation
+// guard with durability enabled: attaching a WAL must not put a single
+// allocation on the synchronous link (the log is touched only at the apply
+// point), and the apply path's WAL append itself is allocation-free at
+// steady state (see wal's TestBeginSteadyStateAllocs).
+func TestInferBatchZeroAllocSteadyStateWAL(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	ds := tinyData(1)
+	cfg := tinyConfig(ds.NumNodes)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AttachWAL(openTestWAL(t, t.TempDir(), wal.SyncNone)); err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:200], nil)
+	batch := ds.Events[200:240]
+	for i := 0; i < 3; i++ {
+		m.InferBatch(batch).Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		m.InferBatch(batch).Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state InferBatch allocated %.2f times per op with WAL attached, want 0", allocs)
+	}
+	if err := m.DetachWAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+}

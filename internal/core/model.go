@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"apan/internal/state"
 	"apan/internal/tensor"
 	"apan/internal/tgraph"
+	"apan/internal/wal"
 )
 
 // Model is the full APAN system: attention encoder and link decoder on the
@@ -51,14 +53,38 @@ type Model struct {
 	// (InferBatch, ApplyInference, Embed, processBatch) holds it SHARED —
 	// readers and writers alike — because per-node safety already comes from
 	// the stores' shard locks. Exclusive acquisition is reserved for
-	// stop-the-world operations that need a consistent cut across both
-	// stores and the graph: checkpointing, Reset/Snapshot/Restore, and node
-	// admission (EnsureNodes), which may swap the stores' backing arrays.
+	// operations that may swap the stores' backing arrays or replace the
+	// graph wholesale: node admission (EnsureNodes), Reset/Restore and
+	// checkpoint load. Checkpoint CUTS no longer take it exclusively — they
+	// hold it shared and quiesce only the appliers via applyMu, so scoring
+	// proceeds during a snapshot.
+	//
+	// Lock order: storeMu → applyMu → (shard locks | graphMu). Every
+	// acquisition sequence is strictly nested in that order; none re-enters
+	// an earlier lock, which is what makes the latch trio deadlock-free.
 	storeMu sync.RWMutex
+
+	// applyMu is the apply gate: the asynchronous link's mutators
+	// (ApplyInference, processBatch's write-back span) hold it SHARED for
+	// the whole batch mutation — state writes, WAL append, graph insert and
+	// mail propagation as one atomic unit. A durability cut (checkpoint,
+	// SnapshotRuntime, RuntimeDigest) holds it EXCLUSIVELY, so the cut
+	// always lands on a batch boundary: no checkpoint can capture state
+	// from batch k+1 next to a graph at batch k, and the WAL watermark it
+	// pins is replayable with original batch boundaries. Scorers
+	// (InferBatch, Embed, GatherInputs) never touch applyMu — a snapshot
+	// pauses appliers for a memcpy, never inference.
+	applyMu sync.RWMutex
 
 	// graphMu serializes temporal-graph access (insert + k-hop queries) on
 	// the asynchronous link: the graph, unlike the stores, is not sharded.
 	graphMu sync.Mutex
+
+	// wal, when attached, records every batch entering the graph, Begin'd
+	// under graphMu immediately before the insert — the serial apply point —
+	// so WAL order equals graph order for any worker count. Guarded by
+	// graphMu.
+	wal *wal.Log
 
 	// explainMu guards the per-pass attention record below, which Explain
 	// reads and every forward pass overwrites. The record is a copy: the
@@ -225,12 +251,36 @@ type Snapshot struct {
 	gcut int // number of graph events at snapshot time
 }
 
-// SnapshotRuntime captures state, mailbox and the graph watermark under the
-// exclusive store latch, so the cut is consistent even while serving.
+// SnapshotRuntime captures state, mailbox and the graph watermark as one
+// consistent, batch-aligned cut — without blocking inference. The store
+// latch is held SHARED and the stores are cloned under shard read locks,
+// so concurrent InferBatch calls proceed; only the appliers pause, for the
+// duration of a memcpy-speed clone (see applyMu).
 func (m *Model) SnapshotRuntime() *Snapshot {
-	m.storeMu.Lock()
-	defer m.storeMu.Unlock()
-	return &Snapshot{st: m.st.Snapshot(), mb: m.mbox.Snapshot(), gcut: m.db.G.NumEvents()}
+	st, mb, events, _ := m.runtimeCut()
+	return &Snapshot{st: st, mb: mb, gcut: len(events)}
+}
+
+// runtimeCut captures the durability cut every snapshot-like operation
+// shares: deep copies of both stores plus the graph's event-log prefix,
+// all at the same batch boundary. Scoring continues throughout — the cut
+// holds the store latch shared and takes only shard READ locks — while the
+// apply gate pauses the asynchronous link for the clone. The returned
+// event slice is a zero-copy immutable prefix of the append-only log (see
+// tgraph.EventLog); its length is the cut's watermark.
+func (m *Model) runtimeCut() (st *state.ShardedSnapshot, mb *mailbox.ShardedSnapshot, events []tgraph.Event, numNodes int) {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	numNodes = m.Cfg.NumNodes
+	st = m.st.SnapshotShared()
+	mb = m.mbox.SnapshotShared()
+	m.graphMu.Lock()
+	g := m.db.G
+	events = g.EventLog()[:g.NumEvents()]
+	m.graphMu.Unlock()
+	return st, mb, events, numNodes
 }
 
 // RestoreRuntime rolls the streaming state back to snap, including the
@@ -386,28 +436,32 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 	// published version — recorded as version 0.
 	m.setExplain(att, plan.nodes, in.Counts, 0)
 
-	// Post-inference state write: z(t) becomes z(t−) for the next batch.
-	// Negative nodes did not interact, so their state is untouched. The
-	// latch is held shared; each Set locks only the node's shard.
+	// Post-inference mutations — state write-back (z(t) becomes z(t−) for
+	// the next batch; negative nodes did not interact, so their state is
+	// untouched) followed by the asynchronous link run synchronously for
+	// determinism: WAL append, graph insert, mail propagation. The whole
+	// span holds the apply gate shared so a concurrent checkpoint cut can
+	// only land between batches, never between the state write and the
+	// graph insert of one batch. The latch stays shared; each Set locks
+	// only the node's shard.
 	m.storeMu.RLock()
+	m.applyMu.RLock()
 	for i, ev := range events {
 		m.st.Set(ev.Src, z.Value().Row(int(plan.srcRow[i])), ev.Time)
 		m.st.Set(ev.Dst, z.Value().Row(int(plan.dstRow[i])), ev.Time)
 	}
-	m.storeMu.RUnlock()
 	if collect != nil {
 		for i := range events {
 			collect(&events[i], z.Value().Row(int(plan.srcRow[i])), z.Value().Row(int(plan.dstRow[i])))
 		}
 	}
-
-	// Asynchronous link (run synchronously here for determinism): graph
-	// insert + mail propagation. Serving uses async.Pipeline instead.
-	m.storeMu.RLock()
 	m.graphMu.Lock()
+	commit := m.logBatchLocked(events)
 	m.prop.ProcessBatch(events, m.st)
 	m.graphMu.Unlock()
+	m.applyMu.RUnlock()
 	m.storeMu.RUnlock()
+	commit.Wait() // off every model lock; error is latched in the log
 
 	if ns != nil {
 		for i := range events {
@@ -603,16 +657,86 @@ func (m *Model) InferBatch(events []tgraph.Event) *Inference {
 // calls: state writes and mail deliveries lock only the touched shard, so a
 // write burst never stalls synchronous-link reads of other shards; only the
 // unsharded temporal graph is serialized (graphMu).
+// The batch's mutations happen under the shared apply gate as one unit, so
+// a concurrent checkpoint cut lands only on batch boundaries. With a WAL
+// attached the batch is logged at the serial apply point (under graphMu,
+// immediately before the graph insert — WAL order equals graph order) and
+// ApplyInference returns only after the record's commit group is flushed
+// per the log's fsync policy; the group-commit wait happens off every model
+// lock, so durability I/O never serializes the stores. A WAL I/O error is
+// latched in the log (see wal.Log.Err) rather than failing the apply:
+// serving degrades to best-effort durability and the operator sees it in
+// /v1/stats.
 func (m *Model) ApplyInference(inf *Inference) {
 	m.storeMu.RLock()
-	defer m.storeMu.RUnlock()
+	m.applyMu.RLock()
 	for i, ev := range inf.Events {
 		m.st.Set(ev.Src, inf.emb.Row(int(inf.srcRow[i])), ev.Time)
 		m.st.Set(ev.Dst, inf.emb.Row(int(inf.dstRow[i])), ev.Time)
 	}
 	m.graphMu.Lock()
+	commit := m.logBatchLocked(inf.Events)
 	m.prop.ProcessBatch(inf.Events, m.st)
 	m.graphMu.Unlock()
+	m.applyMu.RUnlock()
+	m.storeMu.RUnlock()
+	commit.Wait() // off every model lock; error is latched in the log
+}
+
+// logBatchLocked appends the batch to the attached WAL, if any. Requires
+// graphMu: the caller is about to insert the same events, so the record's
+// indices equal the events' graph ids. Returns the zero Commit (whose Wait
+// is a no-op) when no WAL is attached.
+func (m *Model) logBatchLocked(events []tgraph.Event) wal.Commit {
+	if m.wal == nil {
+		return wal.Commit{}
+	}
+	return m.wal.Begin(events)
+}
+
+// AttachWAL starts logging every applied batch to l, aligning the log's
+// next index to the model's current graph watermark first (a fresh-start
+// warmup that predates the log becomes a legal index gap, covered by the
+// checkpoint the caller writes before attaching). Attaching a log that is
+// already past the watermark fails: recover (RecoverWAL) first, so indices
+// stay unique.
+func (m *Model) AttachWAL(l *wal.Log) error {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	m.graphMu.Lock()
+	defer m.graphMu.Unlock()
+	if m.wal != nil {
+		return fmt.Errorf("core: a WAL is already attached")
+	}
+	if err := l.AlignTo(uint64(m.db.G.NumEvents())); err != nil {
+		return err
+	}
+	m.wal = l
+	return nil
+}
+
+// DetachWAL stops logging and returns the previously attached log (nil if
+// none) so the caller can Sync or Close it. In-flight batches finish
+// logging first: detaching takes the apply gate exclusively.
+func (m *Model) DetachWAL() *wal.Log {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	m.graphMu.Lock()
+	defer m.graphMu.Unlock()
+	l := m.wal
+	m.wal = nil
+	return l
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (m *Model) WAL() *wal.Log {
+	m.graphMu.Lock()
+	defer m.graphMu.Unlock()
+	return m.wal
 }
 
 // setExplain copies the most recent forward pass's attention into the

@@ -48,6 +48,11 @@ const (
 	// InvOnlineAdaptation: after the concept shift, the online-trained run's
 	// holdout AP is at least the frozen-parameter run's.
 	InvOnlineAdaptation = "online_adaptation"
+	// InvKillRecover: after a process kill — clean or mid-record torn write —
+	// checkpoint + WAL replay-to-watermark reconstructs a runtime bitwise
+	// identical to an uninterrupted run, at the recovery point and at end of
+	// stream.
+	InvKillRecover = "kill_recover"
 )
 
 // compareScores checks bitwise float32 equality of two per-batch score sets

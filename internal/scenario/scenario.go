@@ -47,6 +47,12 @@ type Scenario struct {
 	// run's. The no-torn-params invariant audits every served batch's
 	// pinned parameter version against the trainer's publish log.
 	Drift bool
+	// KillRecover kills the serving process at a seeded batch index — in
+	// three tail states: clean, mid-record torn write, garbage tail — and
+	// recovers from checkpoint + WAL replay-to-watermark. The recovered
+	// runtime must be bitwise identical (RuntimeDigest) to an uninterrupted
+	// run at the recovery point and again at end of stream.
+	KillRecover bool
 }
 
 // Bundled returns the scenario suite the repo ships: the workload ×
@@ -74,6 +80,8 @@ func Bundled() []Scenario {
 			Description: "mid-stream SnapshotRuntime/RestoreRuntime bitwise rewind"},
 		{Name: "concept_drift", Workload: ConceptDrift, Drift: true, TrainFrac: 0.3,
 			Description: "community rewiring mid-stream; online trainer vs frozen params, torn-param audit"},
+		{Name: "kill_recover", Workload: FlashCrowd, KillRecover: true,
+			Description: "seeded process kill (clean + torn-write tails); checkpoint + WAL replay must be bitwise"},
 	}
 }
 
@@ -149,6 +157,9 @@ type Result struct {
 	OnlineAP          *float64 `json:"online_ap,omitempty"`
 	FrozenAP          *float64 `json:"frozen_ap,omitempty"`
 	VersionsPublished int      `json:"versions_published,omitempty"`
+	// RecoveredEvents is the clean-crash kill-and-recover arm's WAL replay
+	// length: events re-applied past the checkpoint watermark.
+	RecoveredEvents int `json:"recovered_events,omitempty"`
 
 	Invariants []InvariantResult `json:"invariants"`
 	Violations []Violation       `json:"violations,omitempty"`
@@ -332,6 +343,19 @@ func Run(sc Scenario, o RunOptions) (*Result, error) {
 		res.skipInvariant(InvNoTornParams)
 		res.skipInvariant(InvFrozenDeterminism)
 		res.skipInvariant(InvOnlineAdaptation)
+	}
+
+	// Kill-and-recover: crash at a seeded batch (clean and torn tails),
+	// recover from checkpoint + WAL, require bitwise digest equality.
+	if sc.KillRecover {
+		vs, recovered, err := runKillRecover(tr, o, sc.TrainFrac)
+		if err != nil {
+			return nil, err
+		}
+		res.RecoveredEvents = recovered
+		res.addInvariant(InvKillRecover, vs)
+	} else {
+		res.skipInvariant(InvKillRecover)
 	}
 
 	// Mid-stream checkpoint/restore rewind.

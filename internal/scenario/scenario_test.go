@@ -208,6 +208,41 @@ func TestScenarioFraudLabeled(t *testing.T) {
 	}
 }
 
+// TestScenarioKillRecoverChecked asserts the durability scenario actually
+// exercises crash recovery: the invariant is checked (all three crash-tail
+// modes), it holds, and the WAL replay re-applied a nonzero number of
+// events past the checkpoint watermark.
+func TestScenarioKillRecoverChecked(t *testing.T) {
+	var kr Scenario
+	for _, sc := range Bundled() {
+		if sc.KillRecover {
+			kr = sc
+		}
+	}
+	if kr.Name == "" {
+		t.Fatal("no kill-and-recover scenario bundled")
+	}
+	res, err := Run(kr, testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	found := false
+	for _, iv := range res.Invariants {
+		if iv.Name == InvKillRecover && iv.Checked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("kill_recover invariant was not checked")
+	}
+	if res.RecoveredEvents == 0 {
+		t.Fatal("WAL replay recovered no events; the crash landed on the checkpoint watermark and the fault did not bite")
+	}
+}
+
 // TestScenarioCheckpointReplayChecked asserts the mid-stream rewind
 // invariant is actually exercised (not skipped) by its scenario.
 func TestScenarioCheckpointReplayChecked(t *testing.T) {

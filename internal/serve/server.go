@@ -34,6 +34,7 @@ import (
 	"apan/internal/async"
 	"apan/internal/tgraph"
 	"apan/internal/train"
+	"apan/internal/wal"
 )
 
 // Options configures a Server.
@@ -197,8 +198,13 @@ type StatsResponse struct {
 	ParamVersion uint64 `json:"param_version"`
 	// Training reports online-trainer health; absent when no trainer is
 	// attached.
-	Training      *train.Stats `json:"training,omitempty"`
-	UptimeSeconds float64      `json:"uptime_s"`
+	Training *train.Stats `json:"training,omitempty"`
+	// WAL reports write-ahead-log health — indices, segment count, flush and
+	// fsync counters, and any latched I/O error (serving degrades to
+	// best-effort durability rather than failing applies; the operator sees
+	// it here). Absent when the model serves without a WAL.
+	WAL           *wal.Stats `json:"wal,omitempty"`
+	UptimeSeconds float64    `json:"uptime_s"`
 }
 
 // TrainAdminResponse answers the POST /v1/admin/train/{freeze,resume}
@@ -376,6 +382,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Pipeline:      s.pipe.Stats(),
 		Batcher:       s.batcher.Stats(),
 		ParamVersion:  s.pipe.ParamVersion(),
+		WAL:           s.pipe.WALStats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	if s.trainer != nil {

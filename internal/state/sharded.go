@@ -201,6 +201,26 @@ func (s *Sharded) Snapshot() *ShardedSnapshot {
 	return snap
 }
 
+// SnapshotShared captures the store one shard at a time under shard READ
+// locks, so concurrent readers — including a serving InferBatch gather —
+// are never blocked. The copy is cross-shard-consistent only if writers are
+// externally quiesced for the duration (the model's apply gate provides
+// that); with writers running it degrades to per-shard consistency, like
+// any interleaved read.
+func (s *Sharded) SnapshotShared() *ShardedSnapshot {
+	snap := &ShardedSnapshot{
+		numNodes: int(s.numNodes.Load()),
+		shards:   make([]*Store, len(s.shards)),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		snap.shards[i] = sh.st.clone()
+		sh.mu.RUnlock()
+	}
+	return snap
+}
+
 // Restore resets the store to a previously captured snapshot, including its
 // node count (a store grown since the snapshot shrinks back).
 func (s *Sharded) Restore(snap *ShardedSnapshot) {

@@ -67,6 +67,15 @@ func (g *Graph) Grow(n int) {
 // NumEvents returns the number of inserted events.
 func (g *Graph) NumEvents() int { return len(g.events) }
 
+// EventLog returns the global event log. The log is append-only and events
+// are immutable once inserted, so a prefix captured while writers are
+// quiesced stays a valid consistent snapshot even as later events are
+// appended (an append that reallocates leaves the old backing array
+// untouched) — the checkpoint cut relies on this to capture the graph in
+// O(1) instead of copying the history. Callers must treat the slice as
+// read-only.
+func (g *Graph) EventLog() []Event { return g.events }
+
 // Event returns the stored event with the given log id.
 func (g *Graph) Event(id int64) *Event { return &g.events[id] }
 

@@ -1,0 +1,300 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"apan/internal/tgraph"
+)
+
+// On-disk layout.
+//
+// Segment file wal-%016x.seg (name = index of the first record):
+//
+//	header  : "APWL" | version u32 | firstIndex u64          (16 bytes)
+//	records : frame*
+//
+// Record frame:
+//
+//	frame   : payloadLen u32 | crc32c(payload) u32 | payload
+//	payload : firstIndex u64 | count u32 | event*
+//	event   : src u32 | dst u32 | timeBits u64 | label u8 | featLen u32 | featBits u32*
+//
+// All integers little-endian; floats stored as IEEE-754 bit patterns, so a
+// decode is bit-exact. Record indices within and across segments must be
+// non-decreasing and non-overlapping; forward gaps are legal (AlignTo
+// creates one when a checkpoint outruns the durable log).
+const (
+	segMagic        = "APWL"
+	segVersion      = 1
+	segHeaderSize   = 16
+	frameHeaderSize = 8
+	segSuffix       = ".seg"
+	segPrefix       = "wal-"
+
+	// maxPayloadBytes bounds a frame's declared length so a corrupt length
+	// field cannot drive an OOM-sized allocation; larger means torn/corrupt.
+	maxPayloadBytes = 1 << 30
+	// maxFeatLen mirrors the checkpoint codec's feature-length sanity bound.
+	maxFeatLen = 1 << 20
+)
+
+var (
+	le       = binary.LittleEndian
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+	// errBadHeader marks a segment whose header is missing or mangled — on
+	// the newest segment that is a crash before the header landed and the
+	// file is discarded; anywhere else it is fatal corruption.
+	errBadHeader = errors.New("wal: bad segment header")
+)
+
+// appendRecord appends one framed record covering events, whose first event
+// has log index first, to buf. It writes only via append, so a warmed
+// buffer makes the encode allocation-free.
+func appendRecord(buf []byte, first uint64, events []tgraph.Event) []byte {
+	head := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	buf = appendU64(buf, first)
+	buf = appendU32(buf, uint32(len(events)))
+	for i := range events {
+		ev := &events[i]
+		buf = appendU32(buf, uint32(ev.Src))
+		buf = appendU32(buf, uint32(ev.Dst))
+		buf = appendU64(buf, math.Float64bits(ev.Time))
+		buf = append(buf, byte(ev.Label))
+		buf = appendU32(buf, uint32(len(ev.Feat)))
+		for _, f := range ev.Feat {
+			buf = appendU32(buf, math.Float32bits(f))
+		}
+	}
+	payload := buf[head+frameHeaderSize:]
+	le.PutUint32(buf[head:], uint32(len(payload)))
+	le.PutUint32(buf[head+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// decodeRecord decodes one record payload. The payload must be consumed
+// exactly; trailing bytes mean a codec mismatch, which after a CRC pass is
+// writer-side corruption, not a torn write. Events (and their Feat slices)
+// are freshly allocated: the temporal graph retains them on replay.
+func decodeRecord(payload []byte) (first uint64, events []tgraph.Event, err error) {
+	r := payloadReader{buf: payload}
+	first = r.u64()
+	count := r.u32()
+	if r.err == nil && int(count) > len(payload)/13 {
+		// 13 bytes is the minimum encoded event, so a count beyond
+		// payload/13 cannot be honest.
+		return 0, nil, fmt.Errorf("wal: record count %d exceeds payload", count)
+	}
+	if r.err == nil {
+		events = make([]tgraph.Event, count)
+		for i := range events {
+			ev := &events[i]
+			ev.Src = tgraph.NodeID(r.u32())
+			ev.Dst = tgraph.NodeID(r.u32())
+			ev.Time = math.Float64frombits(r.u64())
+			ev.Label = int8(r.u8())
+			featLen := r.u32()
+			if r.err == nil && featLen > maxFeatLen {
+				return 0, nil, fmt.Errorf("wal: absurd feature length %d", featLen)
+			}
+			if r.err == nil {
+				ev.Feat = make([]float32, featLen)
+				for j := range ev.Feat {
+					ev.Feat[j] = math.Float32frombits(r.u32())
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if len(r.buf) != r.off {
+		return 0, nil, fmt.Errorf("wal: record has %d trailing bytes", len(r.buf)-r.off)
+	}
+	return first, events, nil
+}
+
+// payloadReader is a bounds-checked cursor over a record payload; the first
+// short read latches an error and zeroes every later read.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) short(n int) bool {
+	if r.err != nil {
+		return true
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("wal: record truncated at byte %d", r.off)
+		return true
+	}
+	return false
+}
+
+func (r *payloadReader) u8() uint8 {
+	if r.short(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.short(4) {
+		return 0
+	}
+	v := le.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.short(8) {
+		return 0
+	}
+	v := le.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// segmentName formats the file name of the segment whose first record has
+// the given log index.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
+}
+
+// parseSegmentName extracts the first-record index from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns the directory's segment files sorted by first index.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segInfo{path: filepath.Join(dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scanSegment reads one segment file, invoking fn (when non-nil) for every
+// intact record. wantFirst is the index encoded in the file name; the
+// header must agree. cursor is the record-index high-water mark carried
+// over from earlier segments: indices must never step backwards across it
+// (forward gaps are legal). Returns the offset just past the last intact
+// record, the advanced cursor, and torn=true when trailing bytes past end
+// fail to frame — the signature of a crash mid-write. Anything else —
+// header mismatch, index overlap, a payload that fails to decode after its
+// CRC verified, an fn error — comes back in err.
+func scanSegment(path string, wantFirst, cursor uint64, fn func(first uint64, events []tgraph.Event) error) (end int64, newCursor uint64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, cursor, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, cursor, false, fmt.Errorf("%w: %s: %v", errBadHeader, filepath.Base(path), err)
+	}
+	if string(hdr[:4]) != segMagic {
+		return 0, cursor, false, fmt.Errorf("%w: %s: magic %q", errBadHeader, filepath.Base(path), hdr[:4])
+	}
+	if v := le.Uint32(hdr[4:]); v != segVersion {
+		return 0, cursor, false, fmt.Errorf("wal: %s: unsupported version %d", filepath.Base(path), v)
+	}
+	if first := le.Uint64(hdr[8:]); first != wantFirst {
+		return 0, cursor, false, fmt.Errorf("wal: %s: header index %d disagrees with name", filepath.Base(path), first)
+	}
+	if wantFirst < cursor {
+		return 0, cursor, false, fmt.Errorf("wal: %s: segment overlaps records ending at %d", filepath.Base(path), cursor)
+	}
+	cursor = wantFirst
+
+	end = segHeaderSize
+	var frame [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return end, cursor, false, nil
+			}
+			return end, cursor, true, nil // partial frame header
+		}
+		n := le.Uint32(frame[:])
+		if n > maxPayloadBytes {
+			return end, cursor, true, nil // length field is garbage
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return end, cursor, true, nil // partial payload
+		}
+		if crc32.Checksum(payload, crcTable) != le.Uint32(frame[4:]) {
+			return end, cursor, true, nil // bits flipped or overwritten
+		}
+		first, events, derr := decodeRecord(payload)
+		if derr != nil {
+			return end, cursor, false, fmt.Errorf("wal: %s at offset %d: %w", filepath.Base(path), end, derr)
+		}
+		if first < cursor {
+			return end, cursor, false, fmt.Errorf("wal: %s at offset %d: record %d overlaps records ending at %d", filepath.Base(path), end, first, cursor)
+		}
+		if fn != nil {
+			if err := fn(first, events); err != nil {
+				return end, cursor, false, err
+			}
+		}
+		cursor = first + uint64(len(events))
+		end += int64(frameHeaderSize) + int64(len(payload))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package wal
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so allocation-regression tests skip under it.
+const raceEnabled = true

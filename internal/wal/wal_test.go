@@ -1,0 +1,376 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"apan/internal/tgraph"
+)
+
+func mkBatch(base int, n int) []tgraph.Event {
+	evs := make([]tgraph.Event, n)
+	for i := range evs {
+		evs[i] = tgraph.Event{
+			Src:  tgraph.NodeID(base + i),
+			Dst:  tgraph.NodeID(base + i + 1),
+			Time: float64(base + i),
+			Feat: []float32{float32(base), float32(i)},
+		}
+	}
+	return evs
+}
+
+// TestAppendReplayAcrossReopen: a log written, closed and reopened replays
+// every batch with original boundaries and contiguous indices.
+func TestAppendReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	want := writeTestLog(t, dir, 3, 8, 6)
+
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.NextIndex() != 48 {
+		t.Fatalf("next index %d, want 48", l.NextIndex())
+	}
+	idx := uint64(0)
+	got := 0
+	if err := l.Replay(0, func(first uint64, events []tgraph.Event) error {
+		if first != idx {
+			return fmt.Errorf("record at %d, want %d", first, idx)
+		}
+		if !eventsBitEqual(events, want[got]) {
+			return fmt.Errorf("record %d content mismatch", got)
+		}
+		idx = first + uint64(len(events))
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != len(want) {
+		t.Fatalf("replayed %d records, want %d", got, len(want))
+	}
+}
+
+// TestReplayFromWatermark: records wholly below the watermark are skipped;
+// the first delivered one starts exactly at it.
+func TestReplayFromWatermark(t *testing.T) {
+	dir := t.TempDir()
+	writeTestLog(t, dir, 7, 5, 4) // records at 0,4,8,12,16
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var firsts []uint64
+	if err := l.Replay(8, func(first uint64, events []tgraph.Event) error {
+		firsts = append(firsts, first)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(firsts) != 3 || firsts[0] != 8 {
+		t.Fatalf("replayed %v, want [8 12 16]", firsts)
+	}
+	// A watermark inside a record is a protocol violation, not a skip.
+	if err := l.Replay(6, func(uint64, []tgraph.Event) error { return nil }); err == nil {
+		t.Fatal("watermark inside a record should fail")
+	}
+	// A watermark past the end replays nothing.
+	if err := l.Replay(20, func(uint64, []tgraph.Event) error {
+		return fmt.Errorf("unexpected record")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitConcurrent: many appenders, every commit acknowledged,
+// replay returns every event exactly once in index order.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 25
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				n := rng.Intn(5) + 1
+				c := l.Begin(mkBatch(w*1000+i, n))
+				if err := c.Wait(); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != uint64(total) {
+		t.Fatalf("durable end %d, want %d", l2.NextIndex(), total)
+	}
+	idx := uint64(0)
+	if err := l2.Replay(0, func(first uint64, events []tgraph.Event) error {
+		if first != idx {
+			return fmt.Errorf("record at %d, want %d", first, idx)
+		}
+		idx += uint64(len(events))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := l2.Stats()
+	if st.AppendedEvents != 0 { // fresh handle: counters are per-process
+		t.Fatalf("fresh log reports %d appended events", st.AppendedEvents)
+	}
+}
+
+// TestSegmentRotationAndTruncate: a tiny segment budget forces rotation;
+// TruncateBefore drops exactly the segments behind the watermark and
+// replay from the watermark still works.
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := l.Begin(mkBatch(i*10, 3)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+
+	watermark := uint64(45) // mid-log checkpoint
+	removed, err := l.TruncateBefore(watermark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected at least one segment removed")
+	}
+	if first := l.Stats().FirstIndex; first > watermark {
+		t.Fatalf("first durable index %d is past the watermark %d", first, watermark)
+	}
+	idx := watermark
+	if err := l.Replay(watermark, func(first uint64, events []tgraph.Event) error {
+		if first != idx {
+			return fmt.Errorf("record at %d, want %d", first, idx)
+		}
+		idx += uint64(len(events))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 90 {
+		t.Fatalf("replay ended at %d, want 90", idx)
+	}
+	// Everything before the surviving segments is gone: replaying from 0
+	// must refuse (gap), not silently start late.
+	if err := l.Replay(0, func(uint64, []tgraph.Event) error { return nil }); err == nil {
+		t.Fatal("replay below the truncation point should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the chain with a truncated head is still valid.
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NextIndex() != 90 {
+		t.Fatalf("reopened end %d, want 90", l2.NextIndex())
+	}
+	l2.Close()
+}
+
+// TestAlignToGap: a checkpoint ahead of the durable log leaves a legal gap
+// that replay-from-watermark never reads; replaying from before it fails.
+func TestAlignToGap(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(mkBatch(0, 4)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint at watermark 10 while only 4 events are durable.
+	if err := l.AlignTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(mkBatch(50, 3)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AlignTo(5); err == nil {
+		t.Fatal("AlignTo behind the log should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != 13 {
+		t.Fatalf("end %d, want 13", l2.NextIndex())
+	}
+	var firsts []uint64
+	if err := l2.Replay(10, func(first uint64, events []tgraph.Event) error {
+		firsts = append(firsts, first)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(firsts) != 1 || firsts[0] != 10 {
+		t.Fatalf("replayed %v, want [10]", firsts)
+	}
+	if err := l2.Replay(4, func(uint64, []tgraph.Event) error { return nil }); err == nil {
+		t.Fatal("replay across an aligned gap should fail")
+	}
+}
+
+// TestAbandonLosesOnlyUnflushed: Abandon (simulated crash) preserves every
+// acknowledged group; an un-waited Begin may or may not survive, but never
+// partially.
+func TestAbandonLosesOnlyUnflushed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Begin(mkBatch(i, 2)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Begin(mkBatch(100, 2)) // buffered, never waited: lost with the "crash"
+	l.Abandon()
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != 10 {
+		t.Fatalf("durable end %d, want 10 (acknowledged events only)", l2.NextIndex())
+	}
+}
+
+// TestSyncIntervalPolicy: commits are acknowledged before fsync, the
+// ticker syncs in the background, and Close makes everything durable.
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncInterval, SyncEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Begin(mkBatch(i, 3)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Syncs == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Stats().Syncs == 0 {
+		t.Fatal("background ticker never fsynced")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != 30 {
+		t.Fatalf("durable end %d, want 30", l2.NextIndex())
+	}
+}
+
+// TestEmptyBatchAndEmptyLog: degenerate inputs take the cheap paths.
+func TestEmptyBatchAndEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if c := l.Begin(nil); c.log != nil {
+		t.Fatal("empty batch should return the zero Commit")
+	}
+	if err := (Commit{}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(0, func(uint64, []tgraph.Event) error {
+		return fmt.Errorf("unexpected record in empty log")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 0 || st.NextIndex != 0 {
+		t.Fatalf("empty log stats: %+v", st)
+	}
+}
+
+// TestBeginSteadyStateAllocs: after warm-up, Begin+Wait on a SyncNone log
+// does not allocate — the encode buffer and its double are reused, and the
+// Commit ticket is by-value.
+func TestBeginSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := mkBatch(0, 16)
+	for i := 0; i < 20; i++ { // warm both buffers
+		if err := l.Begin(batch).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := l.Begin(batch).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Begin+Wait allocates %.1f objects per append at steady state, want 0", allocs)
+	}
+}
