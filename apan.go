@@ -111,9 +111,25 @@ type (
 	Event = tgraph.Event
 	// NodeID identifies a node.
 	NodeID = tgraph.NodeID
-	// Graph is the temporal graph store.
+	// GraphStore is the pluggable temporal-graph backend interface; all
+	// implementations answer the query surface identically (see
+	// docs/testing.md for the proof obligations of a new backend).
+	GraphStore = tgraph.Store
+	// Graph is the flat single-mutex temporal graph store (callers
+	// serialize writers against readers; Model does so internally).
 	Graph = tgraph.Graph
-	// GraphDB wraps a Graph with latency simulation and query accounting.
+	// ShardedGraph hash-partitions nodes across power-of-two partitions
+	// with per-partition locks, so appliers and readers proceed in
+	// parallel (Config.GraphBackend "sharded").
+	ShardedGraph = tgraph.Sharded
+	// RemoteGraph wraps another store with a simulated remote-RPC cost
+	// model and per-hop batched gathers (Config.GraphBackend "remote-sim").
+	RemoteGraph = gdb.Remote
+	// RemoteGraphOptions configures NewRemoteGraph (latency model, whether
+	// to actually sleep or only account).
+	RemoteGraphOptions = gdb.RemoteOptions
+	// GraphDB wraps a GraphStore with latency simulation and query
+	// accounting.
 	GraphDB = gdb.DB
 	// LatencyModel maps a neighbor query to a simulated round-trip cost.
 	LatencyModel = gdb.LatencyModel
@@ -125,11 +141,31 @@ type (
 	NodeState = state.Sharded
 )
 
+// Graph-backend selectors for Config.GraphBackend; empty means flat.
+const (
+	GraphBackendFlat      = core.GraphBackendFlat
+	GraphBackendSharded   = core.GraphBackendSharded
+	GraphBackendRemoteSim = core.GraphBackendRemoteSim
+)
+
 // NewGraph creates an empty temporal graph over numNodes nodes.
 func NewGraph(numNodes int) *Graph { return tgraph.New(numNodes) }
 
+// NewShardedGraph creates a concurrency-safe temporal graph over numNodes
+// nodes striped across parts partitions (rounded up to a power of two).
+func NewShardedGraph(numNodes, parts int) *ShardedGraph { return tgraph.NewSharded(numNodes, parts) }
+
+// NewRemoteGraph wraps inner with remote-RPC cost simulation.
+func NewRemoteGraph(inner GraphStore, opts RemoteGraphOptions) *RemoteGraph {
+	return gdb.NewRemote(inner, opts)
+}
+
+// NewGraphStore builds the store selected by cfg.GraphBackend — what New
+// uses internally; exposed so custom GraphDB wiring can stay backend-aware.
+func NewGraphStore(cfg Config) GraphStore { return core.NewGraphStore(cfg) }
+
 // NewGraphDB wraps g with accounting and no latency.
-func NewGraphDB(g *Graph) *GraphDB { return gdb.New(g) }
+func NewGraphDB(g GraphStore) *GraphDB { return gdb.New(g) }
 
 // ConstantLatency returns a fixed per-query latency model.
 var ConstantLatency = gdb.Constant

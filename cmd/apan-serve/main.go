@@ -62,6 +62,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.02, "training dataset scale")
 		epochs      = flag.Int("epochs", 3, "training epochs before serving")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query on the async link")
+		graphBack   = flag.String("graph-backend", "flat", "temporal-graph store: flat|sharded|remote-sim (sharded lifts the serial apply point; docs/architecture.md)")
 		queueCap    = flag.Int("queue-cap", 256, "propagation queue capacity (backpressure bound)")
 		workers     = flag.Int("workers", 1, "asynchronous propagation workers")
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "micro-batch coalescing window for single-event requests")
@@ -91,18 +92,24 @@ func main() {
 	ds := apan.Wikipedia(apan.DatasetConfig{Scale: *scale, Seed: 1})
 	split := ds.Split(0.70, 0.15)
 
-	db := apan.NewGraphDB(apan.NewGraph(ds.NumNodes))
+	cfg := apan.Config{
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
+		Shards: *shards, InferWorkers: *inferWork,
+		GraphBackend: *graphBack,
+	}
+	if err := cfg.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	db := apan.NewGraphDB(apan.NewGraphStore(cfg))
 	if *dbLatency > 0 {
 		db.Latency = apan.ConstantLatency(*dbLatency)
 		db.Sleep = true
 	}
-	model, err := apan.NewWithDB(apan.Config{
-		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
-		Shards: *shards, InferWorkers: *inferWork,
-	}, db)
+	model, err := apan.NewWithDB(cfg, db)
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("graph backend: %s", model.GraphBackend())
 
 	if *loadPath != "" {
 		// Resume from a checkpoint: parameters and the full streaming state

@@ -204,6 +204,10 @@ func (p *Pipeline) EdgeDim() int { return p.model.Cfg.EdgeDim }
 // version (see core.Model.SwapParams) for the serving stats surface.
 func (p *Pipeline) ParamVersion() uint64 { return p.model.ParamVersion() }
 
+// GraphBackend reports the served model's temporal-graph store selector
+// (core.GraphBackend*) for the serving stats surface.
+func (p *Pipeline) GraphBackend() string { return p.model.GraphBackend() }
+
 // WALStats reports the attached write-ahead log's health for the serving
 // stats surface, or nil when the model serves without durability.
 func (p *Pipeline) WALStats() *wal.Stats {

@@ -10,7 +10,6 @@ import (
 
 	"apan/internal/core"
 	"apan/internal/dataset"
-	"apan/internal/gdb"
 	"apan/internal/tgraph"
 	"apan/internal/train"
 	"apan/internal/wal"
@@ -37,18 +36,20 @@ type PerfReport struct {
 	Scenarios     []PerfScenario `json:"scenarios"`
 }
 
-// perfModel builds a warmed model over the benchmark dataset.
-func perfModel(o Options, ds *dataset.Dataset, noPool bool, hops int) (*core.Model, []tgraph.Event, error) {
+// perfModel builds a warmed model over the benchmark dataset, on the given
+// graph backend ("" = flat).
+func perfModel(o Options, ds *dataset.Dataset, noPool bool, hops int, backend string) (*core.Model, []tgraph.Event, error) {
 	cfg := core.Config{
 		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
 		Slots: o.Slots, Neighbors: o.Fanout,
 		BatchSize: o.BatchSize, Seed: o.Seed,
 		NoWorkspacePool: noPool,
+		GraphBackend:    backend,
 	}
 	if hops > 0 {
 		cfg.Hops = hops
 	}
-	m, err := core.NewWithDB(cfg, gdb.New(tgraph.New(ds.NumNodes)))
+	m, err := core.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -99,7 +100,7 @@ func RunPerf(o Options) (*PerfReport, error) {
 		name   string
 		noPool bool
 	}{{"infer_batch_pooled", false}, {"infer_batch_baseline", true}} {
-		m, batch, err := perfModel(o, ds, mode.noPool, 0)
+		m, batch, err := perfModel(o, ds, mode.noPool, 0, core.GraphBackendFlat)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func RunPerf(o Options) (*PerfReport, error) {
 	{
 		prev := runtime.GOMAXPROCS(0)
 		for _, p := range []int{1, 4, 8} {
-			m, batch, err := perfModel(o, ds, false, 0)
+			m, batch, err := perfModel(o, ds, false, 0, core.GraphBackendFlat)
 			if err != nil {
 				runtime.GOMAXPROCS(prev)
 				return nil, err
@@ -140,6 +141,44 @@ func RunPerf(o Options) (*PerfReport, error) {
 		}
 	}
 
+	// Full serve cycles (InferBatch + ApplyInference) per graph backend
+	// across the same GOMAXPROCS sweep. This is where the backend choice
+	// shows: the flat store serializes every apply on the model's graph
+	// mutex, while a concurrency-safe backend (tgraph.Sharded) lets
+	// appliers proceed in parallel under partition locks — so graph_flat_p8
+	// vs graph_sharded_p8 is the row pair docs/performance.md reports.
+	{
+		prev := runtime.GOMAXPROCS(0)
+		for _, be := range []struct{ name, backend string }{
+			{"graph_flat", core.GraphBackendFlat},
+			{"graph_sharded", core.GraphBackendSharded},
+		} {
+			for _, p := range []int{1, 4, 8} {
+				m, batch, err := perfModel(o, ds, false, 0, be.backend)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return nil, err
+				}
+				inf := m.InferBatch(batch)
+				m.ApplyInference(inf)
+				inf.Release()
+				runtime.GOMAXPROCS(p)
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							inf := m.InferBatch(batch)
+							m.ApplyInference(inf)
+							inf.Release()
+						}
+					})
+				})
+				runtime.GOMAXPROCS(prev)
+				add(fmt.Sprintf("%s_p%d", be.name, p), len(batch), r)
+			}
+		}
+	}
+
 	// Durability overhead on the serving path: one full serve cycle
 	// (InferBatch + ApplyInference) with and without a WAL attached. The
 	// wal_on row uses the serving default SyncInterval policy, so the apply
@@ -149,7 +188,7 @@ func RunPerf(o Options) (*PerfReport, error) {
 		name string
 		on   bool
 	}{{"infer_batch_wal_off", false}, {"infer_batch_wal_on", true}} {
-		m, batch, err := perfModel(o, ds, false, 0)
+		m, batch, err := perfModel(o, ds, false, 0, core.GraphBackendFlat)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +231,7 @@ func RunPerf(o Options) (*PerfReport, error) {
 		name  string
 		fresh bool
 	}{{"propagate_scratch_reused", false}, {"propagate_scratch_fresh", true}} {
-		m, batch, err := perfModel(o, ds, false, 1)
+		m, batch, err := perfModel(o, ds, false, 1, core.GraphBackendFlat)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +254,7 @@ func RunPerf(o Options) (*PerfReport, error) {
 	// sample, live-state gather, forward/backward, Adam) and one hot swap
 	// (snapshot copy + module binding + atomic publish).
 	{
-		m, _, err := perfModel(o, ds, false, 0)
+		m, _, err := perfModel(o, ds, false, 0, core.GraphBackendFlat)
 		if err != nil {
 			return nil, err
 		}

@@ -256,7 +256,10 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 	if err := binary.Read(br, le, &numEvents); err != nil {
 		return fmt.Errorf("core: load checkpoint graph: %w", err)
 	}
-	g := tgraph.New(m.Cfg.NumNodes)
+	// Rebuild the graph in place so the configured backend survives the
+	// load, matching the state/mailbox resets above.
+	g := m.db.G
+	g.Reset(m.Cfg.NumNodes)
 	for i := uint64(0); i < numEvents; i++ {
 		var ev tgraph.Event
 		if err := binary.Read(br, le, &ev.Src); err != nil {
@@ -286,7 +289,6 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 		}
 		g.AddEvent(ev)
 	}
-	m.db.G = g
 	return nil
 }
 

@@ -16,6 +16,27 @@ const (
 	PositionalNone
 )
 
+// Graph backend selectors for Config.GraphBackend: which tgraph.Store
+// implementation holds the temporal graph. All three are query-for-query
+// bit-exact (enforced by the tgraph equivalence suite and the scenario
+// harness's backend_parity invariant); they differ only in locking and
+// simulated deployment cost.
+const (
+	// GraphBackendFlat is the single-structure in-process store, serialized
+	// behind the model's graph mutex (the pre-sharding behavior, kept
+	// reachable as the benchmark baseline). The default.
+	GraphBackendFlat = "flat"
+	// GraphBackendSharded hash-partitions the adjacency across Config.Shards
+	// partitions with per-partition RWMutexes; graph reads skip the model's
+	// graph mutex and appliers run concurrently.
+	GraphBackendSharded = "sharded"
+	// GraphBackendRemoteSim wraps the sharded store in gdb.Remote: the
+	// batched-gather RPC accounting of the paper's Figure 6 distributed
+	// graph DB deployment (latency accumulated, not slept, so results stay
+	// deterministic).
+	GraphBackendRemoteSim = "remote-sim"
+)
+
 // MailReduce selects the reduction ρ applied when a node receives several
 // mails in one batch.
 type MailReduce int
@@ -53,6 +74,13 @@ type Config struct {
 	// one large batch must be gathered fast; concurrent callers already
 	// parallelize naturally across shards.
 	InferWorkers int
+
+	// GraphBackend selects the temporal-graph store implementation: one of
+	// GraphBackendFlat (default), GraphBackendSharded or
+	// GraphBackendRemoteSim. See the constants for semantics; every backend
+	// is bit-exact with every other, so this is purely a locking/deployment
+	// choice. Ignored by NewWithDB, which receives a ready-made store.
+	GraphBackend string
 
 	// NoWorkspacePool disables the pooled inference workspaces: every
 	// InferBatch/Embed call allocates fresh buffers and a fresh
@@ -120,6 +148,15 @@ func (c *Config) Normalize() error {
 	}
 	if c.InferWorkers < 1 {
 		return fmt.Errorf("core: Config.InferWorkers must be ≥1, got %d", c.InferWorkers)
+	}
+	if c.GraphBackend == "" {
+		c.GraphBackend = GraphBackendFlat
+	}
+	switch c.GraphBackend {
+	case GraphBackendFlat, GraphBackendSharded, GraphBackendRemoteSim:
+	default:
+		return fmt.Errorf("core: Config.GraphBackend must be %q, %q or %q, got %q",
+			GraphBackendFlat, GraphBackendSharded, GraphBackendRemoteSim, c.GraphBackend)
 	}
 	if c.EdgeDim%c.Heads != 0 {
 		return fmt.Errorf("core: EdgeDim %d must be divisible by Heads %d", c.EdgeDim, c.Heads)

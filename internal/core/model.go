@@ -59,9 +59,14 @@ type Model struct {
 	// hold it shared and quiesce only the appliers via applyMu, so scoring
 	// proceeds during a snapshot.
 	//
-	// Lock order: storeMu → applyMu → (shard locks | graphMu). Every
-	// acquisition sequence is strictly nested in that order; none re-enters
-	// an earlier lock, which is what makes the latch trio deadlock-free.
+	// Lock order: storeMu → applyMu → (shard locks | graphMu → partition
+	// locks). Every acquisition sequence is strictly nested in that order;
+	// none re-enters an earlier lock, which is what makes the latch trio
+	// deadlock-free. "Partition locks" are the per-partition RWMutexes of a
+	// sharded graph backend (tgraph.Sharded), taken inside graph calls; with
+	// a concurrency-safe backend graphMu itself is elided on graph reads and
+	// on WAL-free applies (see graphSafe), which shortens but never reorders
+	// the chain.
 	storeMu sync.RWMutex
 
 	// applyMu is the apply gate: the asynchronous link's mutators
@@ -77,8 +82,18 @@ type Model struct {
 	applyMu sync.RWMutex
 
 	// graphMu serializes temporal-graph access (insert + k-hop queries) on
-	// the asynchronous link: the graph, unlike the stores, is not sharded.
+	// the asynchronous link when the configured backend is not
+	// concurrency-safe (the flat store). With a concurrency-safe backend
+	// (graphSafe below) graph reads skip it and WAL-free appliers run
+	// concurrently; graphMu is still taken around WAL Begin + graph insert,
+	// because the WAL's contract is that log order equals graph order and
+	// that needs a serial apply point.
 	graphMu sync.Mutex
+
+	// graphSafe caches db.G.ConcurrentSafe() at construction: true when the
+	// graph backend synchronizes internally (sharded, remote-sim), enabling
+	// the graphMu elisions above. Immutable after New.
+	graphSafe bool
 
 	// wal, when attached, records every batch entering the graph, Begin'd
 	// under graphMu immediately before the insert — the serial apply point —
@@ -110,12 +125,48 @@ type explainRec struct {
 	counts       []int
 }
 
-// New builds an APAN model with a fresh in-process graph store.
+// New builds an APAN model with a fresh graph store selected by
+// cfg.GraphBackend (flat by default; see the GraphBackend* constants).
 func New(cfg Config) (*Model, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	return NewWithDB(cfg, gdb.New(tgraph.New(cfg.NumNodes)))
+	return NewWithDB(cfg, gdb.New(NewGraphStore(cfg)))
+}
+
+// NewGraphStore builds the tgraph.Store selected by cfg.GraphBackend. The
+// sharded backends stripe across cfg.Shards partitions — the same stripe
+// count as the state/mailbox stores. The remote-sim backend wraps the
+// sharded store in gdb.Remote with a per-item RPC latency model in
+// accumulate-only mode (Sleep off), so its results and digests stay
+// bit-identical to the in-process backends while /v1/stats-style accounting
+// reflects the Figure 6 deployment. cfg should be normalized; an unknown
+// backend falls back to flat, which Normalize has already rejected.
+func NewGraphStore(cfg Config) tgraph.Store {
+	switch cfg.GraphBackend {
+	case GraphBackendSharded:
+		return tgraph.NewSharded(cfg.NumNodes, cfg.Shards)
+	case GraphBackendRemoteSim:
+		return gdb.NewRemote(tgraph.NewSharded(cfg.NumNodes, cfg.Shards),
+			gdb.RemoteOptions{Latency: gdb.PerItem(100*time.Microsecond, time.Microsecond)})
+	default:
+		return tgraph.New(cfg.NumNodes)
+	}
+}
+
+// backendName maps a store's concrete type back to its GraphBackend
+// selector, so models built through NewWithDB report the store they
+// actually hold.
+func backendName(s tgraph.Store) (string, bool) {
+	switch s.(type) {
+	case *tgraph.Graph:
+		return GraphBackendFlat, true
+	case *tgraph.Sharded:
+		return GraphBackendSharded, true
+	case *gdb.Remote:
+		return GraphBackendRemoteSim, true
+	}
+	return "", false
 }
 
 // NewWithDB builds an APAN model on top of an existing graph database
@@ -137,6 +188,10 @@ func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
 		st:   state.NewSharded(cfg.NumNodes, cfg.EdgeDim, cfg.Shards),
 		mbox: mailbox.NewSharded(cfg.NumNodes, cfg.Slots, cfg.EdgeDim, cfg.Shards),
 		db:   db,
+	}
+	m.graphSafe = db.G.ConcurrentSafe()
+	if name, ok := backendName(db.G); ok {
+		m.Cfg.GraphBackend = name
 	}
 	if cfg.KeyValueMailbox {
 		m.mbox.SetRule(mailbox.UpdateKeyValue)
@@ -170,13 +225,22 @@ func (m *Model) Params() []*nn.Tensor {
 func (m *Model) DB() *gdb.DB { return m.db }
 
 // GraphEvents returns the number of events applied to the temporal graph —
-// the serving watermark — safely with respect to concurrent propagation
-// (the graph itself is unsharded and guarded by the model's graph mutex).
+// the serving watermark — safely with respect to concurrent propagation: a
+// concurrency-safe backend answers under its own log lock, a flat one under
+// the model's graph mutex.
 func (m *Model) GraphEvents() int {
+	if m.graphSafe {
+		return m.db.G.NumEvents()
+	}
 	m.graphMu.Lock()
 	defer m.graphMu.Unlock()
 	return m.db.G.NumEvents()
 }
+
+// GraphBackend reports which graph-store backend the model runs on (one of
+// the GraphBackend* constants, or Config.GraphBackend's original value for
+// a custom NewWithDB store).
+func (m *Model) GraphBackend() string { return m.Cfg.GraphBackend }
 
 // Mailbox exposes the sharded mailbox store. Its per-node operations are
 // safe to call concurrently with serving.
@@ -239,7 +303,9 @@ func (m *Model) ResetRuntime() {
 	defer m.storeMu.Unlock()
 	m.st.Reset()
 	m.mbox.Reset()
-	m.db.G = tgraph.New(m.Cfg.NumNodes)
+	// Reset in place: the model keeps the same Store value across runtime
+	// resets, so the configured backend (flat, sharded, remote-sim) survives.
+	m.db.G.Reset(m.Cfg.NumNodes)
 	m.db.ResetStats()
 }
 
@@ -276,10 +342,18 @@ func (m *Model) runtimeCut() (st *state.ShardedSnapshot, mb *mailbox.ShardedSnap
 	numNodes = m.Cfg.NumNodes
 	st = m.st.SnapshotShared()
 	mb = m.mbox.SnapshotShared()
-	m.graphMu.Lock()
-	g := m.db.G
-	events = g.EventLog()[:g.NumEvents()]
-	m.graphMu.Unlock()
+	// The exclusive apply gate above already quiesced every writer; the flat
+	// backend still wants graphMu for the read itself (it has no internal
+	// synchronization), a concurrency-safe one reads under its own log lock.
+	if m.graphSafe {
+		g := m.db.G
+		events = g.EventLog()[:g.NumEvents()]
+	} else {
+		m.graphMu.Lock()
+		g := m.db.G
+		events = g.EventLog()[:g.NumEvents()]
+		m.graphMu.Unlock()
+	}
 	return st, mb, events, numNodes
 }
 
@@ -292,12 +366,16 @@ func (m *Model) RestoreRuntime(snap *Snapshot) {
 	m.st.Restore(snap.st)
 	m.mbox.Restore(snap.mb)
 	m.Cfg.NumNodes = m.st.NumNodes()
-	old := m.db.G
-	g := tgraph.New(m.Cfg.NumNodes)
-	for i := int64(0); i < int64(snap.gcut); i++ {
-		g.AddEvent(*old.Event(i))
+	// Capture the replay prefix before Reset: the log is append-only and
+	// Reset replaces (never overwrites) its backing array, so the captured
+	// slice keeps the snapshot's events while the same Store value — and
+	// with it the configured backend — is rebuilt in place.
+	g := m.db.G
+	events := g.EventLog()[:snap.gcut]
+	g.Reset(m.Cfg.NumNodes)
+	for i := range events {
+		g.AddEvent(events[i])
 	}
-	m.db.G = g
 }
 
 // batchPlan is the node bookkeeping for one batch of events.
@@ -655,8 +733,11 @@ func (m *Model) InferBatch(events []tgraph.Event) *Inference {
 //
 // Safe to call concurrently with InferBatch and with other ApplyInference
 // calls: state writes and mail deliveries lock only the touched shard, so a
-// write burst never stalls synchronous-link reads of other shards; only the
-// unsharded temporal graph is serialized (graphMu).
+// write burst never stalls synchronous-link reads of other shards. With the
+// flat graph backend the temporal graph is the one serialized piece
+// (graphMu); a concurrency-safe backend (sharded, remote-sim) drops that
+// too when no WAL is attached, so whole appliers run in parallel, locking
+// only the partitions their events touch.
 // The batch's mutations happen under the shared apply gate as one unit, so
 // a concurrent checkpoint cut lands only on batch boundaries. With a WAL
 // attached the batch is logged at the serial apply point (under graphMu,
@@ -674,10 +755,23 @@ func (m *Model) ApplyInference(inf *Inference) {
 		m.st.Set(ev.Src, inf.emb.Row(int(inf.srcRow[i])), ev.Time)
 		m.st.Set(ev.Dst, inf.emb.Row(int(inf.dstRow[i])), ev.Time)
 	}
+	var commit wal.Commit
 	m.graphMu.Lock()
-	commit := m.logBatchLocked(inf.Events)
-	m.prop.ProcessBatch(inf.Events, m.st)
-	m.graphMu.Unlock()
+	if m.graphSafe && m.wal == nil {
+		// Concurrency-safe backend, no WAL: there is no serial apply point
+		// to protect, so drop graphMu and let appliers propagate in
+		// parallel — graph inserts take only the touched partitions' locks,
+		// mail deliveries only the recipient's mailbox shard. AttachWAL
+		// cannot race us into a half-logged batch: it needs the apply gate
+		// exclusively and we hold it shared until the batch is fully
+		// applied.
+		m.graphMu.Unlock()
+		m.prop.ProcessBatch(inf.Events, m.st)
+	} else {
+		commit = m.logBatchLocked(inf.Events)
+		m.prop.ProcessBatch(inf.Events, m.st)
+		m.graphMu.Unlock()
+	}
 	m.applyMu.RUnlock()
 	m.storeMu.RUnlock()
 	commit.Wait() // off every model lock; error is latched in the log

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"apan/internal/gdb"
@@ -17,9 +18,13 @@ import (
 // are deterministic.
 //
 // Mailbox deliveries lock only the recipient's shard, so propagation never
-// stalls synchronous-link readers of other shards. The temporal graph it
-// reads and writes is NOT sharded: callers must serialize ProcessBatch
-// (core.Model does so with its graph mutex).
+// stalls synchronous-link readers of other shards. Whether ProcessBatch
+// itself may run concurrently is the graph backend's call: with the flat
+// store callers must serialize (core.Model does so with its graph mutex);
+// with a concurrency-safe backend (tgraph.Sharded, gdb.Remote over it)
+// concurrent ProcessBatch calls are safe — per-batch scratch comes from an
+// internal pool, graph inserts take only partition locks, and per-node
+// deliveries commute under the mailbox's ψ.
 type Propagator struct {
 	cfg  Config
 	db   *gdb.DB
@@ -27,15 +32,12 @@ type Propagator struct {
 
 	mailsDelivered atomic.Int64
 
-	// Per-batch scratch, reused across ProcessBatch calls: the inbox map
-	// keeps its buckets, retired accumulators sit in a freelist, and one
-	// mail buffer serves every event (mailbox.Deliver copies, so nothing
-	// downstream retains these). Safe because ProcessBatch is serialized by
-	// its callers (see the type comment).
-	inbox    map[tgraph.NodeID]*mailAccum
-	freelist []*mailAccum
-	mail     []float32
-	zScratch []float32
+	// scratch pools per-batch working state (see propScratch): the inbox
+	// map keeps its buckets, retired accumulators sit in a freelist, and
+	// one mail buffer serves every event (mailbox.Deliver copies, so
+	// nothing downstream retains these). Pooling is what lets concurrent
+	// ProcessBatch calls proceed without sharing or re-allocating scratch.
+	scratch sync.Pool
 }
 
 // NewPropagator builds a propagator writing into mbox and reading/writing
@@ -47,6 +49,16 @@ func NewPropagator(cfg Config, db *gdb.DB, mbox *mailbox.Sharded) *Propagator {
 // MailsDelivered reports the number of mailbox deliveries so far.
 func (p *Propagator) MailsDelivered() int64 { return p.mailsDelivered.Load() }
 
+// propScratch is one batch's reusable working state. Each ProcessBatch call
+// checks one out of the pool, so scratch is never shared across concurrent
+// batches and steady-state batches re-allocate nothing.
+type propScratch struct {
+	inbox    map[tgraph.NodeID]*mailAccum
+	freelist []*mailAccum
+	mail     []float32
+	zScratch []float32
+}
+
 // mailAccum accumulates the mails a node receives within one batch so ρ can
 // reduce them to a single mail.
 type mailAccum struct {
@@ -56,11 +68,11 @@ type mailAccum struct {
 }
 
 // getAccum checks a zeroed accumulator of size dim out of the freelist.
-func (p *Propagator) getAccum(dim int) *mailAccum {
-	if n := len(p.freelist); n > 0 {
-		acc := p.freelist[n-1]
-		p.freelist[n-1] = nil
-		p.freelist = p.freelist[:n-1]
+func (s *propScratch) getAccum(dim int) *mailAccum {
+	if n := len(s.freelist); n > 0 {
+		acc := s.freelist[n-1]
+		s.freelist[n-1] = nil
+		s.freelist = s.freelist[:n-1]
 		if cap(acc.sum) < dim {
 			acc.sum = make([]float32, dim)
 		}
@@ -73,11 +85,11 @@ func (p *Propagator) getAccum(dim int) *mailAccum {
 }
 
 // deliver routes one mail into the batch inbox, reducing per ψ's rule.
-func (p *Propagator) deliver(n tgraph.NodeID, vec []float32, ts float64) {
-	acc := p.inbox[n]
+func (p *Propagator) deliver(s *propScratch, n tgraph.NodeID, vec []float32, ts float64) {
+	acc := s.inbox[n]
 	if acc == nil {
-		acc = p.getAccum(len(vec))
-		p.inbox[n] = acc
+		acc = s.getAccum(len(vec))
+		s.inbox[n] = acc
 	}
 	switch p.cfg.Reduce {
 	case ReduceLatest:
@@ -106,19 +118,27 @@ func (p *Propagator) deliver(n tgraph.NodeID, vec []float32, ts float64) {
 //   - identity passing (f), so every recipient gets the same vector
 //
 // After all events: mails per node are mean-reduced (ρ) and delivered (ψ).
+//
+// Graph writes and k-hop reads are interleaved per event — later events in
+// the batch see earlier ones — which is part of the model's semantics;
+// restructuring into insert-all-then-sample phases would change scores.
 func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 	if len(events) == 0 {
 		return
 	}
-	if p.inbox == nil {
-		p.inbox = make(map[tgraph.NodeID]*mailAccum, 4*len(events))
+	s, _ := p.scratch.Get().(*propScratch)
+	if s == nil {
+		s = &propScratch{}
 	}
-	if cap(p.mail) < p.cfg.EdgeDim {
-		p.mail = make([]float32, p.cfg.EdgeDim)
-		p.zScratch = make([]float32, p.cfg.EdgeDim)
+	if s.inbox == nil {
+		s.inbox = make(map[tgraph.NodeID]*mailAccum, 4*len(events))
 	}
-	mail := p.mail[:p.cfg.EdgeDim]
-	zScratch := p.zScratch[:p.cfg.EdgeDim]
+	if cap(s.mail) < p.cfg.EdgeDim {
+		s.mail = make([]float32, p.cfg.EdgeDim)
+		s.zScratch = make([]float32, p.cfg.EdgeDim)
+	}
+	mail := s.mail[:p.cfg.EdgeDim]
+	zScratch := s.zScratch[:p.cfg.EdgeDim]
 
 	for _, ev := range events {
 		// Graph write first so later events in the batch see earlier ones.
@@ -132,9 +152,9 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 		tensor.Axpy(mail, zScratch, 1)
 
 		// Hop 0: the interactive nodes themselves.
-		p.deliver(ev.Src, mail, ev.Time)
+		p.deliver(s, ev.Src, mail, ev.Time)
 		if ev.Dst != ev.Src {
-			p.deliver(ev.Dst, mail, ev.Time)
+			p.deliver(s, ev.Dst, mail, ev.Time)
 		}
 		// Hops 1..k−1: neighbors by most-recent sampling, strictly before t,
 		// so the mail travels along pre-existing temporal edges.
@@ -142,13 +162,13 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 			hops := p.db.KHopMostRecent([]tgraph.NodeID{ev.Src, ev.Dst}, ev.Time, p.cfg.Neighbors, p.cfg.Hops-1)
 			for _, level := range hops {
 				for _, inc := range level {
-					p.deliver(inc.Peer, mail, ev.Time)
+					p.deliver(s, inc.Peer, mail, ev.Time)
 				}
 			}
 		}
 	}
 
-	for n, acc := range p.inbox {
+	for n, acc := range s.inbox {
 		if p.cfg.Reduce != ReduceLatest && acc.n > 1 {
 			inv := 1 / float32(acc.n)
 			for i := range acc.sum {
@@ -157,7 +177,8 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 		}
 		p.mbox.Deliver(n, acc.sum, acc.ts)
 		p.mailsDelivered.Add(1)
-		p.freelist = append(p.freelist, acc)
+		s.freelist = append(s.freelist, acc)
 	}
-	clear(p.inbox)
+	clear(s.inbox)
+	p.scratch.Put(s)
 }

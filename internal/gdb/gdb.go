@@ -1,9 +1,11 @@
-// Package gdb wraps the in-process temporal graph store with the latency
-// and accounting profile of the remote distributed graph database that backs
-// the paper's production deployment. Synchronous CTDG models (TGAT, TGN)
-// pay this cost on the inference critical path; APAN's asynchronous
-// propagator pays it off the critical path — the contrast behind Figure 6
-// and the §4.6 "much greater than 8.7×" claim.
+// Package gdb provides the remote-flavored temporal graph access layer: a
+// query-accounting wrapper (DB) plus Remote, a tgraph.Store implementation
+// that models the remote distributed graph database backing the paper's
+// production deployment (Figure 6) — any in-process store behind a simulated
+// RPC latency model with batched k-hop gathers. Synchronous CTDG models
+// (TGAT, TGN) pay the round-trip cost on the inference critical path; APAN's
+// asynchronous propagator pays it off the critical path — the contrast
+// behind Figure 6 and the §4.6 "much greater than 8.7×" claim.
 package gdb
 
 import (
@@ -29,9 +31,10 @@ func PerItem(base, per time.Duration) LatencyModel {
 }
 
 // DB is a temporal graph store with query accounting and an optional
-// simulated-latency model.
+// simulated-latency model. G may be any tgraph.Store backend — flat,
+// sharded, or a Remote wrapper — selected by core.Config.GraphBackend.
 type DB struct {
-	G *tgraph.Graph
+	G tgraph.Store
 	// Latency, when non-nil, is charged on every neighbor query.
 	Latency LatencyModel
 	// Sleep controls whether simulated latency blocks the caller (true, for
@@ -45,7 +48,7 @@ type DB struct {
 }
 
 // New wraps g with no latency model.
-func New(g *tgraph.Graph) *DB { return &DB{G: g} }
+func New(g tgraph.Store) *DB { return &DB{G: g} }
 
 // charge records one query returning n items.
 func (db *DB) charge(n int) {
@@ -60,7 +63,7 @@ func (db *DB) charge(n int) {
 	}
 }
 
-// MostRecentNeighbors is tgraph.Graph.MostRecentNeighbors with accounting.
+// MostRecentNeighbors is Store.MostRecentNeighbors with accounting.
 func (db *DB) MostRecentNeighbors(n tgraph.NodeID, t float64, k int, out []tgraph.Incidence) []tgraph.Incidence {
 	before := len(out)
 	out = db.G.MostRecentNeighbors(n, t, k, out)
@@ -68,25 +71,26 @@ func (db *DB) MostRecentNeighbors(n tgraph.NodeID, t float64, k int, out []tgrap
 	return out
 }
 
-// KHopMostRecent is tgraph.Graph.KHopMostRecent with per-hop accounting:
-// each frontier node costs one query.
+// KHopMostRecent is Store.KHopMostRecent with batched-gather accounting:
+// each frontier node counts as one logical query, but the whole hop travels
+// as a single round trip, so the latency model is charged once per hop on
+// the hop's total item count — the protocol a remote graph DB would use
+// (gather the frontier, answer in one response).
 func (db *DB) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
-	frontier := seeds
-	out := make([][]tgraph.Incidence, hops)
-	var scratch []tgraph.Incidence
+	out := db.G.KHopMostRecent(seeds, t, fanout, hops)
+	frontier := len(seeds)
 	for h := 0; h < hops; h++ {
-		scratch = scratch[:0]
-		for _, n := range frontier {
-			before := len(scratch)
-			scratch = db.G.MostRecentNeighbors(n, t, fanout, scratch)
-			db.charge(len(scratch) - before)
+		items := len(out[h])
+		db.queries.Add(int64(frontier))
+		db.items.Add(int64(items))
+		if db.Latency != nil {
+			d := db.Latency(items)
+			db.simulated.Add(int64(d))
+			if db.Sleep {
+				time.Sleep(d)
+			}
 		}
-		out[h] = append([]tgraph.Incidence(nil), scratch...)
-		next := make([]tgraph.NodeID, len(out[h]))
-		for i, inc := range out[h] {
-			next[i] = inc.Peer
-		}
-		frontier = next
+		frontier = items
 	}
 	return out
 }

@@ -1,0 +1,150 @@
+package gdb
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"apan/internal/tgraph"
+)
+
+// RemoteOptions configures a Remote store.
+type RemoteOptions struct {
+	// Latency, when non-nil, is the simulated RPC cost charged on every
+	// query round trip.
+	Latency LatencyModel
+	// Sleep controls whether simulated latency blocks the caller (live
+	// demos) or is only accumulated (benchmarks, parity runs — results stay
+	// deterministic because only counters change).
+	Sleep bool
+}
+
+// Remote is the remote-style graph backend: a tgraph.Store that wraps any
+// inner Store behind the RPC profile of the distributed graph database in
+// the paper's production deployment (Figure 6). Every neighbor query pays
+// one simulated round trip; KHopMostRecent uses the batched-gather protocol
+// (the whole frontier ships in one request, one round trip per hop — not
+// one per frontier node). Ingest and bulk access (AddEvent, Grow, Reset,
+// EventLog, Event, StaticSnapshot) are uncharged: writes are asynchronous
+// in the deployment and bulk reads happen on the maintenance path.
+//
+// Remote delegates every query verbatim, so it is bit-exact with its inner
+// store by construction — the equivalence suite still runs it as a third
+// backend to keep that true as the wrapper grows.
+type Remote struct {
+	inner tgraph.Store
+	opts  RemoteOptions
+
+	rpcs      atomic.Int64
+	items     atomic.Int64
+	simulated atomic.Int64 // nanoseconds
+}
+
+// NewRemote wraps inner with the given RPC profile.
+func NewRemote(inner tgraph.Store, opts RemoteOptions) *Remote {
+	return &Remote{inner: inner, opts: opts}
+}
+
+// Inner returns the wrapped store.
+func (r *Remote) Inner() tgraph.Store { return r.inner }
+
+// rpc records one round trip transferring n items.
+func (r *Remote) rpc(n int) {
+	r.rpcs.Add(1)
+	r.items.Add(int64(n))
+	if r.opts.Latency != nil {
+		d := r.opts.Latency(n)
+		r.simulated.Add(int64(d))
+		if r.opts.Sleep {
+			time.Sleep(d)
+		}
+	}
+}
+
+// RemoteStats reports accumulated RPC accounting.
+type RemoteStats struct {
+	RPCs      int64
+	Items     int64
+	Simulated time.Duration
+}
+
+// Stats returns the current counters.
+func (r *Remote) Stats() RemoteStats {
+	return RemoteStats{
+		RPCs:      r.rpcs.Load(),
+		Items:     r.items.Load(),
+		Simulated: time.Duration(r.simulated.Load()),
+	}
+}
+
+// NumNodes delegates to the inner store.
+func (r *Remote) NumNodes() int { return r.inner.NumNodes() }
+
+// NumEvents delegates to the inner store.
+func (r *Remote) NumEvents() int { return r.inner.NumEvents() }
+
+// Grow delegates to the inner store (admin path, uncharged).
+func (r *Remote) Grow(n int) { r.inner.Grow(n) }
+
+// Reset delegates to the inner store (admin path, uncharged).
+func (r *Remote) Reset(numNodes int) { r.inner.Reset(numNodes) }
+
+// AddEvent delegates to the inner store (asynchronous ingest, uncharged).
+func (r *Remote) AddEvent(e tgraph.Event) int64 { return r.inner.AddEvent(e) }
+
+// Event delegates to the inner store (bulk/replay path, uncharged).
+func (r *Remote) Event(id int64) *tgraph.Event { return r.inner.Event(id) }
+
+// EventLog delegates to the inner store (bulk/replay path, uncharged).
+func (r *Remote) EventLog() []tgraph.Event { return r.inner.EventLog() }
+
+// Degree is one RPC returning a scalar.
+func (r *Remote) Degree(n tgraph.NodeID, t float64) int {
+	d := r.inner.Degree(n, t)
+	r.rpc(0)
+	return d
+}
+
+// MostRecentNeighbors is one RPC returning the sampled incidences.
+func (r *Remote) MostRecentNeighbors(n tgraph.NodeID, t float64, k int, out []tgraph.Incidence) []tgraph.Incidence {
+	before := len(out)
+	out = r.inner.MostRecentNeighbors(n, t, k, out)
+	r.rpc(len(out) - before)
+	return out
+}
+
+// UniformNeighbors is one RPC returning the sampled incidences. The rng is
+// consumed by the inner store exactly as the flat algorithm would, so
+// seeded runs stay backend-agnostic.
+func (r *Remote) UniformNeighbors(rng *rand.Rand, n tgraph.NodeID, t float64, k int, out []tgraph.Incidence) []tgraph.Incidence {
+	before := len(out)
+	out = r.inner.UniformNeighbors(rng, n, t, k, out)
+	r.rpc(len(out) - before)
+	return out
+}
+
+// KHopMostRecent is the batched-gather protocol: the whole frontier ships
+// in one request, so each hop costs one RPC regardless of frontier size.
+func (r *Remote) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
+	out := r.inner.KHopMostRecent(seeds, t, fanout, hops)
+	for h := 0; h < hops; h++ {
+		r.rpc(len(out[h]))
+	}
+	return out
+}
+
+// EventsBetween is one RPC returning the range.
+func (r *Remote) EventsBetween(lo, hi float64) []tgraph.Event {
+	ev := r.inner.EventsBetween(lo, hi)
+	r.rpc(len(ev))
+	return ev
+}
+
+// StaticSnapshot delegates to the inner store (bulk export path, uncharged).
+func (r *Remote) StaticSnapshot(t float64) *tgraph.CSR { return r.inner.StaticSnapshot(t) }
+
+// ConcurrentSafe delegates to the inner store: the wrapper adds only atomic
+// counters.
+func (r *Remote) ConcurrentSafe() bool { return r.inner.ConcurrentSafe() }
+
+var _ tgraph.Store = (*Remote)(nil)

@@ -53,6 +53,10 @@ const (
 	// identical to an uninterrupted run, at the recovery point and at end of
 	// stream.
 	InvKillRecover = "kill_recover"
+	// InvBackendParity: the same direct run on every other graph backend
+	// (flat, sharded, remote-sim) reproduces scores and runtime digest
+	// bitwise per (seed, scenario).
+	InvBackendParity = "backend_parity"
 )
 
 // compareScores checks bitwise float32 equality of two per-batch score sets

@@ -3,6 +3,8 @@ package scenario
 import (
 	"math/rand"
 	"testing"
+
+	"apan/internal/core"
 )
 
 // testOptions returns harness sizes small enough that the whole bundled
@@ -42,6 +44,57 @@ func TestScenarioBundled(t *testing.T) {
 			}
 			if checked < 3 {
 				t.Fatalf("only %d invariants checked, want ≥ 3: %+v", checked, res.Invariants)
+			}
+		})
+	}
+}
+
+// TestScenarioCrossBackendParity drives representative scenarios with each
+// non-default graph backend behind every path (incl. the WAL-attached
+// kill-recover and online-training drift protocols), and checks the
+// backend_parity invariant both ways: whichever backend is primary, the
+// other two must reproduce its scores and digest bitwise.
+func TestScenarioCrossBackendParity(t *testing.T) {
+	byName := map[string]Scenario{}
+	for _, sc := range Bundled() {
+		byName[sc.Name] = sc
+	}
+	type tc struct{ scenario, backend string }
+	cases := []tc{
+		{"smooth_baseline", core.GraphBackendSharded},
+		{"smooth_baseline", core.GraphBackendRemoteSim},
+		{"out_of_order", core.GraphBackendSharded},
+	}
+	if !testing.Short() {
+		cases = append(cases,
+			tc{"kill_recover", core.GraphBackendSharded},
+			tc{"concept_drift", core.GraphBackendSharded},
+		)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.scenario+"/"+c.backend, func(t *testing.T) {
+			sc, ok := byName[c.scenario]
+			if !ok {
+				t.Fatalf("scenario %q not bundled", c.scenario)
+			}
+			o := testOptions(t)
+			o.GraphBackend = c.backend
+			res, err := Run(sc, o)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			checked := false
+			for _, iv := range res.Invariants {
+				if iv.Name == InvBackendParity && iv.Checked {
+					checked = true
+				}
+			}
+			if !checked {
+				t.Fatal("backend_parity invariant was not checked")
 			}
 		})
 	}

@@ -196,6 +196,9 @@ type StatsResponse struct {
 	// version; it advances on every hot swap (online trainer publish,
 	// checkpoint load).
 	ParamVersion uint64 `json:"param_version"`
+	// GraphBackend is the temporal-graph store behind the served model
+	// (flat, sharded, remote-sim).
+	GraphBackend string `json:"graph_backend"`
 	// Training reports online-trainer health; absent when no trainer is
 	// attached.
 	Training *train.Stats `json:"training,omitempty"`
@@ -382,6 +385,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Pipeline:      s.pipe.Stats(),
 		Batcher:       s.batcher.Stats(),
 		ParamVersion:  s.pipe.ParamVersion(),
+		GraphBackend:  s.pipe.GraphBackend(),
 		WAL:           s.pipe.WALStats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}

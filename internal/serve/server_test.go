@@ -248,6 +248,9 @@ func TestStatsAndHealthz(t *testing.T) {
 	if st.Pipeline.Submitted != 1 || st.Pipeline.Processed != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
+	if st.GraphBackend != core.GraphBackendFlat {
+		t.Fatalf("stats graph_backend %q, want %q", st.GraphBackend, core.GraphBackendFlat)
+	}
 
 	resp, err = http.Get(ts.URL + "/v1/healthz")
 	if err != nil {

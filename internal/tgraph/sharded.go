@@ -1,0 +1,374 @@
+package tgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is the lock-striped CTDG store: the same append-only event log and
+// time-sorted incidence lists as Graph, with the adjacency hash-partitioned
+// across a power-of-two number of partitions, each guarded by its own
+// RWMutex (mirroring mailbox.Sharded/state.Sharded). Node n lives in
+// partition n&mask at local index n>>bits, so consecutive node IDs spread
+// across partitions and concurrent k-hop gathers only contend when they
+// touch the same partition — AddEvent locks the log plus at most two
+// partitions, never the world.
+//
+// The global event log is guarded by its own RWMutex; an append is an O(1)
+// pointer bump (id assignment + slice append) so the log lock is never held
+// across adjacency work. Per-partition operations are atomic; a reader
+// racing a writer may observe the log entry before the adjacency entries
+// (or the Src incidence before the Dst one) — standard concurrent-store
+// semantics, the same partial visibility any remote graph DB exhibits.
+// When calls are serialized, Sharded is query-for-query bit-exact with
+// Graph: every algorithm below is the flat one, re-scoped to a partition.
+type Sharded struct {
+	mask     int32
+	bits     uint
+	numNodes atomic.Int64
+
+	logMu  sync.RWMutex
+	events []Event
+
+	parts []partition
+}
+
+type partition struct {
+	mu  sync.RWMutex
+	adj [][]Incidence
+	// Pad the 24-byte mutex + 24-byte slice header to a full cache line so
+	// partition locks don't false-share.
+	_ [16]byte
+}
+
+// NewSharded creates an empty sharded store over numNodes nodes, striped
+// across `parts` partitions (rounded up to a power of two; values < 1 mean
+// one partition, i.e. a single lock pair).
+func NewSharded(numNodes, parts int) *Sharded {
+	if numNodes <= 0 {
+		panic(fmt.Sprintf("tgraph: invalid node count %d", numNodes))
+	}
+	n := partCount(parts)
+	s := &Sharded{mask: int32(n - 1), parts: make([]partition, n)}
+	for n>>s.bits > 1 {
+		s.bits++
+	}
+	cap := partCap(numNodes, n)
+	for i := range s.parts {
+		s.parts[i].adj = make([][]Incidence, cap)
+	}
+	s.numNodes.Store(int64(numNodes))
+	return s
+}
+
+// partCount rounds n up to a power of two in [1, 1<<16].
+func partCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// partCap returns the adjacency length each of `parts` partitions needs to
+// cover numNodes global IDs (local index is id>>bits, so ceil is exact).
+func partCap(numNodes, parts int) int {
+	c := (numNodes + parts - 1) / parts
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NumPartitions returns the number of lock partitions.
+func (s *Sharded) NumPartitions() int { return len(s.parts) }
+
+// NumNodes returns the node-set size.
+func (s *Sharded) NumNodes() int { return int(s.numNodes.Load()) }
+
+// NumEvents returns the number of inserted events.
+func (s *Sharded) NumEvents() int {
+	s.logMu.RLock()
+	n := len(s.events)
+	s.logMu.RUnlock()
+	return n
+}
+
+func (s *Sharded) locate(n NodeID) (*partition, int32) {
+	return &s.parts[n&s.mask], n >> s.bits
+}
+
+// Grow extends the node-ID space to n, locking every partition; no-op when
+// n ≤ NumNodes.
+func (s *Sharded) Grow(n int) {
+	if int64(n) <= s.numNodes.Load() {
+		return
+	}
+	s.lockAll()
+	if int64(n) > s.numNodes.Load() {
+		cap := partCap(n, len(s.parts))
+		for i := range s.parts {
+			if grow := cap - len(s.parts[i].adj); grow > 0 {
+				s.parts[i].adj = append(s.parts[i].adj, make([][]Incidence, grow)...)
+			}
+		}
+		s.numNodes.Store(int64(n))
+	}
+	s.unlockAll()
+}
+
+// Reset re-initializes the store to an empty graph over numNodes nodes. The
+// old log's backing array is left untouched, so previously captured
+// EventLog slices keep their contents.
+func (s *Sharded) Reset(numNodes int) {
+	s.lockAll()
+	s.logMu.Lock()
+	s.events = nil
+	s.logMu.Unlock()
+	cap := partCap(numNodes, len(s.parts))
+	for i := range s.parts {
+		s.parts[i].adj = make([][]Incidence, cap)
+	}
+	s.numNodes.Store(int64(numNodes))
+	s.unlockAll()
+}
+
+// EventLog returns the global event log under the log's read lock. The same
+// immutability contract as Graph.EventLog applies: prefixes captured while
+// writers are quiesced stay valid as later events are appended. Callers
+// must treat the slice as read-only.
+func (s *Sharded) EventLog() []Event {
+	s.logMu.RLock()
+	ev := s.events
+	s.logMu.RUnlock()
+	return ev
+}
+
+// Event returns the stored event with the given log id. Entries are
+// immutable once inserted, so the pointer stays valid across appends.
+func (s *Sharded) Event(id int64) *Event {
+	s.logMu.RLock()
+	e := &s.events[id]
+	s.logMu.RUnlock()
+	return e
+}
+
+// AddEvent appends e to the log and both endpoints' incidence lists,
+// returning the assigned log id — Graph.AddEvent semantics (undirected
+// storage, backward-shift insertion for out-of-order times), locking only
+// the log plus the one or two touched partitions.
+func (s *Sharded) AddEvent(e Event) int64 {
+	if nn := s.numNodes.Load(); e.Src < 0 || int64(e.Src) >= nn || e.Dst < 0 || int64(e.Dst) >= nn {
+		panic(fmt.Sprintf("tgraph: event endpoints %d-%d out of range [0,%d)", e.Src, e.Dst, nn))
+	}
+	s.logMu.Lock()
+	id := int64(len(s.events))
+	e.ID = id
+	s.events = append(s.events, e)
+	s.logMu.Unlock()
+	s.insertIncidence(e.Src, Incidence{Peer: e.Dst, Event: id, Time: e.Time})
+	if e.Dst != e.Src {
+		s.insertIncidence(e.Dst, Incidence{Peer: e.Src, Event: id, Time: e.Time})
+	}
+	return id
+}
+
+// insertIncidence appends inc to n's list under the partition's write lock,
+// shifting it backwards while an earlier entry has a later timestamp.
+func (s *Sharded) insertIncidence(n NodeID, inc Incidence) {
+	p, local := s.locate(n)
+	p.mu.Lock()
+	lst := append(p.adj[local], inc)
+	for i := len(lst) - 1; i > 0 && lst[i-1].Time > lst[i].Time; i-- {
+		lst[i-1], lst[i] = lst[i], lst[i-1]
+	}
+	p.adj[local] = lst
+	p.mu.Unlock()
+}
+
+// searchBeforeLocked returns the count of incidences of lst with Time < t.
+func searchBeforeLocked(lst []Incidence, t float64) int {
+	return sort.Search(len(lst), func(i int) bool { return lst[i].Time >= t })
+}
+
+// Degree returns the number of interactions of n strictly before t, locking
+// only n's partition.
+func (s *Sharded) Degree(n NodeID, t float64) int {
+	p, local := s.locate(n)
+	p.mu.RLock()
+	d := searchBeforeLocked(p.adj[local], t)
+	p.mu.RUnlock()
+	return d
+}
+
+// MostRecentNeighbors appends to out the up-to-k most recent interactions of
+// n strictly before time t, newest first, locking only n's partition.
+// Results are copied out of the partition under its read lock.
+func (s *Sharded) MostRecentNeighbors(n NodeID, t float64, k int, out []Incidence) []Incidence {
+	p, local := s.locate(n)
+	p.mu.RLock()
+	lst := p.adj[local]
+	hi := searchBeforeLocked(lst, t)
+	lo := hi - k
+	if lo < 0 {
+		lo = 0
+	}
+	for i := hi - 1; i >= lo; i-- {
+		out = append(out, lst[i])
+	}
+	p.mu.RUnlock()
+	return out
+}
+
+// UniformNeighbors appends up to k interactions of n before t sampled
+// uniformly without replacement. Floyd's algorithm exactly as in
+// Graph.UniformNeighbors — the rng is consumed identically, so seeded runs
+// agree with the flat store bit for bit.
+func (s *Sharded) UniformNeighbors(rng *rand.Rand, n NodeID, t float64, k int, out []Incidence) []Incidence {
+	p, local := s.locate(n)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lst := p.adj[local]
+	hi := searchBeforeLocked(lst, t)
+	if hi <= k {
+		for i := 0; i < hi; i++ {
+			out = append(out, lst[i])
+		}
+		return out
+	}
+	picked := make(map[int]struct{}, k)
+	for i := hi - k; i < hi; i++ {
+		j := rng.Intn(i + 1)
+		if _, dup := picked[j]; dup {
+			j = i
+		}
+		picked[j] = struct{}{}
+		out = append(out, lst[j])
+	}
+	return out
+}
+
+// KHopMostRecent returns the per-hop temporal neighborhood of the seeds —
+// Graph.KHopMostRecent re-scoped so each frontier node takes only its own
+// partition's read lock. Results are copy-out: hops alias neither partition
+// storage nor each other.
+func (s *Sharded) KHopMostRecent(seeds []NodeID, t float64, fanout, hops int) [][]Incidence {
+	frontier := seeds
+	out := make([][]Incidence, hops)
+	var scratch []Incidence
+	for h := 0; h < hops; h++ {
+		scratch = scratch[:0]
+		for _, n := range frontier {
+			scratch = s.MostRecentNeighbors(n, t, fanout, scratch)
+		}
+		out[h] = append([]Incidence(nil), scratch...)
+		next := make([]NodeID, len(out[h]))
+		for i, inc := range out[h] {
+			next[i] = inc.Peer
+		}
+		frontier = next
+	}
+	return out
+}
+
+// EventsBetween returns the events with Time in [lo, hi) from the global
+// log. Entries are immutable and the binary search runs under the log's
+// read lock, so the result stays valid across subsequent appends.
+func (s *Sharded) EventsBetween(lo, hi float64) []Event {
+	s.logMu.RLock()
+	a := sort.Search(len(s.events), func(i int) bool { return s.events[i].Time >= lo })
+	b := sort.Search(len(s.events), func(i int) bool { return s.events[i].Time >= hi })
+	ev := s.events[a:b]
+	s.logMu.RUnlock()
+	return ev
+}
+
+// StaticSnapshot builds the deduplicated undirected CSR of all events before
+// t — Graph.StaticSnapshot over the partitioned adjacency, with every
+// partition read-locked for a consistent cut.
+func (s *Sharded) StaticSnapshot(t float64) *CSR {
+	s.rlockAll()
+	defer s.runlockAll()
+	numNodes := int(s.numNodes.Load())
+	type edge struct {
+		peer NodeID
+		ev   int64
+	}
+	per := make([]map[NodeID]int64, numNodes)
+	for n := 0; n < numNodes; n++ {
+		p, local := s.locate(NodeID(n))
+		lst := p.adj[local]
+		hi := searchBeforeLocked(lst, t)
+		if hi == 0 {
+			continue
+		}
+		m := make(map[NodeID]int64, hi)
+		for _, inc := range lst[:hi] {
+			m[inc.Peer] = inc.Event // later entries overwrite: latest event wins
+		}
+		per[n] = m
+	}
+	csr := &CSR{NumNodes: numNodes, RowPtr: make([]int32, numNodes+1)}
+	var total int32
+	for n := 0; n < numNodes; n++ {
+		csr.RowPtr[n] = total
+		total += int32(len(per[n]))
+	}
+	csr.RowPtr[numNodes] = total
+	csr.ColIdx = make([]NodeID, total)
+	csr.LastEvent = make([]int64, total)
+	for n := 0; n < numNodes; n++ {
+		if per[n] == nil {
+			continue
+		}
+		edges := make([]edge, 0, len(per[n]))
+		for p, ev := range per[n] {
+			edges = append(edges, edge{p, ev})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].peer < edges[j].peer })
+		base := csr.RowPtr[n]
+		for i, e := range edges {
+			csr.ColIdx[base+int32(i)] = e.peer
+			csr.LastEvent[base+int32(i)] = e.ev
+		}
+	}
+	return csr
+}
+
+// ConcurrentSafe reports true: Sharded synchronizes internally.
+func (s *Sharded) ConcurrentSafe() bool { return true }
+
+func (s *Sharded) lockAll() {
+	for i := range s.parts {
+		s.parts[i].mu.Lock()
+	}
+}
+
+func (s *Sharded) unlockAll() {
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		s.parts[i].mu.Unlock()
+	}
+}
+
+func (s *Sharded) rlockAll() {
+	for i := range s.parts {
+		s.parts[i].mu.RLock()
+	}
+}
+
+func (s *Sharded) runlockAll() {
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		s.parts[i].mu.RUnlock()
+	}
+}
+
+var _ Store = (*Sharded)(nil)

@@ -1,0 +1,198 @@
+package tgraph_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"apan/internal/tgraph"
+)
+
+// TestShardedConcurrentStress is the torn-read guard: concurrent AddEvent
+// writers, k-hop readers and a mid-stream Grow across partitions. Run with
+// -race (CI does); correctness here is "no panic, no race, and the final
+// event count and adjacency are complete".
+func TestShardedConcurrentStress(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 3
+		perWriter = 1500
+		baseNodes = 64
+		maxNodes  = 256
+	)
+	s := tgraph.NewSharded(baseNodes, 8)
+	var writeWG, readWG sync.WaitGroup
+	var stop atomic.Bool
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				// Writers stay inside the base node space so they never race
+				// the Grow below into a range check.
+				ev := tgraph.Event{
+					Src:  tgraph.NodeID(rng.Intn(baseNodes)),
+					Dst:  tgraph.NodeID(rng.Intn(baseNodes)),
+					Time: float64(i) + rng.Float64(),
+					Feat: []float32{float32(w)},
+				}
+				s.AddEvent(ev)
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for !stop.Load() {
+				n := tgraph.NodeID(rng.Intn(baseNodes))
+				qt := rng.Float64() * perWriter
+				s.Degree(n, qt)
+				s.MostRecentNeighbors(n, qt, 5, nil)
+				hops := s.KHopMostRecent([]tgraph.NodeID{n}, qt, 4, 2)
+				for _, level := range hops {
+					for _, inc := range level {
+						if inc.Peer < 0 || int(inc.Peer) >= s.NumNodes() {
+							t.Errorf("torn incidence: %+v", inc)
+							return
+						}
+					}
+				}
+				if ev := s.EventsBetween(qt, qt+10); len(ev) > 0 {
+					_ = ev[len(ev)-1].Time // entries must be readable, not torn
+				}
+				_ = s.NumEvents()
+			}
+		}(r)
+	}
+
+	// Mid-stream Grow, repeatedly, racing both writers and readers.
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		for n := baseNodes + 16; n <= maxNodes; n += 16 {
+			s.Grow(n)
+		}
+	}()
+
+	writeWG.Wait() // readers keep hammering until every writer is done
+	stop.Store(true)
+	readWG.Wait()
+
+	total := writers * perWriter
+	if got := s.NumEvents(); got != total {
+		t.Fatalf("lost events: %d of %d", got, total)
+	}
+	if got := s.NumNodes(); got != maxNodes {
+		t.Fatalf("Grow lost: NumNodes=%d want %d", got, maxNodes)
+	}
+	// Adjacency is complete: summing per-node degrees at t=∞ double-counts
+	// every non-self-loop event and single-counts self-loops.
+	var inc int
+	selfLoops := 0
+	for _, ev := range s.EventLog() {
+		if ev.Src == ev.Dst {
+			selfLoops++
+		}
+	}
+	for n := 0; n < s.NumNodes(); n++ {
+		inc += s.Degree(tgraph.NodeID(n), 1e18)
+	}
+	if want := 2*total - selfLoops; inc != want {
+		t.Fatalf("adjacency incomplete: %d incidences, want %d", inc, want)
+	}
+}
+
+// TestShardedCopyOut is the aliasing regression: results returned by
+// KHopMostRecent and EventsBetween must stay bit-identical after subsequent
+// appends — k-hop levels because they are copied out of partition storage,
+// EventsBetween because log entries are immutable even when the backing
+// array is still live. The same contract is checked for the flat store,
+// which documents it (tgraph.EventLog).
+func TestShardedCopyOut(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		store tgraph.Store
+	}{
+		{"sharded", tgraph.NewSharded(16, 4)},
+		{"flat", tgraph.New(16)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.store
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 200; i++ {
+				s.AddEvent(tgraph.Event{
+					Src:  tgraph.NodeID(rng.Intn(16)),
+					Dst:  tgraph.NodeID(rng.Intn(16)),
+					Time: float64(i),
+				})
+			}
+			hops := s.KHopMostRecent([]tgraph.NodeID{1, 2}, 150, 5, 2)
+			between := s.EventsBetween(50, 120)
+			mrn := s.MostRecentNeighbors(3, 150, 5, nil)
+
+			var hopsCopy [][]tgraph.Incidence
+			for _, level := range hops {
+				hopsCopy = append(hopsCopy, append([]tgraph.Incidence(nil), level...))
+			}
+			betweenCopy := append([]tgraph.Event(nil), between...)
+			mrnCopy := append([]tgraph.Incidence(nil), mrn...)
+
+			// Append events whose times interleave the captured ranges, so
+			// a store that aliased internal storage would shift or
+			// overwrite the captured entries.
+			for i := 0; i < 500; i++ {
+				s.AddEvent(tgraph.Event{
+					Src:  tgraph.NodeID(rng.Intn(16)),
+					Dst:  tgraph.NodeID(rng.Intn(16)),
+					Time: rng.Float64() * 200,
+				})
+			}
+
+			for h := range hops {
+				sameIncidences(t, "KHop level after append", hops[h], hopsCopy[h])
+			}
+			sameEvents(t, "EventsBetween after append", between, betweenCopy)
+			sameIncidences(t, "MostRecentNeighbors after append", mrn, mrnCopy)
+		})
+	}
+}
+
+// TestShardedPartitionMapping pins the locate scheme: power-of-two rounding
+// and the n&mask / n>>bits split must cover every node exactly once (a
+// wrong partCap would panic on the last node of a partition).
+func TestShardedPartitionMapping(t *testing.T) {
+	for _, parts := range []int{0, 1, 2, 3, 4, 7, 8, 16} {
+		for _, nodes := range []int{1, 2, 15, 16, 17, 100} {
+			s := tgraph.NewSharded(nodes, parts)
+			for n := 0; n < nodes; n++ {
+				s.AddEvent(tgraph.Event{Src: tgraph.NodeID(n), Dst: tgraph.NodeID(n), Time: 1})
+			}
+			if s.NumEvents() != nodes {
+				t.Fatalf("parts=%d nodes=%d: %d events", parts, nodes, s.NumEvents())
+			}
+			for n := 0; n < nodes; n++ {
+				if d := s.Degree(tgraph.NodeID(n), 2); d != 1 {
+					t.Fatalf("parts=%d nodes=%d node=%d: degree %d", parts, nodes, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRangeCheck pins the AddEvent contract shared with the flat
+// store: out-of-range endpoints panic rather than corrupt.
+func TestShardedRangeCheck(t *testing.T) {
+	s := tgraph.NewSharded(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AddEvent must panic")
+		}
+	}()
+	s.AddEvent(tgraph.Event{Src: 0, Dst: 4, Time: 1})
+}
