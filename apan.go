@@ -60,6 +60,7 @@ import (
 	"apan/internal/gdb"
 	"apan/internal/mailbox"
 	"apan/internal/nn"
+	"apan/internal/replica"
 	"apan/internal/serve"
 	"apan/internal/state"
 	"apan/internal/tgraph"
@@ -302,6 +303,63 @@ func OpenWAL(opts WALOptions) (*WAL, error) { return wal.Open(opts) }
 
 // ParseSyncPolicy parses a -fsync flag value ("group", "interval", "none").
 var ParseSyncPolicy = wal.ParsePolicy
+
+// Warm-standby replication (log-shipped followers; docs/durability.md).
+type (
+	// CutStats is the accounting of one checkpoint cut: how many shards an
+	// incremental cut copied versus aliased, and the apply-pause it cost.
+	CutStats = core.CutStats
+	// WALFaultInjector intercepts segment writes and fsyncs before they
+	// reach the disk (WALOptions.Inject) — the storage fault-injection seam
+	// the scenario harness drives.
+	WALFaultInjector = wal.FaultInjector
+	// WALShipper incrementally copies WAL segments to a ShipDest (a
+	// follower's directory, or a network connection via ServeWALShip).
+	WALShipper = wal.Shipper
+	// WALShipOptions configures a WALShipper (Tail mode ships the live
+	// segment, not just sealed ones).
+	WALShipOptions = wal.ShipOptions
+	// WALShipDest receives shipped segment chunks.
+	WALShipDest = wal.ShipDest
+	// WALDirDest is a WALShipDest that writes chunks into a directory.
+	WALDirDest = wal.DirDest
+	// Replica is a warm standby: it replays a leader's shipped WAL into a
+	// checkpoint-restored model and can be promoted to leader exactly once.
+	Replica = replica.Replica
+	// ReplicaOptions configures NewFollower (the WAL options the replica
+	// reopens its directory with at promotion).
+	ReplicaOptions = replica.Options
+)
+
+// Replication errors.
+var (
+	// ErrAlreadyPromoted fences double promotion: every Replica.Promote
+	// after the first returns it.
+	ErrAlreadyPromoted = replica.ErrAlreadyPromoted
+	// ErrReplicaPromoted is returned by Replica.PollOnce once the replica
+	// is a leader and follower polling must stop.
+	ErrReplicaPromoted = replica.ErrPromoted
+)
+
+// NewFollower wraps a checkpoint-restored model as a warm standby that
+// replays the shipped WAL accumulating in dir (Replica.PollOnce).
+func NewFollower(m *Model, dir string, opts ReplicaOptions) (*Replica, error) {
+	return replica.NewFollower(m, dir, opts)
+}
+
+// NewWALShipper ships WAL segments from dir to dest on every ShipNow.
+func NewWALShipper(dir string, dest WALShipDest, opts WALShipOptions) *WALShipper {
+	return wal.NewShipper(dir, dest, opts)
+}
+
+// ServeWALShip accepts follower connections on ln and streams srcDir to
+// each until stop closes; next supplies the leader's NextIndex for lag
+// heartbeats.
+var ServeWALShip = wal.ServeShip
+
+// FollowWALShip receives one leader connection's shipped segments into
+// dstDir, invoking onHeartbeat with the leader's NextIndex.
+var FollowWALShip = wal.FollowShip
 
 // StartPipeline starts the serving pipeline over a trained model.
 func StartPipeline(m *Model, opts ...PipelineOption) *Pipeline { return async.New(m, opts...) }

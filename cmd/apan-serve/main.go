@@ -8,9 +8,13 @@
 //
 //	POST /v1/score                {"src":12,"dst":9311,"time":1234.5,"feat":[...]}
 //	                              or {"events":[{...},...]} for a batch
-//	GET  /v1/stats                pipeline + batcher + online-trainer instrumentation
-//	GET  /v1/healthz              liveness
+//	GET  /v1/stats                pipeline + batcher + online-trainer + replication instrumentation
+//	GET  /v1/livez                liveness (200 while the process can answer)
+//	GET  /v1/readyz               readiness (503 when degraded: WAL latched error,
+//	                              follower lag past -max-lag-events, checkpoint failures)
+//	GET  /v1/healthz              legacy: always 200, verdict in the body
 //	GET  /v1/explain/{node}       attention explanation of the last scored batch
+//	POST /v1/admin/promote        promote a follower to leader (409 if already promoted)
 //	POST /v1/admin/train/freeze   pause online training (with -train-online)
 //	POST /v1/admin/train/resume   resume online training
 //
@@ -32,15 +36,26 @@
 //
 //	apan-serve -wal /var/lib/apan-wal -fsync group -checkpoint-every 5m -checkpoint /var/lib/apan.ckpt
 //	apan-serve -load /var/lib/apan.ckpt -wal /var/lib/apan-wal
+//
+// Warm-standby replication ships the leader's WAL to a follower that
+// replays it continuously and serves read-only, lag-stamped scores until
+// promoted (docs/durability.md). The follower starts from the same base
+// checkpoint the leader logs past:
+//
+//	apan-serve -wal /var/lib/apan-wal -ship-addr :7690 -checkpoint /var/lib/apan.ckpt ...
+//	apan-serve -load /var/lib/apan.ckpt -follow leader:7690 -wal /var/lib/apan-follower-wal
+//	curl -X POST follower:7683/v1/admin/promote   # takeover
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -77,10 +92,16 @@ func main() {
 		loadPath  = flag.String("load", "", "start from this checkpoint (parameters + streaming state) instead of training")
 		ckptPath  = flag.String("checkpoint", "apan-serve.ckpt", "checkpoint path for -checkpoint-every")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "write -checkpoint atomically at this interval (0 disables)")
+		ckptIncr  = flag.Bool("ckpt-incremental", false, "incremental checkpoint cuts: copy only shards dirtied since the last cut (sharded stores; docs/durability.md)")
 
-		walDir     = flag.String("wal", "", "write-ahead log directory: every applied batch is logged for replay-to-watermark recovery (empty disables durability)")
+		walDir     = flag.String("wal", "", "write-ahead log directory: every applied batch is logged for replay-to-watermark recovery (empty disables durability); in -follow addr mode, where shipped segments land")
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: group (durable before ack), interval (bounded loss), none (page cache only)")
 		fsyncEvery = flag.Duration("fsync-interval", 0, "with -fsync interval: background fsync cadence (0: 50ms)")
+
+		follow      = flag.String("follow", "", "follower mode: replay the leader's shipped WAL from this address (host:port) or directory; requires -load, serves read-only until POST /v1/admin/promote")
+		shipAddr    = flag.String("ship-addr", "", "leader: stream WAL segments to followers connecting on this address (requires -wal)")
+		shipEvery   = flag.Duration("ship-every", time.Second, "ship/heartbeat interval (leader) and replay-poll cadence (follower)")
+		maxLagEvent = flag.Int64("max-lag-events", 0, "follower readiness bound: /v1/readyz reports degraded past this heartbeat lag (0: 10000, negative disables)")
 
 		trainOnline = flag.Bool("train-online", false, "adapt to the served stream: background trainer + hot parameter swaps (docs/training.md)")
 		trainLR     = flag.Float64("train-lr", 0, "online trainer learning rate (0: the model's rate)")
@@ -96,6 +117,8 @@ func main() {
 		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
 		Shards: *shards, InferWorkers: *inferWork,
 		GraphBackend: *graphBack,
+
+		IncrementalCheckpoints: *ckptIncr,
 	}
 	if err := cfg.Normalize(); err != nil {
 		log.Fatal(err)
@@ -133,14 +156,98 @@ func main() {
 		model.EvalStream(split.Val, nil)
 	}
 
-	// Durability: open the WAL, recover past the checkpoint watermark, and
-	// attach so every applied batch is logged at the serial apply point.
-	var walLog *apan.WAL
-	if *walDir != "" {
-		policy, err := apan.ParseSyncPolicy(*fsyncMode)
+	policy, err := apan.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan struct{}) // closed once, when shutdown begins
+
+	// Follower mode: no WAL attach and no training — state advances only
+	// through replay of the leader's shipped log. -follow names either a
+	// directory (shared storage: replay in place) or a leader's -ship-addr
+	// (segments stream into -wal, replay from there).
+	var rep *apan.Replica
+	if *follow != "" {
+		if *loadPath == "" {
+			log.Fatal("-follow requires -load: the follower starts from the same base checkpoint the leader logs past")
+		}
+		if *trainOnline {
+			log.Fatal("-follow is incompatible with -train-online: a follower's state must stay a pure function of the leader's log")
+		}
+		followDir, dialAddr := *follow, ""
+		if fi, statErr := os.Stat(*follow); statErr != nil || !fi.IsDir() {
+			// Network mode: shipped segments land in -wal.
+			if *walDir == "" {
+				log.Fatal("-follow with a leader address requires -wal: the directory shipped segments land in")
+			}
+			followDir, dialAddr = *walDir, *follow
+			if err := os.MkdirAll(followDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep, err = apan.NewFollower(model, followDir, apan.ReplicaOptions{
+			WAL: apan.WALOptions{Dir: followDir, Policy: policy, SyncEvery: *fsyncEvery},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		if dialAddr != "" {
+			// Dial loop: receive the leader's ship stream, reconnect with a
+			// pause on drop, stop once promoted (the ex-leader's stream must
+			// not land under the new leader's own log).
+			go func() {
+				for {
+					conn, dialErr := net.Dial("tcp", dialAddr)
+					if dialErr == nil {
+						dialErr = apan.FollowWALShip(conn, followDir, rep.ObserveLeaderIndex)
+						conn.Close()
+					}
+					select {
+					case <-done:
+						return
+					case <-time.After(*shipEvery):
+					}
+					if rep.Role() != "follower" {
+						return
+					}
+					if dialErr != nil {
+						log.Printf("follower: ship stream from %s: %v (reconnecting)", dialAddr, dialErr)
+					}
+				}
+			}()
+		}
+		// Replay loop: apply whatever the shipped log has accumulated, at
+		// the ship cadence. Promotion ends it.
+		go func() {
+			tick := time.NewTicker(*shipEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+				}
+				n, pollErr := rep.PollOnce()
+				if errors.Is(pollErr, apan.ErrReplicaPromoted) {
+					return
+				}
+				if pollErr != nil {
+					log.Printf("follower: replay: %v", pollErr)
+					continue
+				}
+				if n > 0 {
+					log.Printf("follower: replayed %d events (cursor %d, lag %d)", n, rep.Cursor(), rep.LagEvents())
+				}
+			}
+		}()
+		log.Printf("follower: replaying shipped WAL from %s (cursor %d); promote via POST /v1/admin/promote", followDir, rep.Cursor())
+	}
+
+	// Durability: open the WAL, recover past the checkpoint watermark, and
+	// attach so every applied batch is logged at the serial apply point.
+	var walLog *apan.WAL
+	if *walDir != "" && rep == nil {
 		walLog, err = apan.OpenWAL(apan.WALOptions{Dir: *walDir, Policy: policy, SyncEvery: *fsyncEvery})
 		if err != nil {
 			log.Fatal(err)
@@ -194,22 +301,49 @@ func main() {
 		log.Printf("online training enabled (frozen=%v); control via POST /v1/admin/train/{freeze,resume}", *trainFrozen)
 	}
 
-	pipe := apan.StartPipeline(model, popts...)
-	srv := apan.NewServer(pipe, apan.ServerOptions{
+	// Leader side of replication: stream the WAL directory to any follower
+	// that connects, with lag heartbeats carrying the log's next index.
+	if *shipAddr != "" {
+		if walLog == nil {
+			log.Fatal("-ship-addr requires -wal: shipping streams the leader's log directory")
+		}
+		shipLn, err := net.Listen("tcp", *shipAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := apan.ServeWALShip(shipLn, *walDir, walLog.NextIndex, *shipEvery, done); err != nil {
+				log.Printf("wal ship server: %v", err)
+			}
+		}()
+		log.Printf("wal: shipping segments to followers on %s (interval %v)", shipLn.Addr(), *shipEvery)
+	}
+
+	health := serve.NewHealth(3)
+	sopts := apan.ServerOptions{
 		FlushConcurrency: *flushConc,
 		MaxNodes:         *maxNodes,
 		Trainer:          trainer,
-	})
-
-	done := make(chan struct{}) // closed once, when shutdown begins
+		Health:           health,
+	}
+	if rep != nil {
+		sopts.Replication = rep
+		sopts.MaxLagEvents = *maxLagEvent
+	}
+	pipe := apan.StartPipeline(model, popts...)
+	srv := apan.NewServer(pipe, sopts)
 
 	if *ckptEvery > 0 {
 		// Periodic background checkpoints: Checkpoint is atomic (temp +
 		// fsync + rename) and cuts on a batch boundary without taking the
 		// store latch exclusively, so serving keeps scoring while the file
 		// is written. With a WAL the returned watermark lets the log drop
-		// segments the checkpoint has made redundant.
+		// segments the checkpoint has made redundant. Failures get bounded
+		// retries with jittered backoff (a transiently full or slow disk
+		// shouldn't cost a whole interval of replay debt); exhausting them
+		// feeds the consecutive-failure count /v1/readyz degrades on.
 		go func() {
+			rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
 			for {
@@ -219,11 +353,27 @@ func main() {
 				case <-tick.C:
 				}
 				start := time.Now()
-				wm, err := model.Checkpoint(*ckptPath)
+				var wm uint64
+				var err error
+				for attempt := 1; ; attempt++ {
+					wm, err = model.Checkpoint(*ckptPath)
+					if err == nil || attempt == 3 {
+						break
+					}
+					backoff := time.Duration(attempt) * (250*time.Millisecond + time.Duration(rng.Int63n(int64(250*time.Millisecond))))
+					log.Printf("checkpoint attempt %d: %v (retrying in %v)", attempt, err, backoff.Round(time.Millisecond))
+					select {
+					case <-done:
+						return
+					case <-time.After(backoff):
+					}
+				}
 				if err != nil {
-					log.Printf("checkpoint: %v", err)
+					fails := health.CheckpointFailed()
+					log.Printf("checkpoint: %v (attempts exhausted; %d consecutive failures)", err, fails)
 					continue
 				}
+				health.CheckpointSucceeded()
 				log.Printf("checkpoint %s written in %v (param version %d, watermark %d graph events)",
 					*ckptPath, time.Since(start).Round(time.Millisecond), model.ParamVersion(), wm)
 				if walLog != nil {
@@ -281,9 +431,16 @@ func main() {
 		if trainer != nil {
 			trainer.Stop()
 		}
-		if walLog != nil {
+		sealLog := walLog
+		if rep != nil {
+			// A promoted follower reopened the shipped directory as its own
+			// log at takeover; seal that one. Unpromoted followers have no
+			// attached log — their durability is the leader's.
+			sealLog = rep.Log()
+		}
+		if sealLog != nil {
 			model.DetachWAL()
-			if err := walLog.Sync(); err != nil {
+			if err := sealLog.Sync(); err != nil {
 				log.Printf("wal sync: %v", err)
 			}
 			wm, err := model.Checkpoint(*ckptPath)
@@ -292,7 +449,7 @@ func main() {
 			} else {
 				log.Printf("final checkpoint %s written (watermark %d)", *ckptPath, wm)
 			}
-			if err := walLog.Close(); err != nil {
+			if err := sealLog.Close(); err != nil {
 				log.Printf("wal close: %v", err)
 			}
 		}

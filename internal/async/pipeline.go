@@ -332,6 +332,21 @@ func (p *Pipeline) Submit(ctx context.Context, events []tgraph.Event) ([]float32
 	}
 }
 
+// ScoreOnly scores a batch on the synchronous link without enqueueing it
+// for apply: no mailbox delivery, no graph insert, no state update. This is
+// the read-only serving mode of a warm-standby follower, whose state
+// advances exclusively through WAL replay — scoring a shipped-but-unlogged
+// event through the write path would fork the follower from the leader.
+func (p *Pipeline) ScoreOnly(events []tgraph.Event) ([]float32, time.Duration, error) {
+	inf, lat, err := p.score(events)
+	if err != nil {
+		return nil, 0, err
+	}
+	scores := append([]float32(nil), inf.Scores...)
+	inf.Release()
+	return scores, lat, nil
+}
+
 // TrySubmit is the non-blocking Submit variant: when the propagation queue
 // is at capacity it drops the scored batch unapplied and returns
 // ErrQueueFull, leaving all model state untouched — a load-shedding

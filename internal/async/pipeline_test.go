@@ -396,3 +396,61 @@ func TestPipelineOptionsAndWorkers(t *testing.T) {
 		t.Fatalf("multi-worker shutdown must drain: %+v", st)
 	}
 }
+
+func TestScoreOnlyLeavesStateUntouched(t *testing.T) {
+	// ScoreOnly is the follower's read-only serving mode: it must return the
+	// same scores Submit would, without applying anything — the runtime
+	// digest may not move, and repeating the same batch must reproduce the
+	// same scores bitwise (an applied batch would change them).
+	ctx := context.Background()
+	m := testModel(t, nil)
+	p := New(m, WithQueueCap(4))
+	defer p.Close()
+
+	warm := []tgraph.Event{
+		{Src: 0, Dst: 1, Time: 1, Feat: feat()},
+		{Src: 1, Dst: 2, Time: 2, Feat: feat()},
+	}
+	if _, _, err := p.Submit(ctx, warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := []tgraph.Event{{Src: 2, Dst: 3, Time: 3, Feat: feat()}}
+	before := m.RuntimeDigest()
+	s1, _, err := p.ScoreOnly(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := p.ScoreOnly(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RuntimeDigest(); got != before {
+		t.Fatalf("ScoreOnly moved the runtime digest: %016x -> %016x", before, got)
+	}
+	if len(s1) != len(probe) || len(s2) != len(s1) {
+		t.Fatalf("score lengths: %d, %d, want %d", len(s1), len(s2), len(probe))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("repeated ScoreOnly diverged at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+
+	// And it matches what Submit scores for the same state.
+	s3, _, err := p.Submit(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s3 {
+		if s1[i] != s3[i] {
+			t.Fatalf("ScoreOnly score %v != Submit score %v at %d", s1[i], s3[i], i)
+		}
+	}
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

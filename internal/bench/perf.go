@@ -225,6 +225,132 @@ func RunPerf(o Options) (*PerfReport, error) {
 		add(mode.name, len(batch), r)
 	}
 
+	// Checkpoint cut cost: the pause a durability cut imposes at the serial
+	// apply point, full-copy vs incremental. The incremental row keeps the
+	// previous cut's snapshot and copies only shards a batch dirtied since,
+	// so its delta vs the full row is the payoff docs/durability.md quotes
+	// (one small batch touches a handful of the 64 shards).
+	for _, mode := range []struct {
+		name string
+		incr bool
+	}{{"checkpoint_cut_full", false}, {"checkpoint_cut_incremental", true}} {
+		cfg := core.Config{
+			NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+			Slots: o.Slots, Neighbors: o.Fanout,
+			BatchSize: o.BatchSize, Seed: o.Seed,
+			Shards: 64, GraphBackend: core.GraphBackendSharded,
+
+			IncrementalCheckpoints: mode.incr,
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		warm := 1000
+		if warm+o.BatchSize > len(ds.Events) {
+			return nil, fmt.Errorf("bench: perf needs ≥%d events, dataset has %d (raise -scale)", warm+o.BatchSize, len(ds.Events))
+		}
+		m.EvalStream(ds.Events[:warm], nil)
+		batch := ds.Events[warm : warm+o.BatchSize]
+		m.CheckpointCut() // prime the base the incremental mode diffs against
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				inf := m.InferBatch(batch)
+				m.ApplyInference(inf)
+				inf.Release()
+				b.StartTimer()
+				m.CheckpointCut()
+			}
+		})
+		add(mode.name, len(batch), r)
+	}
+
+	// Failover takeover: a follower that lags the dead leader by five
+	// batches reopens the shipped log as its own, replays the lag tail
+	// through the full inference path, and attaches — the read-only window
+	// a promotion imposes. Events/op is the lag replayed per takeover.
+	{
+		cfg := core.Config{
+			NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+			Slots: o.Slots, Neighbors: o.Fanout,
+			BatchSize: o.BatchSize, Seed: o.Seed,
+		}
+		// Smaller warm-up than the hot-path rows: the row measures replay
+		// of the lag window, and must fit the CI dataset (-scale 0.01).
+		const appliedBatches, lagBatches = 5, 2
+		warm := 500
+		if warm+appliedBatches*o.BatchSize > len(ds.Events) {
+			return nil, fmt.Errorf("bench: perf needs ≥%d events, dataset has %d (raise -scale)", warm+appliedBatches*o.BatchSize, len(ds.Events))
+		}
+		leader, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		leader.EvalStream(ds.Events[:warm], nil)
+		dir, err := os.MkdirTemp("", "apan-bench-failover-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncInterval})
+		if err != nil {
+			return nil, err
+		}
+		if err := leader.AttachWAL(l); err != nil {
+			return nil, err
+		}
+		applyOne := func(m *core.Model, i int) {
+			batch := ds.Events[warm+i*o.BatchSize : warm+(i+1)*o.BatchSize]
+			inf := m.InferBatch(batch)
+			m.ApplyInference(inf)
+			inf.Release()
+		}
+		for i := 0; i < appliedBatches; i++ {
+			applyOne(leader, i)
+		}
+		if err := leader.DetachWAL().Close(); err != nil { // the leader "dies"
+			return nil, err
+		}
+		// The follower's replayed prefix: same seed, same warm-up, same first
+		// batches the leader logged — the state a standby holds at crash time.
+		follower, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		follower.EvalStream(ds.Events[:warm], nil)
+		for i := 0; i < appliedBatches-lagBatches; i++ {
+			applyOne(follower, i)
+		}
+		snap := follower.SnapshotRuntime()
+		lag := lagBatches * o.BatchSize
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				follower.RestoreRuntime(snap)
+				b.StartTimer()
+				lg, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncInterval})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := follower.RecoverWAL(lg); err != nil {
+					b.Fatal(err)
+				}
+				if err := follower.AttachWAL(lg); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				follower.DetachWAL()
+				if err := lg.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+		add("failover_takeover_ms", lag, r)
+	}
+
 	// hops=1 isolates mail generation (φ, ρ, ψ) from the k-hop sampler, so
 	// the scratch-reuse delta is not buried under graph-query allocations.
 	for _, mode := range []struct {

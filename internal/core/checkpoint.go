@@ -74,8 +74,9 @@ func (m *Model) saveCheckpoint(w io.Writer) (uint64, error) {
 	// read locks plus a zero-copy event-log prefix, all on one batch
 	// boundary — then serialize from the copies. Scoring proceeds
 	// throughout; only the appliers pause, for the clone (see
-	// Model.runtimeCut).
-	stSnap, mbSnap, events, numNodes := m.runtimeCut()
+	// Model.runtimeCut), and with Config.IncrementalCheckpoints the clone
+	// covers only shards dirtied since the previous cut (see cut.go).
+	stSnap, mbSnap, events, numNodes := m.checkpointCut()
 	dim := m.Cfg.EdgeDim
 	slots := m.Cfg.Slots
 	stShards, mbShards := m.st.NumShards(), m.mbox.NumShards()

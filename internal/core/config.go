@@ -82,6 +82,14 @@ type Config struct {
 	// choice. Ignored by NewWithDB, which receives a ready-made store.
 	GraphBackend string
 
+	// IncrementalCheckpoints makes checkpoint cuts copy only the state and
+	// mailbox shards modified since the previous cut, retaining that cut's
+	// snapshot as the clean-shard base (one extra deep copy of both stores
+	// held between cuts). The apply-pause becomes O(dirty shards) instead
+	// of O(all state); the serialized checkpoint bytes are identical either
+	// way. Off by default.
+	IncrementalCheckpoints bool
+
 	// NoWorkspacePool disables the pooled inference workspaces: every
 	// InferBatch/Embed call allocates fresh buffers and a fresh
 	// grad-recording tape, reproducing the pre-pooling behavior. The

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"apan/internal/tgraph"
+)
+
+// incrementalModel builds a sharded-store model streaming real-ish events.
+func incrementalModel(t *testing.T, incremental bool) (*Model, []tgraph.Event) {
+	t.Helper()
+	d := tinyData(33)
+	cfg := tinyConfig(d.NumNodes)
+	cfg.Shards = 32
+	cfg.GraphBackend = GraphBackendSharded
+	cfg.IncrementalCheckpoints = incremental
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ResetRuntime()
+	return m, d.Events
+}
+
+func applyBatch(m *Model, events []tgraph.Event) {
+	inf := m.InferBatch(events)
+	m.ApplyInference(inf)
+	inf.Release()
+}
+
+// TestIncrementalCutCopiesOnlyDirtyShards: after the base cut, a small
+// batch dirties few shards, and the next cut clones exactly those — far
+// fewer than the total — while a full-copy model clones everything.
+func TestIncrementalCutCopiesOnlyDirtyShards(t *testing.T) {
+	m, events := incrementalModel(t, true)
+	applyBatch(m, events[:200])
+
+	base := m.CheckpointCut()
+	if base.Incremental {
+		t.Fatalf("first cut claims incremental (no base existed): %+v", base)
+	}
+	if base.StateCopied != base.StateShards || base.MailCopied != base.MailShards {
+		t.Fatalf("first cut must full-copy: %+v", base)
+	}
+
+	// One tiny batch touches a handful of nodes → a few shards.
+	applyBatch(m, events[200:204])
+	cut := m.CheckpointCut()
+	if !cut.Incremental {
+		t.Fatalf("second cut not incremental: %+v", cut)
+	}
+	if cut.StateCopied == 0 || cut.MailCopied == 0 {
+		t.Fatalf("dirty shards not detected: %+v", cut)
+	}
+	if cut.StateCopied >= cut.StateShards || cut.MailCopied >= cut.MailShards {
+		t.Fatalf("incremental cut copied every shard: %+v", cut)
+	}
+	if cut.GraphParts == 0 || cut.GraphDirty == 0 || cut.GraphDirty > cut.GraphParts {
+		t.Fatalf("graph partition accounting wrong: %+v", cut)
+	}
+
+	// No mutations since the last cut: nothing to copy.
+	idle := m.CheckpointCut()
+	if idle.StateCopied != 0 || idle.MailCopied != 0 || idle.GraphDirty != 0 {
+		t.Fatalf("idle cut copied shards: %+v", idle)
+	}
+}
+
+// TestIncrementalCheckpointDigestParity: a checkpoint written from an
+// incremental cut restores to the same RuntimeDigest — and the same bytes
+// drive the same recovery — as one written with full copies.
+func TestIncrementalCheckpointDigestParity(t *testing.T) {
+	mInc, events := incrementalModel(t, true)
+	mFull, _ := incrementalModel(t, false)
+
+	dir := t.TempDir()
+	pInc, pFull := filepath.Join(dir, "inc.ckpt"), filepath.Join(dir, "full.ckpt")
+	for i := 0; i+50 <= 400; i += 50 {
+		applyBatch(mInc, events[i:i+50])
+		applyBatch(mFull, events[i:i+50])
+		// Checkpoint every batch: the incremental side exercises base reuse
+		// across many cuts, the full side is the reference.
+		if _, err := mInc.Checkpoint(pInc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mFull.Checkpoint(pFull); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d1, d2 := mInc.RuntimeDigest(), mFull.RuntimeDigest(); d1 != d2 {
+		t.Fatalf("live digests diverged: %x vs %x", d1, d2)
+	}
+
+	rInc, _ := incrementalModel(t, false)
+	rFull, _ := incrementalModel(t, false)
+	if err := rInc.LoadCheckpointFile(pInc); err != nil {
+		t.Fatal(err)
+	}
+	if err := rFull.LoadCheckpointFile(pFull); err != nil {
+		t.Fatal(err)
+	}
+	dInc, dFull := rInc.RuntimeDigest(), rFull.RuntimeDigest()
+	if dInc != dFull {
+		t.Fatalf("restored digests differ: incremental %x vs full %x", dInc, dFull)
+	}
+	if want := mFull.RuntimeDigest(); dInc != want {
+		t.Fatalf("restored digest %x != live digest %x", dInc, want)
+	}
+}
+
+// TestIncrementalCutSurvivesRestoreAndGrowth: mutations that bypass the
+// apply path — restore, reset, node growth — must invalidate the retained
+// base so the next checkpoint still captures them.
+func TestIncrementalCutSurvivesRestoreAndGrowth(t *testing.T) {
+	m, events := incrementalModel(t, true)
+	applyBatch(m, events[:100])
+	m.CheckpointCut() // establish base
+
+	snap := m.SnapshotRuntime()
+	applyBatch(m, events[100:150])
+	m.RestoreRuntime(snap)
+
+	cut := m.CheckpointCut()
+	if cut.StateCopied != cut.StateShards || cut.MailCopied != cut.MailShards {
+		t.Fatalf("restore did not invalidate the base: %+v", cut)
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "after-restore.ckpt")
+	if _, err := m.Checkpoint(p); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := incrementalModel(t, false)
+	if err := r.LoadCheckpointFile(p); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.RuntimeDigest(), m.RuntimeDigest(); got != want {
+		t.Fatalf("post-restore checkpoint digest %x != live %x", got, want)
+	}
+}

@@ -33,19 +33,7 @@ func (m *Model) RecoverWAL(l *wal.Log) (int, error) {
 	}
 	replayed := 0
 	err := l.Replay(uint64(m.GraphEvents()), func(first uint64, events []tgraph.Event) error {
-		maxID := tgraph.NodeID(-1)
-		for i := range events {
-			if events[i].Src > maxID {
-				maxID = events[i].Src
-			}
-			if events[i].Dst > maxID {
-				maxID = events[i].Dst
-			}
-		}
-		m.EnsureNodes(int(maxID) + 1)
-		inf := m.InferBatch(events)
-		m.ApplyInference(inf)
-		inf.Release()
+		m.ReplayBatch(events)
 		replayed += len(events)
 		return nil
 	})
@@ -53,4 +41,27 @@ func (m *Model) RecoverWAL(l *wal.Log) (int, error) {
 		return replayed, fmt.Errorf("core: wal recovery: %w", err)
 	}
 	return replayed, nil
+}
+
+// ReplayBatch re-applies one logged batch through the full serving path —
+// node admission, InferBatch, ApplyInference — the exact code that produced
+// the record, so replay reconstructs state bitwise. RecoverWAL uses it for
+// one-shot crash recovery; a warm-standby follower uses it directly,
+// feeding each record a wal.Follower delivers as shipped segments arrive.
+// The model must not have a WAL attached (the replay would be re-logged),
+// and calls must not race serving applies.
+func (m *Model) ReplayBatch(events []tgraph.Event) {
+	maxID := tgraph.NodeID(-1)
+	for i := range events {
+		if events[i].Src > maxID {
+			maxID = events[i].Src
+		}
+		if events[i].Dst > maxID {
+			maxID = events[i].Dst
+		}
+	}
+	m.EnsureNodes(int(maxID) + 1)
+	inf := m.InferBatch(events)
+	m.ApplyInference(inf)
+	inf.Release()
 }

@@ -101,6 +101,17 @@ type Model struct {
 	// graphMu.
 	wal *wal.Log
 
+	// ckptMu guards the incremental-checkpoint base retained between cuts
+	// and the last-cut accounting (see cut.go). checkpointCut takes it
+	// ahead of the latch trio — extending the lock order to ckptMu →
+	// storeMu → applyMu — and nothing else acquires it while holding any
+	// model lock, so the chain stays acyclic.
+	ckptMu     sync.Mutex
+	ckptStBase *state.ShardedSnapshot
+	ckptMbBase *mailbox.ShardedSnapshot
+	ckptGGens  []uint64
+	lastCut    CutStats
+
 	// explainMu guards the per-pass attention record below, which Explain
 	// reads and every forward pass overwrites. The record is a copy: the
 	// attention weights a pass produces live in pooled tape storage that is

@@ -29,9 +29,13 @@ type Sharded struct {
 type mailShard struct {
 	mu sync.RWMutex
 	st *Store
-	// Pad the 24-byte mutex + 8-byte pointer to a full cache line so shard
-	// locks don't false-share.
-	_ [32]byte
+	// gen counts modifications to this shard (any mutator bumps it under
+	// the shard's write lock). Incremental checkpoint cuts compare gens to
+	// skip cloning shards untouched since the previous cut.
+	gen uint64
+	// Pad the 24-byte mutex + 8-byte pointer + 8-byte gen to a full cache
+	// line so shard locks don't false-share.
+	_ [24]byte
 }
 
 // NewSharded creates an empty sharded store for numNodes mailboxes of
@@ -84,6 +88,7 @@ func (s *Sharded) SetRule(r UpdateRule) {
 	s.lockAll()
 	for i := range s.shards {
 		s.shards[i].st.SetRule(r)
+		s.shards[i].gen++
 	}
 	s.unlockAll()
 }
@@ -122,6 +127,7 @@ func (s *Sharded) Deliver(n int32, mail []float32, ts float64) {
 	sh, local := s.locate(n)
 	sh.mu.Lock()
 	sh.st.Deliver(local, mail, ts)
+	sh.gen++
 	sh.mu.Unlock()
 }
 
@@ -146,6 +152,7 @@ func (s *Sharded) Grow(n int) {
 		cap := shardCap(n, len(s.shards))
 		for i := range s.shards {
 			s.shards[i].st.Grow(cap)
+			s.shards[i].gen++
 		}
 		s.numNodes.Store(int64(n))
 	}
@@ -157,6 +164,7 @@ func (s *Sharded) Reset() {
 	s.lockAll()
 	for i := range s.shards {
 		s.shards[i].st.Reset()
+		s.shards[i].gen++
 	}
 	s.unlockAll()
 }
@@ -173,20 +181,28 @@ func (s *Sharded) unlockAll() {
 	}
 }
 
-// ShardedSnapshot captures a Sharded store for later Restore.
+// ShardedSnapshot captures a Sharded store for later Restore. Snapshots
+// are immutable: Restore and checkpoint serialization clone out of them,
+// never mutate them — which is what lets incremental cuts alias clean
+// shards across successive snapshots.
 type ShardedSnapshot struct {
 	numNodes int
 	shards   []*Store
+	gens     []uint64 // per-shard modification counters at capture time
 }
 
 // Snapshot returns a deep, cross-shard-consistent copy of the store (all
 // shards locked for the duration).
 func (s *Sharded) Snapshot() *ShardedSnapshot {
-	snap := &ShardedSnapshot{shards: make([]*Store, len(s.shards))}
+	snap := &ShardedSnapshot{
+		shards: make([]*Store, len(s.shards)),
+		gens:   make([]uint64, len(s.shards)),
+	}
 	s.lockAll()
 	snap.numNodes = int(s.numNodes.Load())
 	for i := range s.shards {
 		snap.shards[i] = s.shards[i].st.clone()
+		snap.gens[i] = s.shards[i].gen
 	}
 	s.unlockAll()
 	return snap
@@ -199,17 +215,39 @@ func (s *Sharded) Snapshot() *ShardedSnapshot {
 // that); with writers running it degrades to per-shard consistency, like
 // any interleaved read.
 func (s *Sharded) SnapshotShared() *ShardedSnapshot {
+	snap, _ := s.SnapshotSharedSince(nil)
+	return snap
+}
+
+// SnapshotSharedSince is SnapshotShared with incremental cloning: shards
+// whose modification counter is unchanged since prev was captured reuse
+// prev's clone instead of copying again — safe because snapshots are
+// immutable (see ShardedSnapshot). Returns the snapshot and the number of
+// shards actually cloned. prev must come from this store (same shard
+// count); nil, or a shard-count mismatch, degrades to a full copy. The
+// same quiescence caveat as SnapshotShared applies: cross-shard
+// consistency needs writers externally paused.
+func (s *Sharded) SnapshotSharedSince(prev *ShardedSnapshot) (*ShardedSnapshot, int) {
 	snap := &ShardedSnapshot{
 		numNodes: int(s.numNodes.Load()),
 		shards:   make([]*Store, len(s.shards)),
+		gens:     make([]uint64, len(s.shards)),
 	}
+	incremental := prev != nil && len(prev.shards) == len(s.shards) && len(prev.gens) == len(s.shards)
+	cloned := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		snap.shards[i] = sh.st.clone()
+		snap.gens[i] = sh.gen
+		if incremental && prev.gens[i] == sh.gen {
+			snap.shards[i] = prev.shards[i]
+		} else {
+			snap.shards[i] = sh.st.clone()
+			cloned++
+		}
 		sh.mu.RUnlock()
 	}
-	return snap
+	return snap, cloned
 }
 
 // Restore resets the store to a previously captured snapshot, including its
@@ -221,6 +259,7 @@ func (s *Sharded) Restore(snap *ShardedSnapshot) {
 	s.lockAll()
 	for i := range s.shards {
 		s.shards[i].st = snap.shards[i].clone()
+		s.shards[i].gen++
 	}
 	s.numNodes.Store(int64(snap.numNodes))
 	s.unlockAll()

@@ -1,0 +1,184 @@
+// Package replica implements the warm-standby follower: a model fed from a
+// log-shipped copy of the leader's write-ahead log, continuously replayed
+// through the same inference path that produced it, promotable to leader
+// the moment the primary is lost.
+//
+// Dataflow: the leader ships WAL segments (wal.Shipper, usually the tail
+// mode behind wal.ServeShip) into the follower's log directory; PollOnce
+// scans the shipped bytes with a wal.Follower and replays each complete
+// record via core.Model.ReplayBatch. Because replay is the apply path,
+// the follower's runtime state at watermark W is bitwise identical to the
+// leader's at W — RuntimeDigest equality is the scenario harness's proof.
+// A torn or still-in-flight tail parks the scanner; the next PollOnce
+// resumes where it left off once more bytes arrive.
+//
+// Promotion turns the follower into a leader: the shipped log directory is
+// opened for appends (wal.Open truncates any torn tail exactly like crash
+// recovery would), any records past the follower's cursor are replayed,
+// and the log is attached to the model so new applies are durably logged.
+// Promote is fenced — a second call returns ErrAlreadyPromoted rather than
+// double-attaching — and after promotion PollOnce refuses to run, so a
+// stale shipping connection can never rewind a promoted leader.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"apan/internal/core"
+	"apan/internal/tgraph"
+	"apan/internal/wal"
+)
+
+// ErrAlreadyPromoted is returned by Promote when the replica has already
+// been promoted — the fencing signal against double promotion.
+var ErrAlreadyPromoted = errors.New("replica: already promoted")
+
+// ErrPromoted is returned by PollOnce after promotion: a promoted leader
+// must not accept further shipped records.
+var ErrPromoted = errors.New("replica: promoted — follower polling stopped")
+
+// Options configures a follower replica.
+type Options struct {
+	// WAL are the log options used when the replica is promoted and the
+	// shipped directory is opened for appends (Dir is overridden with the
+	// replica's directory). The sync policy should match the leader's.
+	WAL wal.Options
+}
+
+// Replica is a warm-standby follower over one model and one shipped log
+// directory. Methods are safe for concurrent use; PollOnce and Promote
+// serialize against each other, so replay never races promotion.
+type Replica struct {
+	m       *core.Model
+	dir     string
+	walOpts wal.Options
+
+	mu       sync.Mutex
+	f        *wal.Follower
+	promoted bool
+	log      *wal.Log // non-nil once promoted
+
+	// leaderNext is the most recent leader NextIndex observed from a ship
+	// heartbeat; 0 until the first heartbeat arrives.
+	leaderNext atomic.Uint64
+}
+
+// NewFollower wraps model m as a follower replaying the shipped log in dir,
+// starting from the model's current graph watermark (typically the
+// checkpoint both sides were seeded from). The model must not have a WAL
+// attached — the follower's applies are replays of already-durable records.
+func NewFollower(m *core.Model, dir string, opts Options) (*Replica, error) {
+	if m.WAL() != nil {
+		return nil, fmt.Errorf("replica: model has a WAL attached — followers replay, they do not log")
+	}
+	f, err := wal.OpenFollower(dir, uint64(m.GraphEvents()))
+	if err != nil {
+		return nil, err
+	}
+	opts.WAL.Dir = dir
+	return &Replica{m: m, dir: dir, walOpts: opts.WAL, f: f}, nil
+}
+
+// PollOnce scans the shipped directory once and replays every complete
+// record past the cursor through the model. It returns the number of events
+// applied; a torn or in-flight tail is not an error — it parks the scanner
+// until more bytes arrive. Returns ErrPromoted after promotion.
+func (r *Replica) PollOnce() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return 0, ErrPromoted
+	}
+	applied := 0
+	_, err := r.f.Poll(func(first uint64, events []tgraph.Event) error {
+		r.m.ReplayBatch(events)
+		applied += len(events)
+		return nil
+	})
+	return applied, err
+}
+
+// Cursor returns the next event index the follower expects — the exclusive
+// upper bound of everything replayed so far.
+func (r *Replica) Cursor() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return r.log.NextIndex()
+	}
+	return r.f.Cursor()
+}
+
+// ObserveLeaderIndex records the leader's NextIndex from a ship heartbeat;
+// LagEvents reports against the most recent observation.
+func (r *Replica) ObserveLeaderIndex(next uint64) {
+	r.leaderNext.Store(next)
+}
+
+// LagEvents returns how many events the leader has logged beyond the
+// follower's cursor, per the last heartbeat — 0 before any heartbeat, and
+// floored at 0 (the local cursor can briefly lead a stale heartbeat).
+func (r *Replica) LagEvents() int64 {
+	next := r.leaderNext.Load()
+	if next == 0 {
+		return 0
+	}
+	lag := int64(next) - int64(r.Cursor())
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Role reports "follower" or "leader".
+func (r *Replica) Role() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return "leader"
+	}
+	return "follower"
+}
+
+// Promote turns the follower into a leader: open the shipped directory for
+// appends (truncating any torn tail, exactly like crash recovery), replay
+// whatever complete records the last poll had not yet applied, and attach
+// the log to the model so subsequent applies are durably logged. After a
+// successful return the model is a read-write leader whose state at the
+// takeover watermark is bitwise the crashed leader's. A second Promote
+// returns ErrAlreadyPromoted.
+func (r *Replica) Promote() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return ErrAlreadyPromoted
+	}
+	opts := r.walOpts
+	opts.Dir = r.dir
+	log, err := wal.Open(opts)
+	if err != nil {
+		return fmt.Errorf("replica: promote: open shipped log: %w", err)
+	}
+	if _, err := r.m.RecoverWAL(log); err != nil {
+		log.Abandon()
+		return fmt.Errorf("replica: promote: catch-up replay: %w", err)
+	}
+	if err := r.m.AttachWAL(log); err != nil {
+		log.Abandon()
+		return fmt.Errorf("replica: promote: %w", err)
+	}
+	r.log = log
+	r.promoted = true
+	return nil
+}
+
+// Log returns the attached write-ahead log once promoted (nil before).
+// The caller owns closing it at shutdown, via the model's DetachWAL.
+func (r *Replica) Log() *wal.Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log
+}

@@ -1,0 +1,237 @@
+package replica
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"apan/internal/core"
+	"apan/internal/dataset"
+	"apan/internal/tgraph"
+	"apan/internal/wal"
+)
+
+func testConfig(numNodes int) core.Config {
+	return core.Config{
+		NumNodes: numNodes, EdgeDim: 16,
+		Slots: 4, Neighbors: 4, Hops: 2, Heads: 2, Hidden: 32,
+		BatchSize: 20, LR: 0.001, Seed: 1,
+		GraphBackend: core.GraphBackendSharded, Shards: 8,
+	}
+}
+
+func testEvents(t *testing.T) []tgraph.Event {
+	t.Helper()
+	d := dataset.Wikipedia(dataset.Config{Scale: 0.01, Seed: 7, NoDrift: true})
+	for i := range d.Events {
+		d.Events[i].Feat = d.Events[i].Feat[:16]
+	}
+	return d.Events
+}
+
+func newModel(t *testing.T, numNodes int) *core.Model {
+	t.Helper()
+	m, err := core.New(testConfig(numNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ResetRuntime()
+	return m
+}
+
+// leaderAndShippedDir builds a leader with an attached WAL, applies the
+// given batches, then crashes it (DetachWAL + Abandon) and returns the log
+// directory — which doubles as the "shipped" directory, since a DirDest
+// ship produces byte-identical files.
+func applyBatches(t *testing.T, m *core.Model, events []tgraph.Event, batch int) {
+	t.Helper()
+	for i := 0; i < len(events); i += batch {
+		end := i + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		inf := m.InferBatch(events[i:end])
+		m.ApplyInference(inf)
+		inf.Release()
+	}
+}
+
+func TestFollowerReplaysAndPromotes(t *testing.T) {
+	events := testEvents(t)
+	n := 400
+	if len(events) < n {
+		t.Fatalf("dataset too small: %d", len(events))
+	}
+	events = events[:n]
+	numNodes := 0
+	for _, e := range events {
+		if int(e.Src) >= numNodes {
+			numNodes = int(e.Src) + 1
+		}
+		if int(e.Dst) >= numNodes {
+			numNodes = int(e.Dst) + 1
+		}
+	}
+
+	dirA := t.TempDir()
+	walOpts := wal.Options{Dir: dirA, Policy: wal.SyncGroup, SegmentBytes: 4096}
+
+	leader := newModel(t, numNodes)
+	log, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AttachWAL(log); err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, leader, events, 25)
+	wantDigest := leader.RuntimeDigest()
+	leader.DetachWAL().Abandon()
+
+	// Ship the whole log (tail mode: the live segment too) to the follower.
+	dirB := t.TempDir()
+	shipper := wal.NewShipper(dirA, wal.DirDest{Dir: dirB}, wal.ShipOptions{Tail: true})
+	if _, err := shipper.ShipNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := newModel(t, numNodes)
+	rep, err := NewFollower(follower, dirB, Options{WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Role(); got != "follower" {
+		t.Fatalf("role = %q, want follower", got)
+	}
+	applied, err := rep.PollOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != n {
+		t.Fatalf("replayed %d events, want %d", applied, n)
+	}
+	if got := follower.RuntimeDigest(); got != wantDigest {
+		t.Fatalf("follower digest %x != leader %x", got, wantDigest)
+	}
+
+	// Lag accounting: heartbeat says the leader logged 30 more events.
+	if rep.LagEvents() != 0 {
+		t.Fatalf("lag before any heartbeat = %d, want 0", rep.LagEvents())
+	}
+	rep.ObserveLeaderIndex(uint64(n + 30))
+	if got := rep.LagEvents(); got != 30 {
+		t.Fatalf("lag = %d, want 30", got)
+	}
+
+	// Promote: follower becomes a writable leader at the same watermark.
+	if err := rep.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Role(); got != "leader" {
+		t.Fatalf("role after promote = %q, want leader", got)
+	}
+	if got := follower.RuntimeDigest(); got != wantDigest {
+		t.Fatalf("digest changed across promotion: %x != %x", got, wantDigest)
+	}
+	if rep.Cursor() != uint64(n) {
+		t.Fatalf("cursor after promote = %d, want %d", rep.Cursor(), n)
+	}
+
+	// Fencing: second promote refuses, polling refuses.
+	if err := rep.Promote(); !errors.Is(err, ErrAlreadyPromoted) {
+		t.Fatalf("second Promote = %v, want ErrAlreadyPromoted", err)
+	}
+	if _, err := rep.PollOnce(); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("PollOnce after promote = %v, want ErrPromoted", err)
+	}
+
+	// The promoted leader logs new applies durably.
+	extra := testEvents(t)[n : n+20]
+	applyBatches(t, follower, extra, 20)
+	endDigest := follower.RuntimeDigest()
+	follower.DetachWAL().Abandon()
+
+	recovered := newModel(t, numNodes)
+	rlog, err := wal.Open(wal.Options{Dir: dirB, Policy: wal.SyncGroup, SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	if _, err := recovered.RecoverWAL(rlog); err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.RuntimeDigest(); got != endDigest {
+		t.Fatalf("recovered digest %x != promoted leader %x", got, endDigest)
+	}
+}
+
+// TestFollowerIncrementalPolls: records shipped in pieces are applied
+// exactly once, in order, across many polls — including a torn tail that
+// parks and later completes.
+func TestFollowerIncrementalPolls(t *testing.T) {
+	events := testEvents(t)[:200]
+	numNodes := 0
+	for _, e := range events {
+		if int(e.Src) >= numNodes {
+			numNodes = int(e.Src) + 1
+		}
+		if int(e.Dst) >= numNodes {
+			numNodes = int(e.Dst) + 1
+		}
+	}
+
+	dirA := t.TempDir()
+	walOpts := wal.Options{Dir: dirA, Policy: wal.SyncGroup, SegmentBytes: 2048}
+	leader := newModel(t, numNodes)
+	log, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AttachWAL(log); err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := t.TempDir()
+	shipper := wal.NewShipper(dirA, wal.DirDest{Dir: dirB}, wal.ShipOptions{Tail: true})
+	follower := newModel(t, numNodes)
+	rep, err := NewFollower(follower, dirB, Options{WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for i := 0; i < len(events); i += 20 {
+		applyBatches(t, leader, events[i:i+20], 20)
+		if _, err := shipper.ShipNow(); err != nil {
+			t.Fatal(err)
+		}
+		applied, err := rep.PollOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += applied
+	}
+	if total != len(events) {
+		t.Fatalf("applied %d events across polls, want %d", total, len(events))
+	}
+	if got, want := follower.RuntimeDigest(), leader.RuntimeDigest(); got != want {
+		t.Fatalf("follower digest %x != leader %x", got, want)
+	}
+	leader.DetachWAL().Close()
+}
+
+func TestNewFollowerRejectsAttachedWAL(t *testing.T) {
+	dir := t.TempDir()
+	m := newModel(t, 8)
+	log, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Policy: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := m.AttachWAL(log); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFollower(m, dir, Options{}); err == nil {
+		t.Fatal("NewFollower accepted a model with a WAL attached")
+	}
+}

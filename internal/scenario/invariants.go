@@ -57,6 +57,12 @@ const (
 	// (flat, sharded, remote-sim) reproduces scores and runtime digest
 	// bitwise per (seed, scenario).
 	InvBackendParity = "backend_parity"
+	// InvFailover: a log-shipped warm-standby follower, promoted after the
+	// leader dies — with clean, torn, fsync-latched and follower-crash
+	// failure arms — lands on a batch boundary bitwise identical
+	// (RuntimeDigest) to the uninterrupted run, serves the rest of the
+	// stream to a bitwise end-of-stream digest, and fences double promotion.
+	InvFailover = "failover"
 )
 
 // compareScores checks bitwise float32 equality of two per-batch score sets

@@ -54,6 +54,14 @@ type Scenario struct {
 	// runtime must be bitwise identical (RuntimeDigest) to an uninterrupted
 	// run at the recovery point and again at end of stream.
 	KillRecover bool
+	// Failover runs the warm-standby protocol: the leader ships its WAL to a
+	// follower that replays continuously, lags behind a seeded pause point,
+	// and is promoted when the leader dies — under clean and torn shipped
+	// tails, latched fsync errors on the leader's storage, and a follower
+	// crash mid-replay. The promoted runtime must be bitwise identical
+	// (RuntimeDigest) to the uninterrupted run at the takeover watermark and
+	// at end of stream, and double promotion must be fenced.
+	Failover bool
 }
 
 // Bundled returns the scenario suite the repo ships: the workload ×
@@ -83,6 +91,8 @@ func Bundled() []Scenario {
 			Description: "community rewiring mid-stream; online trainer vs frozen params, torn-param audit"},
 		{Name: "kill_recover", Workload: FlashCrowd, KillRecover: true,
 			Description: "seeded process kill (clean + torn-write tails); checkpoint + WAL replay must be bitwise"},
+		{Name: "failover", Workload: FlashCrowd, Failover: true,
+			Description: "log-shipped warm standby promoted after leader death (torn/fsync/follower-crash arms); takeover must be bitwise"},
 	}
 }
 
@@ -166,6 +176,11 @@ type Result struct {
 	// RecoveredEvents is the clean-crash kill-and-recover arm's WAL replay
 	// length: events re-applied past the checkpoint watermark.
 	RecoveredEvents int `json:"recovered_events,omitempty"`
+	// Failover-scenario metrics, from the clean arm: the batch index the
+	// promoted follower took over at, and how many lagging events its
+	// promotion had to catch up on from the shipped log.
+	PromotedBatch  int `json:"promoted_batch,omitempty"`
+	TakeoverEvents int `json:"takeover_events,omitempty"`
 
 	Invariants []InvariantResult `json:"invariants"`
 	Violations []Violation       `json:"violations,omitempty"`
@@ -392,6 +407,20 @@ func Run(sc Scenario, o RunOptions) (*Result, error) {
 		res.addInvariant(InvKillRecover, vs)
 	} else {
 		res.skipInvariant(InvKillRecover)
+	}
+
+	// Warm-standby failover: log-shipped follower, seeded leader death,
+	// promotion must be bitwise at the takeover watermark.
+	if sc.Failover {
+		vs, promoted, takeover, err := runFailover(tr, o, sc.TrainFrac)
+		if err != nil {
+			return nil, err
+		}
+		res.PromotedBatch = promoted
+		res.TakeoverEvents = takeover
+		res.addInvariant(InvFailover, vs)
+	} else {
+		res.skipInvariant(InvFailover)
 	}
 
 	// Mid-stream checkpoint/restore rewind.

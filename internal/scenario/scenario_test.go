@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -69,6 +70,7 @@ func TestScenarioCrossBackendParity(t *testing.T) {
 		cases = append(cases,
 			tc{"kill_recover", core.GraphBackendSharded},
 			tc{"concept_drift", core.GraphBackendSharded},
+			tc{"failover", core.GraphBackendSharded},
 		)
 	}
 	for _, c := range cases {
@@ -323,5 +325,73 @@ func TestScenarioCheckpointReplayChecked(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("checkpoint_replay invariant was not checked")
+	}
+}
+
+// TestScenarioFailoverChecked asserts the warm-standby scenario actually
+// exercises promotion: the invariant is checked (all five failure arms),
+// it holds, and the clean arm's promotion caught up on a nonzero number of
+// lagging shipped events.
+func TestScenarioFailoverChecked(t *testing.T) {
+	var fo Scenario
+	for _, sc := range Bundled() {
+		if sc.Failover {
+			fo = sc
+		}
+	}
+	if fo.Name == "" {
+		t.Fatal("no failover scenario bundled")
+	}
+	res, err := Run(fo, testOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	found := false
+	for _, iv := range res.Invariants {
+		if iv.Name == InvFailover && iv.Checked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failover invariant was not checked")
+	}
+	if res.TakeoverEvents == 0 {
+		t.Fatal("promotion caught up on no events; the follower was never behind and the lag window did not bite")
+	}
+	if res.PromotedBatch == 0 {
+		t.Fatal("takeover landed at batch 0; the leader crashed before serving anything")
+	}
+}
+
+// TestScenarioFailoverSeeds runs the failover scenario across several seeds
+// so the seeded geometry (pause, crash, fail, follower-crash points) moves
+// around — including across WAL segment rotations and mid-stream
+// truncation points.
+func TestScenarioFailoverSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed failover sweep skipped in -short")
+	}
+	var fo Scenario
+	for _, sc := range Bundled() {
+		if sc.Failover {
+			fo = sc
+		}
+	}
+	for _, seed := range []int64{2, 5, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			o := testOptions(t)
+			o.Seed = seed
+			res, err := Run(fo, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
 	}
 }

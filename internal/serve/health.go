@@ -1,0 +1,51 @@
+package serve
+
+import "sync/atomic"
+
+// Replication is the serving surface's view of a warm-standby replica
+// (implemented by *replica.Replica): role reporting for stats and routing,
+// lag for readiness, and promotion for the admin endpoint. Nil means the
+// server is an ordinary standalone leader.
+type Replication interface {
+	// Role returns "follower" or "leader".
+	Role() string
+	// LagEvents is how many events the leader is ahead of this replica per
+	// the last ship heartbeat (0 for a leader, or before any heartbeat).
+	LagEvents() int64
+	// Promote turns the follower into a leader; a second call must return
+	// replica.ErrAlreadyPromoted.
+	Promote() error
+}
+
+// Health aggregates operator-maintained degradation signals that readiness
+// should reflect but that aren't observable from the pipeline alone — today
+// that is periodic-checkpoint health: the checkpoint loop reports each
+// attempt, and readiness flips to degraded once the consecutive-failure
+// count reaches the limit (a replica that cannot cut checkpoints is
+// accumulating unbounded replay debt).
+type Health struct {
+	failLimit int64
+	fails     atomic.Int64
+}
+
+// NewHealth returns a tracker that degrades readiness after limit
+// consecutive checkpoint failures (limit ≤ 0 means 3).
+func NewHealth(limit int) *Health {
+	if limit <= 0 {
+		limit = 3
+	}
+	return &Health{failLimit: int64(limit)}
+}
+
+// CheckpointFailed records one failed checkpoint attempt and returns the
+// consecutive-failure count.
+func (h *Health) CheckpointFailed() int64 { return h.fails.Add(1) }
+
+// CheckpointSucceeded resets the consecutive-failure count.
+func (h *Health) CheckpointSucceeded() { h.fails.Store(0) }
+
+// CheckpointFailures returns the current consecutive-failure count.
+func (h *Health) CheckpointFailures() int64 { return h.fails.Load() }
+
+// Degraded reports whether the failure count has reached the limit.
+func (h *Health) Degraded() bool { return h.fails.Load() >= h.failLimit }

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"apan/internal/replica"
+)
+
+// fakeReplication is a scriptable Replication for handler tests; the real
+// wiring (replica.Replica over shipped WAL bytes) is covered by the
+// replica package and the scenario harness.
+type fakeReplication struct {
+	role     string
+	lag      int64
+	promoted bool
+}
+
+func (f *fakeReplication) Role() string     { return f.role }
+func (f *fakeReplication) LagEvents() int64 { return f.lag }
+func (f *fakeReplication) Promote() error {
+	if f.promoted {
+		return replica.ErrAlreadyPromoted
+	}
+	f.promoted = true
+	f.role = "leader"
+	return nil
+}
+
+func getJSON(t testing.TB, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestLivenessReadinessSplit(t *testing.T) {
+	rep := &fakeReplication{role: "follower", lag: 50}
+	health := NewHealth(2)
+	ts, _ := newTestServer(t, Options{Replication: rep, MaxLagEvents: 100, Health: health})
+
+	var h HealthResponse
+	if resp := getJSON(t, ts.URL+"/v1/livez", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/readyz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d with lag under bound: %+v", resp.StatusCode, h)
+	}
+
+	// Lag past the bound: ready flips, live does not.
+	rep.lag = 500
+	if resp := getJSON(t, ts.URL+"/v1/readyz", &h); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d with lag over bound", resp.StatusCode)
+	}
+	if h.Status != "degraded" || len(h.Reasons) == 0 {
+		t.Fatalf("degraded readyz body: %+v", h)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/livez", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("livez status %d while degraded", resp.StatusCode)
+	}
+	// Legacy healthz: always 200, verdict in the body.
+	if resp := getJSON(t, ts.URL+"/v1/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status %q, want degraded", h.Status)
+	}
+	rep.lag = 0
+
+	// Checkpoint failures below the limit don't degrade; at the limit they do.
+	health.CheckpointFailed()
+	if resp := getJSON(t, ts.URL+"/v1/readyz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz degraded after 1 of 2 allowed checkpoint failures")
+	}
+	health.CheckpointFailed()
+	if resp := getJSON(t, ts.URL+"/v1/readyz", &h); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d after consecutive checkpoint failures", resp.StatusCode)
+	}
+	health.CheckpointSucceeded()
+	if resp := getJSON(t, ts.URL+"/v1/readyz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d after checkpoint recovery", resp.StatusCode)
+	}
+}
+
+func TestPromoteEndpoint(t *testing.T) {
+	rep := &fakeReplication{role: "follower"}
+	ts, _ := newTestServer(t, Options{Replication: rep})
+
+	resp, err := http.Post(ts.URL+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Role != "leader" {
+		t.Fatalf("promote: status %d role %q", resp.StatusCode, pr.Role)
+	}
+
+	// Double promotion is fenced with a 409.
+	resp2, err := http.Post(ts.URL+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("second promote: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestPromoteWithoutReplication(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("promote without replication: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFollowerScoringReadOnly(t *testing.T) {
+	rep := &fakeReplication{role: "follower", lag: 7}
+	ts, pipe := newTestServer(t, Options{Replication: rep})
+
+	ev := EventJSON{Src: 0, Dst: 1, Time: 1, Feat: feat()}
+	resp, raw := postScore(t, ts.URL, ScoreRequest{EventJSON: ev})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower score: status %d body %s", resp.StatusCode, raw)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Role != "follower" || sr.LagEvents != 7 {
+		t.Fatalf("follower response not lag-stamped: %+v", sr)
+	}
+	if got := pipe.Stats().MaxQueueDepth; got != 0 {
+		t.Fatalf("follower scoring reached queue depth %d, want 0", got)
+	}
+
+	// Scoring must not mutate: repeating the identical request reproduces
+	// the identical score (an applied event would shift it).
+	_, raw2 := postScore(t, ts.URL, ScoreRequest{EventJSON: ev})
+	var sr2 ScoreResponse
+	if err := json.Unmarshal(raw2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if *sr.Score != *sr2.Score {
+		t.Fatalf("follower scores diverged: %v vs %v", *sr.Score, *sr2.Score)
+	}
+
+	// Batch path: also read-only, also stamped.
+	batch := ScoreRequest{Events: []EventJSON{{Src: 1, Dst: 2, Time: 2, Feat: feat()}, {Src: 2, Dst: 3, Time: 3, Feat: feat()}}}
+	resp3, raw3 := postScore(t, ts.URL, batch)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("follower batch score: status %d body %s", resp3.StatusCode, raw3)
+	}
+	var sr3 ScoreResponse
+	if err := json.Unmarshal(raw3, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if sr3.Role != "follower" || len(sr3.Scores) != 2 {
+		t.Fatalf("follower batch response: %+v", sr3)
+	}
+	if got := pipe.Stats().MaxQueueDepth; got != 0 {
+		t.Fatalf("follower batch scoring reached queue depth %d, want 0", got)
+	}
+
+	// Followers don't admit nodes: an ID beyond the live node space is a 400,
+	// not a growth.
+	over := ScoreRequest{EventJSON: EventJSON{Src: int32(testNodes), Dst: 0, Time: 4, Feat: feat()}}
+	resp4, raw4 := postScore(t, ts.URL, over)
+	if resp4.StatusCode != http.StatusBadRequest || errCode(t, raw4) != "node_limit_exceeded" {
+		t.Fatalf("follower admission: status %d code %s", resp4.StatusCode, raw4)
+	}
+
+	// After promotion the same server serves the write path again.
+	rep.role = "leader"
+	resp5, raw5 := postScore(t, ts.URL, over)
+	if resp5.StatusCode != http.StatusOK {
+		t.Fatalf("leader score after promotion: status %d body %s", resp5.StatusCode, raw5)
+	}
+	var sr5 ScoreResponse
+	if err := json.Unmarshal(raw5, &sr5); err != nil {
+		t.Fatal(err)
+	}
+	if sr5.Role == "follower" {
+		t.Fatalf("leader response stamped as follower: %+v", sr5)
+	}
+}
+
+func TestStatsReportReplication(t *testing.T) {
+	rep := &fakeReplication{role: "follower", lag: 12}
+	ts, _ := newTestServer(t, Options{Replication: rep})
+	var st StatsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.Role != "follower" || st.FollowerLagEvents != 12 {
+		t.Fatalf("stats replication fields: role %q lag %d", st.Role, st.FollowerLagEvents)
+	}
+}

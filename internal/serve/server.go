@@ -6,11 +6,27 @@
 // v1 endpoints:
 //
 //	POST /v1/score                score one event or a batch (micro-batched)
-//	GET  /v1/stats                pipeline + batcher + trainer instrumentation
-//	GET  /v1/healthz              liveness and queue headroom
+//	GET  /v1/stats                pipeline + batcher + trainer + replication instrumentation
+//	GET  /v1/livez                liveness: 200 while the process serves HTTP at all
+//	GET  /v1/readyz               readiness: 503 + reasons when serving is degraded
+//	GET  /v1/healthz              legacy combined health (always 200; status ok|degraded)
 //	GET  /v1/explain/{node}       attention explanation for the last scored batch
 //	POST /v1/admin/train/freeze   pause online training (when a trainer is wired)
 //	POST /v1/admin/train/resume   resume online training
+//	POST /v1/admin/promote        promote a warm-standby follower to leader
+//
+// Liveness and readiness are split deliberately: a follower replaying
+// shipped WAL segments, or a leader whose WAL latched an fsync error, is
+// alive (restarting it would only lose warm state) but may be unready —
+// lag beyond Options.MaxLagEvents, a latched WAL error, or repeated
+// checkpoint failures all flip /v1/readyz to 503 with machine-readable
+// reasons while /v1/livez stays 200.
+//
+// With Options.Replication wired and the replica in the follower role,
+// /v1/score serves read-only from the lag-stamped replayed state
+// (Pipeline.ScoreOnly): nothing is applied, node admission is disabled,
+// and every response carries the role and the current lag so callers can
+// judge staleness.
 //
 // Single-event POSTs are coalesced server-side: concurrent requests that
 // arrive within the configured batch window ride one InferBatch call, so
@@ -32,6 +48,7 @@ import (
 	"time"
 
 	"apan/internal/async"
+	"apan/internal/replica"
 	"apan/internal/tgraph"
 	"apan/internal/train"
 	"apan/internal/wal"
@@ -70,6 +87,18 @@ type Options struct {
 	// here would turn a nil *OnlineTrainer into a non-nil interface and
 	// panic on first admin call.
 	Trainer *train.OnlineTrainer
+	// Replication, when non-nil, wires a warm-standby replica into the
+	// serving surface: /v1/score routes through the read-only path while the
+	// replica is a follower, /v1/stats and /v1/readyz report role and lag,
+	// and POST /v1/admin/promote triggers takeover.
+	Replication Replication
+	// MaxLagEvents bounds acceptable follower staleness: a follower whose
+	// ship-heartbeat lag exceeds this flips /v1/readyz to degraded. Zero
+	// means 10000; negative disables the lag gate.
+	MaxLagEvents int64
+	// Health, when non-nil, feeds operator-maintained degradation (periodic
+	// checkpoint failures) into /v1/readyz.
+	Health *Health
 }
 
 // Server is the v1 HTTP serving surface over an async.Pipeline. Create it
@@ -78,12 +107,15 @@ type Options struct {
 // handler — score, admin and explain alike — so a subsequent
 // Pipeline.Shutdown can never race a request still using the pipeline.
 type Server struct {
-	pipe     *async.Pipeline
-	batcher  *Batcher
-	trainer  *train.OnlineTrainer
-	mux      *http.ServeMux
-	start    time.Time
-	maxNodes int
+	pipe        *async.Pipeline
+	batcher     *Batcher
+	trainer     *train.OnlineTrainer
+	replication Replication
+	maxLag      int64
+	health      *Health
+	mux         *http.ServeMux
+	start       time.Time
+	maxNodes    int
 
 	// closeMu/closed gate new requests during shutdown; handlerWG counts
 	// requests in flight so Close can wait them out.
@@ -103,20 +135,30 @@ func New(pipe *async.Pipeline, opts Options) *Server {
 	case maxNodes > math.MaxInt32:
 		maxNodes = math.MaxInt32 // node IDs are int32 on the wire
 	}
+	maxLag := opts.MaxLagEvents
+	if maxLag == 0 {
+		maxLag = 10000
+	}
 	s := &Server{
-		pipe:     pipe,
-		batcher:  NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch, opts.FlushConcurrency),
-		trainer:  opts.Trainer,
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		maxNodes: maxNodes,
+		pipe:        pipe,
+		batcher:     NewBatcher(pipe, opts.BatchWindow, opts.MaxBatch, opts.FlushConcurrency),
+		trainer:     opts.Trainer,
+		replication: opts.Replication,
+		maxLag:      maxLag,
+		health:      opts.Health,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		maxNodes:    maxNodes,
 	}
 	s.mux.HandleFunc("POST /v1/score", s.handleScore)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/livez", s.handleLivez)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/explain/{node}", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/admin/train/freeze", s.handleTrainFreeze)
 	s.mux.HandleFunc("POST /v1/admin/train/resume", s.handleTrainResume)
+	s.mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
 	return s
 }
 
@@ -178,6 +220,11 @@ type ScoreResponse struct {
 	SyncMicros int64     `json:"sync_us"`
 	BatchSize  int       `json:"batch_size"`
 	QueueDepth int       `json:"queue_depth"`
+	// Role and LagEvents stamp follower-served responses: the score came
+	// from replayed state LagEvents behind the leader per the last ship
+	// heartbeat. Absent on leader/standalone responses.
+	Role      string `json:"role,omitempty"`
+	LagEvents int64  `json:"lag_events,omitempty"`
 }
 
 // ErrorBody is the structured error envelope of every non-2xx response.
@@ -206,8 +253,15 @@ type StatsResponse struct {
 	// fsync counters, and any latched I/O error (serving degrades to
 	// best-effort durability rather than failing applies; the operator sees
 	// it here). Absent when the model serves without a WAL.
-	WAL           *wal.Stats `json:"wal,omitempty"`
-	UptimeSeconds float64    `json:"uptime_s"`
+	WAL *wal.Stats `json:"wal,omitempty"`
+	// Role is "leader" or "follower" when replication is wired (absent on
+	// standalone servers); FollowerLagEvents is the ship-heartbeat lag and
+	// WALLatchedError surfaces the log's latched I/O error string at the top
+	// level, so monitors need not dig into the WAL block.
+	Role              string  `json:"role,omitempty"`
+	FollowerLagEvents int64   `json:"follower_lag_events,omitempty"`
+	WALLatchedError   string  `json:"wal_latched_error,omitempty"`
+	UptimeSeconds     float64 `json:"uptime_s"`
 }
 
 // TrainAdminResponse answers the POST /v1/admin/train/{freeze,resume}
@@ -217,11 +271,19 @@ type TrainAdminResponse struct {
 	ParamVersion uint64 `json:"param_version"`
 }
 
-// HealthResponse answers GET /v1/healthz.
+// HealthResponse answers GET /v1/healthz (legacy combined health) and
+// GET /v1/livez; Reasons is populated only by /v1/readyz and a degraded
+// /v1/healthz.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	QueueDepth    int     `json:"queue_depth"`
-	UptimeSeconds float64 `json:"uptime_s"`
+	Status        string   `json:"status"`
+	Reasons       []string `json:"reasons,omitempty"`
+	QueueDepth    int      `json:"queue_depth"`
+	UptimeSeconds float64  `json:"uptime_s"`
+}
+
+// PromoteResponse answers POST /v1/admin/promote.
+type PromoteResponse struct {
+	Role string `json:"role"`
 }
 
 // ExplainResponse answers GET /v1/explain/{node}.
@@ -248,9 +310,12 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 // reach the pipeline: negative or over-limit node IDs and wrong feature
 // dimensions. IDs in [NumNodes, maxNodes) are valid — admit (below) grows
 // the model to cover them before submission (dynamic node admission).
-func (s *Server) validate(i int, ev EventJSON) (code, msg string) {
+// strict confines IDs to the live node space instead: follower-served
+// scores must not grow the model, whose node space is replication's alone
+// to advance.
+func (s *Server) validate(i int, ev EventJSON, strict bool) (code, msg string) {
 	limit := int32(s.maxNodes)
-	if s.maxNodes < 0 {
+	if strict || s.maxNodes < 0 {
 		// Strict mode: no admission, but the node space can still grow
 		// legitimately (LoadCheckpoint of a grown checkpoint), so consult
 		// it live rather than freezing the construction-time value.
@@ -324,6 +389,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
 		return
 	}
+	follower := s.followerRole()
 
 	if req.Events != nil { // batch body (an explicit "events" key, even empty)
 		if req.Feat != nil {
@@ -337,34 +403,62 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		}
 		events := make([]tgraph.Event, len(req.Events))
 		for i, ev := range req.Events {
-			if code, msg := s.validate(i, ev); code != "" {
+			if code, msg := s.validate(i, ev, follower); code != "" {
 				writeError(w, http.StatusBadRequest, code, msg)
 				return
 			}
 			events[i] = toEvent(ev)
 		}
-		s.admit(events)
-		scores, lat, err := s.pipe.Submit(r.Context(), events)
+		resp := ScoreResponse{}
+		var scores []float32
+		var lat time.Duration
+		var err error
+		if follower {
+			// Read-only: score from the replayed state, apply nothing, stamp
+			// the staleness the caller is reading.
+			scores, lat, err = s.pipe.ScoreOnly(events)
+			resp.Role, resp.LagEvents = "follower", s.replication.LagEvents()
+		} else {
+			s.admit(events)
+			scores, lat, err = s.pipe.Submit(r.Context(), events)
+		}
+		if err != nil {
+			submitErr(w, err)
+			return
+		}
+		resp.Scores = scores
+		resp.Count = len(scores)
+		resp.SyncMicros = lat.Microseconds()
+		resp.BatchSize = len(scores)
+		resp.QueueDepth = s.pipe.Stats().QueueDepth
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Single-event body, scored through the micro-batcher (followers score
+	// directly: the batcher's coalesced flushes apply, ScoreOnly must not).
+	if code, msg := s.validate(0, req.EventJSON, follower); code != "" {
+		writeError(w, http.StatusBadRequest, code, msg)
+		return
+	}
+	ev := toEvent(req.EventJSON)
+	if follower {
+		scores, lat, err := s.pipe.ScoreOnly([]tgraph.Event{ev})
 		if err != nil {
 			submitErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ScoreResponse{
-			Scores:     scores,
-			Count:      len(scores),
+			Score:      &scores[0],
+			Count:      1,
 			SyncMicros: lat.Microseconds(),
-			BatchSize:  len(scores),
+			BatchSize:  1,
 			QueueDepth: s.pipe.Stats().QueueDepth,
+			Role:       "follower",
+			LagEvents:  s.replication.LagEvents(),
 		})
 		return
 	}
-
-	// Single-event body, scored through the micro-batcher.
-	if code, msg := s.validate(0, req.EventJSON); code != "" {
-		writeError(w, http.StatusBadRequest, code, msg)
-		return
-	}
-	ev := toEvent(req.EventJSON)
 	s.admit([]tgraph.Event{ev})
 	score, lat, size, err := s.batcher.Score(r.Context(), ev)
 	if err != nil {
@@ -380,6 +474,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// followerRole reports whether score traffic must take the read-only path.
+func (s *Server) followerRole() bool {
+	return s.replication != nil && s.replication.Role() == "follower"
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := StatsResponse{
 		Pipeline:      s.pipe.Stats(),
@@ -392,6 +491,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.trainer != nil {
 		st := s.trainer.Stats()
 		resp.Training = &st
+	}
+	if resp.WAL != nil {
+		resp.WALLatchedError = resp.WAL.Err
+	}
+	if s.replication != nil {
+		resp.Role = s.replication.Role()
+		resp.FollowerLagEvents = s.replication.LagEvents()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -414,12 +520,88 @@ func (s *Server) handleTrainResume(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, TrainAdminResponse{Frozen: false, ParamVersion: s.pipe.ParamVersion()})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// degradedReasons collects every condition that makes serving degraded:
+// a latched WAL I/O error (durability is best-effort until the operator
+// intervenes), follower lag beyond the configured bound, and repeated
+// periodic-checkpoint failures.
+func (s *Server) degradedReasons() []string {
+	var reasons []string
+	if ws := s.pipe.WALStats(); ws != nil && ws.Err != "" {
+		reasons = append(reasons, "wal_latched_error: "+ws.Err)
+	}
+	if s.replication != nil && s.replication.Role() == "follower" && s.maxLag > 0 {
+		if lag := s.replication.LagEvents(); lag > s.maxLag {
+			reasons = append(reasons, fmt.Sprintf("follower_lag: %d events behind the leader (bound %d)", lag, s.maxLag))
+		}
+	}
+	if s.health != nil && s.health.Degraded() {
+		reasons = append(reasons, fmt.Sprintf("checkpoint_failures: %d consecutive periodic checkpoints failed", s.health.CheckpointFailures()))
+	}
+	return reasons
+}
+
+// handleLivez is pure liveness: reachable means alive. Degradation — lag,
+// latched WAL errors, checkpoint failures — belongs to readiness; killing
+// the process over any of them would only destroy warm state.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		QueueDepth:    s.pipe.Stats().QueueDepth,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
+}
+
+// handleReadyz answers 503 with machine-readable reasons while serving is
+// degraded, 200 otherwise — the signal a load balancer or failover
+// controller keys on.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		QueueDepth:    s.pipe.Stats().QueueDepth,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if reasons := s.degradedReasons(); len(reasons) > 0 {
+		resp.Status = "degraded"
+		resp.Reasons = reasons
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the legacy combined endpoint: always 200 (it predates
+// the liveness/readiness split and existing probes treat non-200 as dead),
+// with the readiness verdict in the body.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{
+		Status:        "ok",
+		QueueDepth:    s.pipe.Stats().QueueDepth,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if reasons := s.degradedReasons(); len(reasons) > 0 {
+		resp.Status = "degraded"
+		resp.Reasons = reasons
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePromote triggers follower→leader takeover. 404 when no replication
+// is wired, 409 when already promoted (the fencing signal), 500 when the
+// promotion itself fails (torn shipped log, replay error).
+func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	if s.replication == nil {
+		writeError(w, http.StatusNotFound, "no_replication", "this server has no warm-standby replica wired")
+		return
+	}
+	if err := s.replication.Promote(); err != nil {
+		if errors.Is(err, replica.ErrAlreadyPromoted) {
+			writeError(w, http.StatusConflict, "already_promoted", err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "promote_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Role: s.replication.Role()})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -39,9 +39,13 @@ type Sharded struct {
 type partition struct {
 	mu  sync.RWMutex
 	adj [][]Incidence
-	// Pad the 24-byte mutex + 24-byte slice header to a full cache line so
-	// partition locks don't false-share.
-	_ [16]byte
+	// gen counts modifications to this partition (bumped under its write
+	// lock). Incremental checkpoint accounting reads it via PartitionGens
+	// to report how much of the graph changed between cuts.
+	gen uint64
+	// Pad the 24-byte mutex + 24-byte slice header + 8-byte gen to a full
+	// cache line so partition locks don't false-share.
+	_ [8]byte
 }
 
 // NewSharded creates an empty sharded store over numNodes nodes, striped
@@ -120,6 +124,7 @@ func (s *Sharded) Grow(n int) {
 			if grow := cap - len(s.parts[i].adj); grow > 0 {
 				s.parts[i].adj = append(s.parts[i].adj, make([][]Incidence, grow)...)
 			}
+			s.parts[i].gen++
 		}
 		s.numNodes.Store(int64(n))
 	}
@@ -137,9 +142,25 @@ func (s *Sharded) Reset(numNodes int) {
 	cap := partCap(numNodes, len(s.parts))
 	for i := range s.parts {
 		s.parts[i].adj = make([][]Incidence, cap)
+		s.parts[i].gen++
 	}
 	s.numNodes.Store(int64(numNodes))
 	s.unlockAll()
+}
+
+// PartitionGens appends each partition's modification counter to dst and
+// returns it. A cut that remembers the previous call's values can count
+// dirty partitions — the graph-side half of incremental checkpoint
+// accounting (the event log itself is already captured as a zero-copy
+// prefix, so only accounting needs this).
+func (s *Sharded) PartitionGens(dst []uint64) []uint64 {
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.RLock()
+		dst = append(dst, p.gen)
+		p.mu.RUnlock()
+	}
+	return dst
 }
 
 // EventLog returns the global event log under the log's read lock. The same
@@ -192,6 +213,7 @@ func (s *Sharded) insertIncidence(n NodeID, inc Incidence) {
 		lst[i-1], lst[i] = lst[i], lst[i-1]
 	}
 	p.adj[local] = lst
+	p.gen++
 	p.mu.Unlock()
 }
 

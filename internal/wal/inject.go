@@ -1,0 +1,43 @@
+package wal
+
+import "path/filepath"
+
+// FaultInjector is the storage fault-injection seam: when set on Options,
+// its hooks run immediately before the corresponding file operation and an
+// error they return is treated exactly like the real I/O failing — latched
+// in the log, surfaced from every later Commit.Wait, never retried. The
+// scenario harness uses this to script fsync failures and write errors at
+// deterministic (seed, event index) points; production code leaves it nil.
+//
+// The distinction between the two hooks matters for what recovery sees:
+// a BeforeWrite failure means the group's bytes never reached the file,
+// while a BeforeSync failure leaves the bytes written (readable, shippable)
+// but not durable — the precise semantics of a real fsync error.
+type FaultInjector struct {
+	// BeforeWrite runs before each group append. segment is the active
+	// segment's base name, off the file offset the group would land at,
+	// and n the group's size in bytes.
+	BeforeWrite func(segment string, off int64, n int) error
+	// BeforeSync runs before each fsync of a segment file — per-group
+	// syncs under SyncGroup, ticker syncs under SyncInterval, forced
+	// syncs, and the seal fsync during rotation alike.
+	BeforeSync func(segment string) error
+}
+
+// injectWrite consults the injector's BeforeWrite hook, if any.
+func (l *Log) injectWrite(off int64, n int) error {
+	inj := l.opts.Inject
+	if inj == nil || inj.BeforeWrite == nil || l.seg == nil {
+		return nil
+	}
+	return inj.BeforeWrite(filepath.Base(l.seg.Name()), off, n)
+}
+
+// injectSync consults the injector's BeforeSync hook, if any.
+func (l *Log) injectSync() error {
+	inj := l.opts.Inject
+	if inj == nil || inj.BeforeSync == nil || l.seg == nil {
+		return nil
+	}
+	return inj.BeforeSync(filepath.Base(l.seg.Name()))
+}

@@ -1,0 +1,272 @@
+package wal
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// dirsEqual compares every segment file in a against its counterpart in b
+// byte-for-byte (b may hold extra files; shipping never deletes).
+func dirsEqual(t *testing.T, a, b string) {
+	t.Helper()
+	segs, err := listSegments(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range segs {
+		want, err := os.ReadFile(si.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(b, filepath.Base(si.path)))
+		if err != nil {
+			t.Fatalf("shipped copy of %s: %v", filepath.Base(si.path), err)
+		}
+		if string(want) != string(got) {
+			t.Fatalf("%s: shipped bytes differ (%d vs %d bytes)", filepath.Base(si.path), len(want), len(got))
+		}
+	}
+}
+
+// TestShipperTailMode: with tail shipping, each pass after a durable batch
+// leaves the destination byte-identical to the source, across rotations,
+// and re-passes ship nothing new.
+func TestShipperTailMode(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	l, err := Open(Options{Dir: src, Policy: SyncGroup, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	sh := NewShipper(src, DirDest{Dir: dst}, ShipOptions{Tail: true, ChunkBytes: 64})
+	for i := 0; i < 12; i++ {
+		if err := l.Begin(mkBatch(i*4, 4)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.ShipNow(); err != nil {
+			t.Fatal(err)
+		}
+		dirsEqual(t, src, dst)
+	}
+	n, err := sh.ShipNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("idle pass shipped %d bytes, want 0", n)
+	}
+	if st := sh.Stats(); st.ShippedBytes == 0 || st.Chunks == 0 {
+		t.Fatalf("stats empty after shipping: %+v", st)
+	}
+}
+
+// TestShipperSealedOnly: without tail mode the active segment is withheld
+// until rotation seals it.
+func TestShipperSealedOnly(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	l, err := Open(Options{Dir: src, Policy: SyncGroup, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	sh := NewShipper(src, DirDest{Dir: dst}, ShipOptions{})
+	if err := l.Begin(mkBatch(0, 3)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sh.ShipNow(); err != nil || n != 0 {
+		t.Fatalf("active segment shipped in sealed-only mode: n=%d err=%v", n, err)
+	}
+	// Keep appending until a rotation happens, then the sealed prefix ships.
+	for i := 1; i < 20; i++ {
+		if err := l.Begin(mkBatch(i*3, 3)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcSegs, err := listSegments(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcSegs) < 2 {
+		t.Fatalf("no rotation after 20 batches at 256-byte segments")
+	}
+	if _, err := sh.ShipNow(); err != nil {
+		t.Fatal(err)
+	}
+	dstSegs, err := listSegments(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dstSegs) != len(srcSegs)-1 {
+		t.Fatalf("shipped %d segments, want the %d sealed ones", len(dstSegs), len(srcSegs)-1)
+	}
+}
+
+// TestShipWireProtocol: a leader serving over a pipe and a follower
+// receiving reproduce the source directory bytes and deliver heartbeats
+// with the leader's next index.
+func TestShipWireProtocol(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	writeTestLog(t, src, 5, 10, 4)
+
+	leaderConn, followerConn := net.Pipe()
+	stop := make(chan struct{})
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ServeShipConn(leaderConn, src, func() uint64 { return 40 }, time.Millisecond, stop)
+	}()
+
+	beats := make(chan uint64, 64)
+	recvErr := make(chan error, 1)
+	go func() {
+		recvErr <- FollowShip(followerConn, dst, func(next uint64) {
+			select {
+			case beats <- next:
+			default:
+			}
+		})
+	}()
+
+	select {
+	case next := <-beats:
+		if next != 40 {
+			t.Fatalf("heartbeat next index %d, want 40", next)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no heartbeat within 5s")
+	}
+	// Heartbeats arrive after each full ship pass, so one beat means the
+	// whole (static) directory has been shipped.
+	close(stop)
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	<-recvErr // pipe closed by serve side; any error is the close itself
+	dirsEqual(t, src, dst)
+
+	// The shipped copy must replay identically to the source.
+	l, err := Open(Options{Dir: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.NextIndex() != 40 {
+		t.Fatalf("shipped log next index %d, want 40", l.NextIndex())
+	}
+}
+
+// TestFollowShipRejectsTraversal: chunk names that are not segment names
+// (e.g. path traversal) are refused by the receiving side.
+func TestFollowShipRejectsTraversal(t *testing.T) {
+	dst := t.TempDir()
+	if err := (DirDest{Dir: dst}).WriteChunk("../evil.seg", 0, []byte("x")); err == nil {
+		t.Fatal("traversal chunk name accepted")
+	}
+}
+
+// TestFaultInjectSyncLatches: an injected fsync error latches the log —
+// the failing batch's bytes are written (readable by a shipper/follower),
+// every later commit fails, and no later bytes reach the file.
+func TestFaultInjectSyncLatches(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	syncs := 0
+	l, err := Open(Options{Dir: dir, Policy: SyncGroup, Inject: &FaultInjector{
+		BeforeSync: func(string) error {
+			syncs++
+			if syncs == 3 {
+				return boom
+			}
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Abandon()
+	for i := 0; i < 2; i++ {
+		if err := l.Begin(mkBatch(i*4, 4)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Begin(mkBatch(8, 4)).Wait(); !errors.Is(err, boom) {
+		t.Fatalf("batch at failing sync: err=%v, want %v", err, boom)
+	}
+	sizeAfter := dirBytes(t, dir)
+	for i := 3; i < 6; i++ {
+		if err := l.Begin(mkBatch(i*4, 4)).Wait(); !errors.Is(err, boom) {
+			t.Fatalf("post-latch commit err=%v, want %v", err, boom)
+		}
+	}
+	if got := dirBytes(t, dir); got != sizeAfter {
+		t.Fatalf("log grew after latched error: %d -> %d bytes", sizeAfter, got)
+	}
+	if !errors.Is(l.Err(), boom) {
+		t.Fatalf("Err() = %v, want latched %v", l.Err(), boom)
+	}
+	// The failed-sync batch's bytes are in the file: a fresh Open sees all
+	// three batches (12 events).
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != 12 {
+		t.Fatalf("recovered next index %d, want 12 (failed-fsync batch still readable)", l2.NextIndex())
+	}
+}
+
+// TestFaultInjectWriteError: an injected write error means the group's
+// bytes never land — recovery sees only the batches before it.
+func TestFaultInjectWriteError(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("disk full")
+	writes := 0
+	l, err := Open(Options{Dir: dir, Policy: SyncGroup, Inject: &FaultInjector{
+		BeforeWrite: func(string, int64, int) error {
+			writes++
+			if writes >= 2 {
+				return boom
+			}
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Abandon()
+	if err := l.Begin(mkBatch(0, 4)).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Begin(mkBatch(4, 4)).Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want %v", err, boom)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextIndex() != 4 {
+		t.Fatalf("recovered next index %d, want 4 (failed write left no bytes)", l2.NextIndex())
+	}
+}
+
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, si := range segs {
+		st, err := os.Stat(si.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}

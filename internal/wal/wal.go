@@ -65,6 +65,9 @@ type Options struct {
 	// this size (default 64 MiB). Rotation happens at group boundaries, so
 	// segments may overshoot by one group.
 	SegmentBytes int64
+	// Inject, when non-nil, interposes fault-injection hooks before
+	// segment writes and fsyncs (see FaultInjector). Testing only.
+	Inject *FaultInjector
 }
 
 type segInfo struct {
@@ -301,6 +304,9 @@ func (l *Log) writeGroup(buf []byte, first uint64, force bool) error {
 				return err
 			}
 		}
+		if err := l.injectWrite(l.segSize, len(buf)); err != nil {
+			return fmt.Errorf("wal: write segment: %w", err)
+		}
 		n, err := l.seg.Write(buf)
 		l.segSize += int64(n)
 		l.durableBytes += int64(n)
@@ -310,6 +316,9 @@ func (l *Log) writeGroup(buf []byte, first uint64, force bool) error {
 		l.flushes++
 	}
 	if l.seg != nil && (l.opts.Policy == SyncGroup || force) {
+		if err := l.injectSync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
 		if err := l.seg.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
@@ -324,6 +333,9 @@ func (l *Log) rotateLocked(first uint64) error {
 	if l.seg != nil {
 		// Seal with an fsync regardless of policy: a finished segment is
 		// immutable history, cheap to pin down once.
+		if err := l.injectSync(); err != nil {
+			return fmt.Errorf("wal: fsync sealed segment: %w", err)
+		}
 		if err := l.seg.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync sealed segment: %w", err)
 		}
