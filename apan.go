@@ -357,8 +357,12 @@ func NewWALShipper(dir string, dest WALShipDest, opts WALShipOptions) *WALShippe
 // heartbeats.
 var ServeWALShip = wal.ServeShip
 
-// FollowWALShip receives one leader connection's shipped segments into
-// dstDir, invoking onHeartbeat with the leader's NextIndex.
+// FollowWALShip receives one leader connection's shipped segments through
+// dest, invoking onHeartbeat with the leader's NextIndex. Pass
+// Replica.ShipDest (not a raw WALDirDest) when the destination directory
+// belongs to a promotable follower: it fences chunk writes the instant
+// promotion begins, so a still-alive ex-leader cannot corrupt the new
+// leader's log.
 var FollowWALShip = wal.FollowShip
 
 // StartPipeline starts the serving pipeline over a trained model.

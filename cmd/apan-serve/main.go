@@ -45,6 +45,11 @@
 //	apan-serve -wal /var/lib/apan-wal -ship-addr :7690 -checkpoint /var/lib/apan.ckpt ...
 //	apan-serve -load /var/lib/apan.ckpt -follow leader:7690 -wal /var/lib/apan-follower-wal
 //	curl -X POST follower:7683/v1/admin/promote   # takeover
+//
+// Promotion fences the ship stream at the disk-write layer (a still-alive
+// ex-leader cannot corrupt the new leader's log) and severs the
+// connection. A follower given -ship-addr parks the listener until
+// promotion, then serves its own log to the next standby — no restart.
 package main
 
 import (
@@ -61,6 +66,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -99,7 +105,7 @@ func main() {
 		fsyncEvery = flag.Duration("fsync-interval", 0, "with -fsync interval: background fsync cadence (0: 50ms)")
 
 		follow      = flag.String("follow", "", "follower mode: replay the leader's shipped WAL from this address (host:port) or directory; requires -load, serves read-only until POST /v1/admin/promote")
-		shipAddr    = flag.String("ship-addr", "", "leader: stream WAL segments to followers connecting on this address (requires -wal)")
+		shipAddr    = flag.String("ship-addr", "", "stream WAL segments to followers connecting on this address; requires -wal as a leader, and with -follow the listener is held until promotion so a promoted leader feeds new standbys without a restart")
 		shipEvery   = flag.Duration("ship-every", time.Second, "ship/heartbeat interval (leader) and replay-poll cadence (follower)")
 		maxLagEvent = flag.Int64("max-lag-events", 0, "follower readiness bound: /v1/readyz reports degraded past this heartbeat lag (0: 10000, negative disables)")
 
@@ -163,6 +169,22 @@ func main() {
 
 	done := make(chan struct{}) // closed once, when shutdown begins
 
+	// Ship listener: created up front in both roles so a bad -ship-addr
+	// fails fast. A leader serves it immediately (below); a follower parks
+	// it until promotion — early standby connections queue in the accept
+	// backlog and are served the moment the promoted leader starts
+	// accepting, so feeding a new standby needs no restart.
+	var shipLn net.Listener
+	if *shipAddr != "" {
+		if *follow == "" && *walDir == "" {
+			log.Fatal("-ship-addr requires -wal: shipping streams the leader's log directory")
+		}
+		shipLn, err = net.Listen("tcp", *shipAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Follower mode: no WAL attach and no training — state advances only
 	// through replay of the leader's shipped log. -follow names either a
 	// directory (shared storage: replay in place) or a leader's -ship-addr
@@ -194,14 +216,37 @@ func main() {
 		}
 		if dialAddr != "" {
 			// Dial loop: receive the leader's ship stream, reconnect with a
-			// pause on drop, stop once promoted (the ex-leader's stream must
-			// not land under the new leader's own log).
+			// pause on drop, stop once promoted. Takeover fencing is
+			// two-layer: rep.ShipDest refuses chunk writes the moment
+			// Promote begins — so even a still-alive ex-leader's stream
+			// cannot land a byte under the new leader's own log — and the
+			// fence hook severs the live connection so this loop notices
+			// promotion rather than draining a stream whose writes are all
+			// refused.
+			var connMu sync.Mutex
+			var shipConn net.Conn
+			rep.SetFenceHook(func() {
+				connMu.Lock()
+				defer connMu.Unlock()
+				if shipConn != nil {
+					shipConn.Close()
+				}
+			})
 			go func() {
 				for {
 					conn, dialErr := net.Dial("tcp", dialAddr)
 					if dialErr == nil {
-						dialErr = apan.FollowWALShip(conn, followDir, rep.ObserveLeaderIndex)
+						connMu.Lock()
+						shipConn = conn
+						connMu.Unlock()
+						dialErr = apan.FollowWALShip(conn, rep.ShipDest(), rep.ObserveLeaderIndex)
+						connMu.Lock()
+						shipConn = nil
+						connMu.Unlock()
 						conn.Close()
+					}
+					if rep.Role() != "follower" {
+						return
 					}
 					select {
 					case <-done:
@@ -230,6 +275,17 @@ func main() {
 				}
 				n, pollErr := rep.PollOnce()
 				if errors.Is(pollErr, apan.ErrReplicaPromoted) {
+					if shipLn != nil {
+						// The promoted leader unparks -ship-addr and feeds
+						// standbys from the log it now appends to; rep.Cursor
+						// reads the attached log's NextIndex for heartbeats.
+						go func() {
+							if err := apan.ServeWALShip(shipLn, followDir, rep.Cursor, *shipEvery, done); err != nil {
+								log.Printf("wal ship server: %v", err)
+							}
+						}()
+						log.Printf("promoted: shipping segments to followers on %s (interval %v)", shipLn.Addr(), *shipEvery)
+					}
 					return
 				}
 				if pollErr != nil {
@@ -302,15 +358,10 @@ func main() {
 	}
 
 	// Leader side of replication: stream the WAL directory to any follower
-	// that connects, with lag heartbeats carrying the log's next index.
-	if *shipAddr != "" {
-		if walLog == nil {
-			log.Fatal("-ship-addr requires -wal: shipping streams the leader's log directory")
-		}
-		shipLn, err := net.Listen("tcp", *shipAddr)
-		if err != nil {
-			log.Fatal(err)
-		}
+	// that connects, with lag heartbeats carrying the log's next index. (A
+	// follower's parked listener is served by the replay loop above once
+	// promotion makes this process the leader.)
+	if shipLn != nil && rep == nil {
 		go func() {
 			if err := apan.ServeWALShip(shipLn, *walDir, walLog.NextIndex, *shipEvery, done); err != nil {
 				log.Printf("wal ship server: %v", err)
@@ -421,6 +472,9 @@ func main() {
 	// and close the log.
 	shutdown := func() {
 		close(done)
+		if shipLn != nil {
+			shipLn.Close() // a parked follower listener; no-op once ServeWALShip owns it
+		}
 		hs.Close()
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -218,6 +219,288 @@ func TestFollowerIncrementalPolls(t *testing.T) {
 		t.Fatalf("follower digest %x != leader %x", got, want)
 	}
 	leader.DetachWAL().Close()
+}
+
+// dirSnapshot maps every file name in dir to its content bytes.
+func dirSnapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make(map[string]string, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = string(b)
+	}
+	return snap
+}
+
+// TestShipDestFencedByPromotion: chunks routed through Replica.ShipDest
+// land on disk while following, and are refused — directory bytes
+// untouched — the moment the replica is promoted. This is the on-disk
+// fence: a still-alive ex-leader whose stream keeps running cannot
+// overwrite WAL frames the promoted leader appends at the same offsets.
+func TestShipDestFencedByPromotion(t *testing.T) {
+	events := testEvents(t)[:80]
+	numNodes := 0
+	for _, e := range events {
+		if int(e.Src) >= numNodes {
+			numNodes = int(e.Src) + 1
+		}
+		if int(e.Dst) >= numNodes {
+			numNodes = int(e.Dst) + 1
+		}
+	}
+
+	dirA := t.TempDir()
+	walOpts := wal.Options{Dir: dirA, Policy: wal.SyncGroup, SegmentBytes: 2048}
+	leader := newModel(t, numNodes)
+	llog, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AttachWAL(llog); err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, leader, events[:60], 20)
+
+	dirB := t.TempDir()
+	follower := newModel(t, numNodes)
+	rep, err := NewFollower(follower, dirB, Options{WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ship stream writes through the fenced dest, not a raw DirDest.
+	shipper := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
+	if _, err := shipper.ShipNow(); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := rep.PollOnce(); err != nil || applied != 60 {
+		t.Fatalf("PollOnce = (%d, %v), want (60, nil)", applied, err)
+	}
+
+	var hookRole string
+	var hookLog *wal.Log
+	hookRan := false
+	rep.SetFenceHook(func() {
+		// The hook fires before the directory is reopened for appends:
+		// still mid-promotion, no log attached yet.
+		hookRan, hookRole, hookLog = true, rep.Role(), rep.Log()
+	})
+	if err := rep.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if !hookRan {
+		t.Fatal("fence hook did not run during Promote")
+	}
+	if hookRole != "follower" || hookLog != nil {
+		t.Fatalf("fence hook observed role %q log %v — ran after promotion completed", hookRole, hookLog)
+	}
+
+	// The ex-leader is still alive: it appends and ships more. Every
+	// chunk must be refused and not a byte of dirB may change.
+	applyBatches(t, leader, events[60:80], 20)
+	before := dirSnapshot(t, dirB)
+	if _, err := shipper.ShipNow(); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("post-promotion ship error = %v, want ErrPromoted", err)
+	}
+	after := dirSnapshot(t, dirB)
+	if len(before) != len(after) {
+		t.Fatalf("shipped file count changed across fenced ship: %d -> %d", len(before), len(after))
+	}
+	for name, b := range before {
+		if after[name] != b {
+			t.Fatalf("fenced ship mutated %s (%d -> %d bytes)", name, len(b), len(after[name]))
+		}
+	}
+	leader.DetachWAL().Abandon()
+
+	// The promoted leader's log is intact: its own appends recover.
+	extra := testEvents(t)[60:70]
+	applyBatches(t, follower, extra, 10)
+	endDigest := follower.RuntimeDigest()
+	follower.DetachWAL().Abandon()
+	recovered := newModel(t, numNodes)
+	rlog, err := wal.Open(wal.Options{Dir: dirB, Policy: wal.SyncGroup, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	if _, err := recovered.RecoverWAL(rlog); err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.RuntimeDigest(); got != endDigest {
+		t.Fatalf("recovered digest %x != promoted leader %x", got, endDigest)
+	}
+}
+
+// TestFailedPromotionLiftsFence: a Promote that cannot catch up (here: the
+// shipped log starts past the follower's watermark) leaves a functioning
+// follower — chunk writes resume, the role stays "follower". Safe because
+// the fence hook severed the connection, and a reconnecting leader
+// re-ships every segment from byte zero.
+func TestFailedPromotionLiftsFence(t *testing.T) {
+	events := testEvents(t)[:60]
+	numNodes := 0
+	for _, e := range events {
+		if int(e.Src) >= numNodes {
+			numNodes = int(e.Src) + 1
+		}
+		if int(e.Dst) >= numNodes {
+			numNodes = int(e.Dst) + 1
+		}
+	}
+
+	dirA := t.TempDir()
+	walOpts := wal.Options{Dir: dirA, Policy: wal.SyncGroup, SegmentBytes: 512}
+	leader := newModel(t, numNodes)
+	llog, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AttachWAL(llog); err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, leader, events, 4)
+	// Drop the log's head so the shipped copy starts past watermark 0.
+	if removed, err := llog.TruncateBefore(20); err != nil || removed == 0 {
+		t.Fatalf("TruncateBefore = (%d, %v), want segments dropped", removed, err)
+	}
+	leader.DetachWAL().Abandon()
+
+	dirB := t.TempDir()
+	follower := newModel(t, numNodes) // fresh: watermark 0, cannot reach index 20
+	rep, err := NewFollower(follower, dirB, Options{WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipper := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
+	if _, err := shipper.ShipNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rep.Promote(); err == nil {
+		t.Fatal("Promote succeeded across a log gap")
+	}
+	if got := rep.Role(); got != "follower" {
+		t.Fatalf("role after failed promotion = %q, want follower", got)
+	}
+	// The fence is lifted: a (re)connecting leader's re-ship lands again.
+	before := dirSnapshot(t, dirB)
+	reship := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
+	if _, err := reship.ShipNow(); err != nil {
+		t.Fatalf("re-ship after failed promotion: %v", err)
+	}
+	if after := dirSnapshot(t, dirB); len(after) != len(before) {
+		t.Fatalf("re-ship after failed promotion wrote nothing: %d files before, %d after", len(before), len(after))
+	}
+}
+
+// TestPromotionFenceRace: a ship stream writing chunks full-tilt while
+// Promote runs never lands a byte after the fence, and role/cursor/lag
+// reads stay lock-free throughout (meaningful under -race).
+func TestPromotionFenceRace(t *testing.T) {
+	events := testEvents(t)[:60]
+	numNodes := 0
+	for _, e := range events {
+		if int(e.Src) >= numNodes {
+			numNodes = int(e.Src) + 1
+		}
+		if int(e.Dst) >= numNodes {
+			numNodes = int(e.Dst) + 1
+		}
+	}
+
+	dirA := t.TempDir()
+	walOpts := wal.Options{Dir: dirA, Policy: wal.SyncGroup, SegmentBytes: 4096}
+	leader := newModel(t, numNodes)
+	llog, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.AttachWAL(llog); err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, leader, events, 20)
+	leader.DetachWAL().Abandon()
+
+	dirB := t.TempDir()
+	follower := newModel(t, numNodes)
+	rep, err := NewFollower(follower, dirB, Options{WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true}).ShipNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One idempotent chunk the "stream" re-writes over and over: the
+	// first segment's own bytes at offset 0.
+	segs, err := os.ReadDir(dirB)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no shipped segments: %v", err)
+	}
+	segName := segs[0].Name()
+	segBytes, err := os.ReadFile(filepath.Join(dirB, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		dest := rep.ShipDest()
+		for {
+			if err := dest.WriteChunk(segName, 0, segBytes); err != nil {
+				writerDone <- err
+				return
+			}
+			select {
+			case <-stop:
+				writerDone <- nil
+				return
+			default:
+			}
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			_ = rep.Role()
+			_ = rep.Cursor()
+			_ = rep.LagEvents()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	if err := rep.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// The writer must die on ErrPromoted by itself — the fence, not the
+	// stop channel, is what ends the stream.
+	if err := <-writerDone; !errors.Is(err, ErrPromoted) {
+		t.Fatalf("racing writer ended with %v, want ErrPromoted", err)
+	}
+	close(stop)
+	<-readerDone
+	if got := rep.Role(); got != "leader" {
+		t.Fatalf("role = %q after promotion", got)
+	}
+	rep.Log().Abandon()
+	follower.DetachWAL()
 }
 
 func TestNewFollowerRejectsAttachedWAL(t *testing.T) {

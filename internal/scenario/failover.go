@@ -86,8 +86,11 @@ func planFailover(seed int64, numBatches int) (failoverPlan, error) {
 // end-of-stream digest. Five failure arms: clean crash, torn shipped tail
 // (truncate + garbage), latched fsync errors on the leader's storage, and a
 // follower crash mid-replay with rebuild from the base checkpoint.
-// Double promotion must be fenced. Returns the violations plus the clean
-// arm's (takeover batch, catch-up events) for the report.
+// Double promotion must be fenced, and so must the ship stream's disk
+// writes: every arm ships through the replica's fenced dest and proves a
+// stale leader's re-ship is refused after takeover. Returns the
+// violations plus the clean arm's (takeover batch, catch-up events) for
+// the report.
 func runFailover(tr *Trace, o RunOptions, trainFrac float64) ([]Violation, int, int, error) {
 	ref, err := newModel(tr, o)
 	if err != nil {
@@ -233,7 +236,9 @@ func (a *failoverArm) run(mode failMode) ([]Violation, int, int, error) {
 		return nil, 0, 0, err
 	}
 
-	shipper := wal.NewShipper(dirA, wal.DirDest{Dir: dirB}, wal.ShipOptions{Tail: true})
+	// Ships go through the replica's fenced dest — as the serve binary's
+	// dial loop does — so the arms also prove the on-disk write fence.
+	shipper := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
 	apply := func(m *core.Model, b []tgraph.Event) []float32 {
 		ensureBatch(m.EnsureNodes, b)
 		inf := m.InferBatch(b)
@@ -263,6 +268,13 @@ func (a *failoverArm) run(mode failMode) ([]Violation, int, int, error) {
 				// from the base checkpoint and must catch up exactly-once.
 				fm, rep, err = newFollower()
 				if err != nil {
+					return nil, 0, 0, err
+				}
+				// A fresh process means a fresh ship connection: the
+				// leader re-ships from byte zero through the new
+				// replica's dest (chunk writes are idempotent).
+				shipper = wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
+				if _, err := shipper.ShipNow(); err != nil {
 					return nil, 0, 0, err
 				}
 				if _, err := rep.PollOnce(); err != nil {
@@ -348,6 +360,14 @@ func (a *failoverArm) run(mode failMode) ([]Violation, int, int, error) {
 	}
 	if _, err := rep.PollOnce(); !errors.Is(err, replica.ErrPromoted) {
 		vs = append(vs, a.violation(mode, -1, "promoted replica accepted a poll: PollOnce returned %v", err))
+	}
+	// On-disk write fence: an ex-leader that is in fact still alive (a
+	// partition, not a crash) keeps streaming — a fresh connection's
+	// re-ship from byte zero must be refused before a single chunk lands
+	// under the promoted leader's log.
+	staleShip := wal.NewShipper(dirA, rep.ShipDest(), wal.ShipOptions{Tail: true})
+	if _, err := staleShip.ShipNow(); !errors.Is(err, replica.ErrPromoted) {
+		vs = append(vs, a.violation(mode, -1, "stale leader ship not fenced: ShipNow returned %v", err))
 	}
 
 	gotBatch := sort.SearchInts(a.offsets, fm.DB().G.NumEvents()-a.base)

@@ -318,18 +318,22 @@ func ServeShip(ln net.Listener, srcDir string, next func() uint64, interval time
 }
 
 // FollowShip is the receiving side of the ship protocol: it sends the
-// handshake on conn, then copies every chunk message into dstDir and
+// handshake on conn, then writes every chunk message through dest and
 // invokes onHeartbeat (may be nil) with the leader's next log index for
-// each heartbeat. Returns when the connection drops; io.EOF means the
-// leader went away cleanly.
-func FollowShip(conn net.Conn, dstDir string, onHeartbeat func(nextIndex uint64)) error {
+// each heartbeat. Returns when the connection drops (io.EOF means the
+// leader went away cleanly) or when dest refuses a chunk.
+//
+// dest is usually DirDest (a plain WAL copy) — or a fencing wrapper such
+// as Replica.ShipDest, which refuses writes the moment promotion begins
+// so a still-alive ex-leader's stream can never land bytes under a
+// directory that has been reopened for appends.
+func FollowShip(conn net.Conn, dest ShipDest, onHeartbeat func(nextIndex uint64)) error {
 	var hs [8]byte
 	copy(hs[:4], shipMagic)
 	binary.LittleEndian.PutUint32(hs[4:], shipVersion)
 	if _, err := conn.Write(hs[:]); err != nil {
 		return fmt.Errorf("wal: ship handshake: %w", err)
 	}
-	dest := DirDest{Dir: dstDir}
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var data []byte
 	for {

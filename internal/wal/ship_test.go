@@ -122,7 +122,7 @@ func TestShipWireProtocol(t *testing.T) {
 	beats := make(chan uint64, 64)
 	recvErr := make(chan error, 1)
 	go func() {
-		recvErr <- FollowShip(followerConn, dst, func(next uint64) {
+		recvErr <- FollowShip(followerConn, DirDest{Dir: dst}, func(next uint64) {
 			select {
 			case beats <- next:
 			default:
