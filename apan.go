@@ -225,7 +225,17 @@ type (
 	Server = serve.Server
 	// ServerOptions tunes the server-side micro-batcher.
 	ServerOptions = serve.Options
+	// TenantConfig is a per-tenant admission contract: scheduling weight,
+	// event-time rate limit, priority lane, and private queue depth.
+	TenantConfig = async.TenantConfig
+	// TenantStats is a tenant's admission ledger (submitted = applied +
+	// dropped, with rate-limited drops broken out).
+	TenantStats = async.TenantStats
 )
+
+// DefaultTenant is the tenant id unattributed traffic is accounted under
+// when multi-tenant admission is enabled.
+const DefaultTenant = async.DefaultTenant
 
 // Pipeline options.
 var (
@@ -239,6 +249,13 @@ var (
 	// WithOnlineTrainer taps the propagation workers' apply path to feed an
 	// online trainer with every applied batch.
 	WithOnlineTrainer = async.WithOnlineTrainer
+	// WithTenants enables multi-tenant admission and registers per-tenant
+	// contracts; unregistered tenants inherit the WithTenantDefaults
+	// template.
+	WithTenants = async.WithTenants
+	// WithTenantDefaults enables multi-tenant admission and sets the
+	// contract template unregistered tenants are admitted under.
+	WithTenantDefaults = async.WithTenantDefaults
 )
 
 // Online continual learning (see docs/training.md).
@@ -270,6 +287,9 @@ var (
 	ErrPipelineClosed = async.ErrClosed
 	// ErrQueueFull is returned by TrySubmit instead of blocking.
 	ErrQueueFull = async.ErrQueueFull
+	// ErrRateLimited is returned by the Submit variants when a tenant's
+	// event-time token bucket is spent (multi-tenant admission only).
+	ErrRateLimited = async.ErrRateLimited
 )
 
 // Durability (write-ahead event log + checkpoints; docs/durability.md).

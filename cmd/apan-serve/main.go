@@ -66,6 +66,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -91,6 +93,7 @@ func main() {
 		inferWork   = flag.Int("infer-workers", 1, "goroutines the synchronous-link gather fans out across")
 		flushConc   = flag.Int("flush-concurrency", 1, "coalesced batches scored in parallel")
 		maxNodes    = flag.Int("max-nodes", 1<<20, "dynamic node admission limit (negative disables admission)")
+		seed        = flag.Int64("seed", 1, "process seed: dataset, model init, and retry-backoff jitter (same seed, same run)")
 		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
 		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, allocs, profile, trace — see docs/performance.md)")
@@ -113,18 +116,23 @@ func main() {
 		trainLR     = flag.Float64("train-lr", 0, "online trainer learning rate (0: the model's rate)")
 		trainStep   = flag.Int("train-step-every", 0, "applied events per online training step (0: default 64)")
 		trainFrozen = flag.Bool("train-frozen", false, "attach the online trainer frozen (resume via POST /v1/admin/train/resume)")
+
+		tenants    = flag.String("tenants", "", "enable multi-tenant admission with these contracts: comma-separated id[:weight[:rate[:lane]]] specs (weight: share of propagation bandwidth, rate: events/s of stream time, lane: strict priority, 0 highest); requests name their tenant via the X-Tenant header or the request's tenant field")
+		tenantRate = flag.Float64("tenant-default-rate", 0, "event-time rate limit (events/s of stream time) for tenants not listed in -tenants; >0 also enables multi-tenant admission on its own")
+		evictMax   = flag.Int("evict-max-nodes", 0, "cold-state eviction budget: LRU-evict node state and mailbox beyond this many warm nodes, re-warming on re-admission from current neighbors (0 disables)")
 	)
 	flag.Parse()
 
-	ds := apan.Wikipedia(apan.DatasetConfig{Scale: *scale, Seed: 1})
+	ds := apan.Wikipedia(apan.DatasetConfig{Scale: *scale, Seed: *seed})
 	split := ds.Split(0.70, 0.15)
 
 	cfg := apan.Config{
-		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: 1,
+		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: *seed,
 		Shards: *shards, InferWorkers: *inferWork,
 		GraphBackend: *graphBack,
 
 		IncrementalCheckpoints: *ckptIncr,
+		EvictMaxNodes:          *evictMax,
 	}
 	if err := cfg.Normalize(); err != nil {
 		log.Fatal(err)
@@ -340,6 +348,22 @@ func main() {
 		apan.WithWorkers(*workers),
 		apan.WithBatchWindow(*batchWindow),
 	}
+	if *tenants != "" || *tenantRate > 0 {
+		cfgs, err := parseTenantSpecs(*tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(cfgs) > 0 {
+			popts = append(popts, apan.WithTenants(cfgs...))
+		}
+		if *tenantRate > 0 {
+			popts = append(popts, apan.WithTenantDefaults(apan.TenantConfig{Rate: *tenantRate}))
+		}
+		log.Printf("multi-tenant admission: %d registered tenants, walk-in rate %g ev/s", len(cfgs), *tenantRate)
+	}
+	if *evictMax > 0 {
+		log.Printf("cold-state eviction: budget %d warm nodes", *evictMax)
+	}
 	if *trainOnline {
 		trainer, err = apan.NewOnlineTrainer(model, apan.TrainerConfig{
 			LR:        float32(*trainLR),
@@ -394,7 +418,10 @@ func main() {
 		// shouldn't cost a whole interval of replay debt); exhausting them
 		// feeds the consecutive-failure count /v1/readyz degrades on.
 		go func() {
-			rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+			// Jitter from the process seed, not the clock: two processes
+			// started with the same -seed retry on the same schedule, so
+			// seeded runs (and their logs) are reproducible.
+			rng := rand.New(rand.NewSource(*seed))
 			tick := time.NewTicker(*ckptEvery)
 			defer tick.Stop()
 			for {
@@ -526,6 +553,45 @@ func main() {
 // runDemo replays the test stream through the HTTP batch endpoint and
 // reports what the online decision system would observe. It speaks the
 // wire types internal/serve exports, so client and server cannot drift.
+// parseTenantSpecs parses the -tenants flag: comma-separated
+// id[:weight[:rate[:lane]]] specs, e.g. "acme:3:500:0,trial:1:50:1".
+// Omitted fields take the TenantConfig zero-value defaults (weight 1,
+// unlimited rate, lane 0).
+func parseTenantSpecs(s string) ([]apan.TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var cfgs []apan.TenantConfig
+	for _, spec := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(spec), ":")
+		if parts[0] == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant id in %q", spec)
+		}
+		tc := apan.TenantConfig{ID: parts[0]}
+		var err error
+		if len(parts) > 1 && parts[1] != "" {
+			if tc.Weight, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, fmt.Errorf("-tenants: bad weight in %q: %v", spec, err)
+			}
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			if tc.Rate, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("-tenants: bad rate in %q: %v", spec, err)
+			}
+		}
+		if len(parts) > 3 && parts[3] != "" {
+			if tc.Lane, err = strconv.Atoi(parts[3]); err != nil {
+				return nil, fmt.Errorf("-tenants: bad lane in %q: %v", spec, err)
+			}
+		}
+		if len(parts) > 4 {
+			return nil, fmt.Errorf("-tenants: too many fields in %q (want id[:weight[:rate[:lane]]])", spec)
+		}
+		cfgs = append(cfgs, tc)
+	}
+	return cfgs, nil
+}
+
 func runDemo(base string, events []apan.Event, batch int, pipe *apan.Pipeline) {
 	n := len(events)
 	if n > 2000 {

@@ -56,6 +56,12 @@ type options struct {
 	batchWindow time.Duration
 	beforeApply func(events []tgraph.Event)
 	trainer     Trainer
+
+	// Tenancy (see tenant.go): when enabled the single queue channel is
+	// replaced by the per-tenant weighted-fair scheduler.
+	tenancy        bool
+	tenants        []TenantConfig
+	tenantDefaults *TenantConfig
 }
 
 // WithQueueCap bounds the propagation queue. Capacity bounds memory during
@@ -136,6 +142,10 @@ type Pipeline struct {
 	queue chan *core.Inference
 	done  chan struct{}
 
+	// sched replaces queue when tenancy is enabled (WithTenants): per-tenant
+	// bounded queues drained in weighted-fair order. Nil otherwise.
+	sched *tenantSched
+
 	// sendMu protects the queue channel's lifetime: Submit holds a read
 	// lock across the send, Shutdown takes the write lock before closing,
 	// so a send can never hit a closed channel.
@@ -164,6 +174,9 @@ func New(m *core.Model, opts ...Option) *Pipeline {
 		opts:  o,
 		queue: make(chan *core.Inference, o.queueCap),
 		done:  make(chan struct{}),
+	}
+	if o.tenancy {
+		p.sched = newTenantSched(o)
 	}
 	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(o.workers)
@@ -219,32 +232,59 @@ func (p *Pipeline) WALStats() *wal.Stats {
 	return &st
 }
 
+// EvictionStats reports the served model's cold-state evictor counters for
+// the serving stats surface, or nil when eviction is disabled
+// (core.Config.EvictMaxNodes == 0).
+func (p *Pipeline) EvictionStats() *core.EvictionStats {
+	st, ok := p.model.EvictionStats()
+	if !ok {
+		return nil
+	}
+	return &st
+}
+
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
-	for inf := range p.queue {
-		start := time.Now()
-		if p.opts.beforeApply != nil {
-			p.opts.beforeApply(inf.Events)
+	if p.sched != nil {
+		for {
+			inf, t, ok := p.sched.dequeue()
+			if !ok {
+				return
+			}
+			p.applyOne(inf)
+			p.sched.markApplied(t)
 		}
-		p.model.ApplyInference(inf)
-		if p.opts.trainer != nil {
-			// Tap the apply path for online learning. Observe copies what it
-			// keeps, so releasing the inference below is safe.
-			p.opts.trainer.Observe(inf.Events)
-		}
-		// The submitter copied the scores out before enqueueing, so after
-		// the apply nothing references the inference: recycle its pooled
-		// workspace for the next scorer.
-		inf.Release()
-		d := time.Since(start)
-		p.mu.Lock()
-		p.asyncHist.Add(d)
-		p.processed++
-		if p.processed == p.enqueued {
-			p.idle.Broadcast()
-		}
-		p.mu.Unlock()
 	}
+	for inf := range p.queue {
+		p.applyOne(inf)
+	}
+}
+
+// applyOne runs one dequeued inference through the asynchronous link:
+// fault-injection hook, apply, trainer tap, workspace recycle, accounting.
+func (p *Pipeline) applyOne(inf *core.Inference) {
+	start := time.Now()
+	if p.opts.beforeApply != nil {
+		p.opts.beforeApply(inf.Events)
+	}
+	p.model.ApplyInference(inf)
+	if p.opts.trainer != nil {
+		// Tap the apply path for online learning. Observe copies what it
+		// keeps, so releasing the inference below is safe.
+		p.opts.trainer.Observe(inf.Events)
+	}
+	// The submitter copied the scores out before enqueueing, so after
+	// the apply nothing references the inference: recycle its pooled
+	// workspace for the next scorer.
+	inf.Release()
+	d := time.Since(start)
+	p.mu.Lock()
+	p.asyncHist.Add(d)
+	p.processed++
+	if p.processed == p.enqueued {
+		p.idle.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
 // score runs the synchronous link and records the observed latency. Scoring
@@ -301,6 +341,13 @@ func (p *Pipeline) Submit(ctx context.Context, events []tgraph.Event) ([]float32
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
+	if p.sched != nil {
+		return p.submitTenant(ctx, DefaultTenant, events, true)
+	}
+	// Warm any evicted nodes this batch names before scoring: re-admission
+	// needs graph access, which the synchronous link (InferBatch) must never
+	// perform itself. No-op unless cold-state eviction is configured.
+	p.model.ReadmitBatch(events)
 	inf, lat, err := p.score(events)
 	if err != nil {
 		return nil, 0, err
@@ -352,6 +399,10 @@ func (p *Pipeline) ScoreOnly(events []tgraph.Event) ([]float32, time.Duration, e
 // ErrQueueFull, leaving all model state untouched — a load-shedding
 // primitive for the serving edge.
 func (p *Pipeline) TrySubmit(events []tgraph.Event) ([]float32, time.Duration, error) {
+	if p.sched != nil {
+		return p.submitTenant(context.Background(), DefaultTenant, events, false)
+	}
+	p.model.ReadmitBatch(events) // see Submit
 	inf, lat, err := p.score(events)
 	if err != nil {
 		return nil, 0, err
@@ -448,6 +499,19 @@ func (p *Pipeline) Shutdown(ctx context.Context) error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+
+	if p.sched != nil {
+		// The tenant scheduler rejects new enqueues atomically under its own
+		// mutex and workers drain the backlog before exiting, so no channel
+		// close is needed on this path.
+		p.sched.close()
+		select {
+		case <-p.done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 
 	// Wait for every in-flight send, then close the queue so workers exit
 	// after the backlog. The lock wait happens off this goroutine so ctx is

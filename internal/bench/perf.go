@@ -126,7 +126,17 @@ func RunPerf(o Options) (*PerfReport, error) {
 				runtime.GOMAXPROCS(prev)
 				return nil, err
 			}
-			m.InferBatch(batch).Release()
+			// Warm p workspaces by holding p concurrent checkouts: the
+			// parallel loop below runs p scorers at once, and each needs
+			// its own warm workspace for the steady state to be
+			// allocation-free.
+			warm := make([]*core.Inference, p)
+			for i := range warm {
+				warm[i] = m.InferBatch(batch)
+			}
+			for _, inf := range warm {
+				inf.Release()
+			}
 			runtime.GOMAXPROCS(p)
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()

@@ -213,6 +213,9 @@ func (m *Model) LoadCheckpoint(r io.Reader) error {
 	m.ensureNodesLocked(int(numNodes))
 	m.st.Reset()
 	m.mbox.Reset()
+	// Evictor tracking is not checkpointed; start clean over the loaded
+	// stores (loaded warm nodes rejoin the LRU as the stream touches them).
+	m.resetEvictor()
 
 	z := make([]float32, dim)
 	for n := int32(0); n < int32(numNodes); n++ {

@@ -90,6 +90,16 @@ type Config struct {
 	// way. Off by default.
 	IncrementalCheckpoints bool
 
+	// EvictMaxNodes bounds the warm working set: at most this many nodes may
+	// hold non-cold state/mailbox contents at once. When an applied batch
+	// pushes the warm count past the budget, the least recently touched
+	// nodes are reset to the cold-start condition (state zeroed, mailbox
+	// emptied; the temporal graph keeps their adjacency) and re-admitted on
+	// demand with a neighbor-mean warm start when the stream names them
+	// again (see evict.go). 0 — the default — disables eviction entirely:
+	// no tracking, bitwise-identical behavior to earlier builds.
+	EvictMaxNodes int
+
 	// NoWorkspacePool disables the pooled inference workspaces: every
 	// InferBatch/Embed call allocates fresh buffers and a fresh
 	// grad-recording tape, reproducing the pre-pooling behavior. The
@@ -165,6 +175,9 @@ func (c *Config) Normalize() error {
 	default:
 		return fmt.Errorf("core: Config.GraphBackend must be %q, %q or %q, got %q",
 			GraphBackendFlat, GraphBackendSharded, GraphBackendRemoteSim, c.GraphBackend)
+	}
+	if c.EvictMaxNodes < 0 {
+		return fmt.Errorf("core: Config.EvictMaxNodes must be ≥0, got %d", c.EvictMaxNodes)
 	}
 	if c.EdgeDim%c.Heads != 0 {
 		return fmt.Errorf("core: EdgeDim %d must be divisible by Heads %d", c.EdgeDim, c.Heads)

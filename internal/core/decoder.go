@@ -21,7 +21,15 @@ type LinkDecoder struct {
 }
 
 // NewLinkDecoder builds the eq.-7 inner-product head over embedding dim d.
+// A nil rng builds a storage-free shell to be bound to a ParamSet.
 func NewLinkDecoder(d, hidden int, dropout float32, rng *rand.Rand) *LinkDecoder {
+	if rng == nil {
+		return &LinkDecoder{
+			proj:  nn.NewLinear(d, d, nil),
+			scale: nn.ParamShell(1, 1),
+			bias:  nn.ParamShell(1, 1),
+		}
+	}
 	dec := &LinkDecoder{
 		proj:  nn.NewLinear(d, d, rng),
 		scale: nn.Param(1, 1),

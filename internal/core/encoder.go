@@ -22,13 +22,18 @@ type Encoder struct {
 	mlp  *nn.MLP
 }
 
-// NewEncoder builds the encoder for cfg.
+// NewEncoder builds the encoder for cfg. A nil rng builds a storage-free
+// shell (every parameter a nn.ParamShell) to be bound to a ParamSet.
 func NewEncoder(cfg Config, rng *rand.Rand) *Encoder {
 	d := cfg.EdgeDim
+	ln := &nn.LayerNorm{Gain: nn.ParamShell(1, d), Bias: nn.ParamShell(1, d)}
+	if rng != nil {
+		ln = nn.NewLayerNorm(d)
+	}
 	e := &Encoder{
 		cfg:  cfg,
 		attn: nn.NewMultiHeadAttention(d, cfg.Heads, rng),
-		ln:   nn.NewLayerNorm(d),
+		ln:   ln,
 		mlp:  nn.NewMLP(d, cfg.Hidden, d, cfg.Dropout, rng),
 	}
 	switch cfg.Positional {

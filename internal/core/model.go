@@ -120,9 +120,24 @@ type Model struct {
 	explainMu sync.Mutex
 	explain   explainRec
 
-	// wsPool recycles inference workspaces (gather buffers + reusable tape
-	// + score output) across InferBatch/Embed calls and goroutines.
-	wsPool sync.Pool
+	// wsMu/wsFree recycle inference workspaces (gather buffers + reusable
+	// tape + score output) across InferBatch/Embed calls and goroutines.
+	// This is a plain mutex-guarded stack, NOT a sync.Pool: a sync.Pool's
+	// per-P private slots are invisible to Gets on other Ps and its contents
+	// are discarded across GC cycles, so under GOMAXPROCS > 1 a steady
+	// stream of concurrent scorers kept missing and constructing fresh
+	// workspaces — each re-paying the full tape/matrix warm-up (the
+	// infer_parallel_p4/p8 allocation regression). The stack never loses a
+	// warm workspace, holds at most as many as the peak scorer concurrency,
+	// and its ~ns critical section is noise next to a ms-scale forward pass.
+	wsMu   sync.Mutex
+	wsFree []*inferWorkspace
+
+	// ev is the cold-state evictor bounding the warm working set
+	// (Config.EvictMaxNodes; see evict.go). Nil when eviction is disabled —
+	// the default — in which case every eviction hook is a no-op and the
+	// model's behavior is bitwise unchanged.
+	ev *evictor
 }
 
 // explainRec is the model-owned copy of the most recent forward pass's
@@ -207,9 +222,11 @@ func NewWithDB(cfg Config, db *gdb.DB) (*Model, error) {
 	if cfg.KeyValueMailbox {
 		m.mbox.SetRule(mailbox.UpdateKeyValue)
 	}
+	if cfg.EvictMaxNodes > 0 {
+		m.ev = newEvictor(cfg.EvictMaxNodes)
+	}
 	m.prop = NewPropagator(cfg, db, m.mbox)
 	m.opt = nn.NewAdam(m.Params(), cfg.LR)
-	m.wsPool.New = func() any { return m.newInferWorkspace() }
 	m.publishOwn()
 	return m, nil
 }
@@ -318,6 +335,7 @@ func (m *Model) ResetRuntime() {
 	// resets, so the configured backend (flat, sharded, remote-sim) survives.
 	m.db.G.Reset(m.Cfg.NumNodes)
 	m.db.ResetStats()
+	m.resetEvictor()
 }
 
 // Snapshot captures the streaming state for later Restore (parameters are
@@ -387,6 +405,9 @@ func (m *Model) RestoreRuntime(snap *Snapshot) {
 	for i := range events {
 		g.AddEvent(events[i])
 	}
+	// Evictor tracking describes the pre-restore stores; drop it. Restored
+	// warm nodes rejoin the LRU as the stream touches them.
+	m.resetEvictor()
 }
 
 // batchPlan is the node bookkeeping for one batch of events.
@@ -548,6 +569,7 @@ func (m *Model) processBatch(events []tgraph.Event, ns *dataset.NegSampler, trai
 	commit := m.logBatchLocked(events)
 	m.prop.ProcessBatch(events, m.st)
 	m.graphMu.Unlock()
+	m.noteTouched(events)
 	m.applyMu.RUnlock()
 	m.storeMu.RUnlock()
 	commit.Wait() // off every model lock; error is latched in the log
@@ -783,6 +805,10 @@ func (m *Model) ApplyInference(inf *Inference) {
 		m.prop.ProcessBatch(inf.Events, m.st)
 		m.graphMu.Unlock()
 	}
+	// Eviction is the batch's last mutation, inside the apply gate: a
+	// checkpoint cut can never separate a batch's writes from the evictions
+	// they trigger.
+	m.noteTouched(inf.Events)
 	m.applyMu.RUnlock()
 	m.storeMu.RUnlock()
 	commit.Wait() // off every model lock; error is latched in the log

@@ -32,12 +32,12 @@ func NewForwardModules(cfg Config, rng *rand.Rand) (*Encoder, *LinkDecoder) {
 }
 
 // newParamVersion materializes read-only forward modules over a snapshot.
-// The modules are constructed with a throwaway RNG (their freshly
-// initialized weights are immediately replaced by the binding), so the cost
-// of a publish is one parameter deep-copy plus module-structure allocation —
-// nothing on the inference hot path.
+// The modules are constructed in shell mode (nil rng): every parameter is a
+// storage-free nn.ParamShell whose value the binding immediately replaces
+// with the set's matrix, so a publish allocates module structure only —
+// no weight initialization, no gradient matrices.
 func (m *Model) newParamVersion(set *nn.ParamSet) (*paramVersion, error) {
-	enc, dec := NewForwardModules(m.Cfg, rand.New(rand.NewSource(0)))
+	enc, dec := NewForwardModules(m.Cfg, nil)
 	if err := nn.BindParams(append(enc.Params(), dec.Params()...), set); err != nil {
 		return nil, err
 	}
@@ -56,7 +56,15 @@ func (m *Model) newParamVersion(set *nn.ParamSet) (*paramVersion, error) {
 // published version never moves backwards: when two publishes race, the
 // higher version wins regardless of which Store lands last.
 func (m *Model) SwapParams(params []*nn.Tensor) (*nn.ParamSet, error) {
-	set := nn.NewParamSet(m.verCounter.Add(1), params)
+	// Snapshot incrementally against the currently published set: tensors
+	// the trainer has not touched since the last publish are aliased, not
+	// copied. prev is immutable, so aliasing is safe even if a concurrent
+	// publish replaces it between the Load and the CAS below.
+	var prev *nn.ParamSet
+	if old := m.cur.Load(); old != nil {
+		prev = old.set
+	}
+	set := nn.NewParamSetFrom(m.verCounter.Add(1), params, prev)
 	pv, err := m.newParamVersion(set)
 	if err != nil {
 		return nil, err

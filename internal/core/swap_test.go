@@ -205,6 +205,65 @@ func TestQuickPublishedParamsSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSwapParamsIncrementalPublish: SwapParams must snapshot incrementally
+// against the published set — a publish that touched one tensor clones only
+// that tensor and aliases the rest, and a publish that touched nothing
+// aliases everything — while serving output and the torn-params re-hash stay
+// identical to a full-clone publish.
+func TestSwapParamsIncrementalPublish(t *testing.T) {
+	ds := tinyData(13)
+	m, err := New(tinyConfig(ds.NumNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:200], nil)
+	batch := ds.Events[200:220]
+
+	ps0 := m.CurrentParams()
+	// Touch only the first parameter tensor, as a partial optimizer step would.
+	m.Params()[0].W.Data[0] += 0.25
+	ps1, err := m.SwapParams(m.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps1.Value(0) == ps0.Value(0) {
+		t.Fatal("touched tensor aliased to the previous set")
+	}
+	for i := 1; i < ps1.NumTensors(); i++ {
+		if ps1.Value(i) != ps0.Value(i) {
+			t.Fatalf("untouched tensor %d cloned instead of aliased", i)
+		}
+	}
+	if ps1.Fingerprint() != ps1.RecomputeFingerprint() {
+		t.Fatal("incremental publish fails the torn-params re-hash")
+	}
+	if ps1.Fingerprint() != nn.NewParamSet(ps1.Version(), m.Params()).Fingerprint() {
+		t.Fatal("incremental publish fingerprint differs from a full clone")
+	}
+
+	// A no-op publish aliases every tensor of the previous set.
+	ps2, err := m.SwapParams(m.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ps2.NumTensors(); i++ {
+		if ps2.Value(i) != ps1.Value(i) {
+			t.Fatalf("no-op publish cloned tensor %d", i)
+		}
+	}
+	if ps2.Version() <= ps1.Version() || ps2.Fingerprint() != ps1.Fingerprint() {
+		t.Fatalf("no-op publish: version %d->%d fingerprint %016x vs %016x",
+			ps1.Version(), ps2.Version(), ps1.Fingerprint(), ps2.Fingerprint())
+	}
+
+	// The aliased version serves: scores match a model restored from ps2.
+	inf := m.InferBatch(batch)
+	defer inf.Release()
+	if inf.ParamVersion() != ps2.Version() {
+		t.Fatalf("serving version %d, want %d", inf.ParamVersion(), ps2.Version())
+	}
+}
+
 // TestSwapParamsTakesEffect: after a publish, serving scores must change,
 // the version must advance, and the previously obtained set must stay
 // bitwise intact (copy-on-write isolation from further training steps).

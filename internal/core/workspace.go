@@ -12,7 +12,7 @@ import (
 // warm InferBatch performs zero heap allocation.
 //
 // Ownership protocol: Model.InferBatch acquires a workspace from the
-// model's sync.Pool and returns an *Inference whose every slice and matrix
+// model's freelist and returns an *Inference whose every slice and matrix
 // (Scores, embeddings, row indices) points into it. The Inference OWNS the
 // workspace from that moment: the buffers stay valid until Release is
 // called, and Release must happen only after ApplyInference (or whoever
@@ -22,7 +22,7 @@ import (
 // just not recycled).
 //
 // A workspace is single-owner by construction — it is never shared between
-// goroutines while checked out, and the sync.Pool handoff provides the
+// goroutines while checked out, and the freelist mutex provides the
 // happens-before edge between a releasing worker and the next scorer.
 type inferWorkspace struct {
 	owner *Model // nil for unpooled (Config.NoWorkspacePool) instances
@@ -54,7 +54,16 @@ func (m *Model) acquireWorkspace() *inferWorkspace {
 	if m.Cfg.NoWorkspacePool {
 		return &inferWorkspace{tape: nn.NewTape()}
 	}
-	return m.wsPool.Get().(*inferWorkspace)
+	m.wsMu.Lock()
+	if n := len(m.wsFree); n > 0 {
+		ws := m.wsFree[n-1]
+		m.wsFree[n-1] = nil
+		m.wsFree = m.wsFree[:n-1]
+		m.wsMu.Unlock()
+		return ws
+	}
+	m.wsMu.Unlock()
+	return m.newInferWorkspace()
 }
 
 // release recycles the workspace: the tape returns its matrices to the
@@ -69,7 +78,10 @@ func (ws *inferWorkspace) release() {
 	ws.pool.Put(ws.in.Mails)
 	ws.in = EncodeInput{}
 	ws.inf = Inference{}
-	ws.owner.wsPool.Put(ws)
+	m := ws.owner
+	m.wsMu.Lock()
+	m.wsFree = append(m.wsFree, ws)
+	m.wsMu.Unlock()
 }
 
 // getMatrixRaw allocates through the workspace pool when pooled, without

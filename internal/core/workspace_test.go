@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -168,6 +170,65 @@ func TestInferBatchZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("steady-state InferBatch allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestInferBatchZeroAllocParallel extends the zero-alloc guard to
+// GOMAXPROCS > 1: concurrent scorers must keep reusing warm workspaces
+// instead of constructing fresh ones. This regressed once when the
+// workspace recycler was a sync.Pool — per-P private slots plus GC
+// clearing made concurrent goroutines miss at steady state, so
+// infer_parallel_p4/p8 paid ~6/12 allocs/op while p1 stayed at 0. The
+// threshold tolerates sub-0.5 allocs/op of runtime scaffolding
+// (scheduler, stack growth) but fails on any systematic per-op miss.
+func TestInferBatchZeroAllocParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	ds := tinyData(1)
+	cfg := tinyConfig(ds.NumNodes)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:200], nil)
+	batch := ds.Events[200:240]
+
+	for _, procs := range []int{4, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		const warmOps, ops = 8, 300
+		var wg, warmWG sync.WaitGroup
+		warmed := make(chan struct{})
+		start := make(chan struct{})
+		wg.Add(procs)
+		warmWG.Add(procs)
+		for g := 0; g < procs; g++ {
+			go func() {
+				defer wg.Done()
+				for i := 0; i < warmOps; i++ {
+					m.InferBatch(batch).Release()
+				}
+				warmWG.Done()
+				<-warmed
+				<-start
+				for i := 0; i < ops; i++ {
+					m.InferBatch(batch).Release()
+				}
+			}()
+		}
+		warmWG.Wait()
+		runtime.GC()
+		close(warmed)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		close(start)
+		wg.Wait()
+		runtime.ReadMemStats(&after)
+		runtime.GOMAXPROCS(prev)
+		perOp := float64(after.Mallocs-before.Mallocs) / float64(procs*ops)
+		if perOp >= 0.5 {
+			t.Errorf("procs=%d: steady-state parallel InferBatch allocated %.2f times per op, want ~0", procs, perOp)
+		}
 	}
 }
 

@@ -199,6 +199,23 @@ func (s *Store) clone() *Store {
 	}
 }
 
+// ClearNode empties node n's mailbox back to the cold-start condition —
+// the mailbox half of cold-state eviction. Slot data and timestamps are
+// zeroed (not just the count) so a cleared node contributes nothing to
+// digests or readouts.
+func (s *Store) ClearNode(n int32) {
+	base := int(n) * s.slots
+	row := s.data[base*s.dim : (base+s.slots)*s.dim]
+	for i := range row {
+		row[i] = 0
+	}
+	for i := 0; i < s.slots; i++ {
+		s.times[base+i] = 0
+	}
+	s.count[n] = 0
+	s.head[n] = 0
+}
+
 // Reset empties every mailbox.
 func (s *Store) Reset() {
 	for i := range s.data {

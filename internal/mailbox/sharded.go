@@ -141,6 +141,16 @@ func (s *Sharded) ReadSorted(n int32, buf []float32, tsOut []float64) int {
 	return c
 }
 
+// ClearNode empties node n's mailbox (see Store.ClearNode), locking only
+// n's shard.
+func (s *Sharded) ClearNode(n int32) {
+	sh, local := s.locate(n)
+	sh.mu.Lock()
+	sh.st.ClearNode(local)
+	sh.gen++
+	sh.mu.Unlock()
+}
+
 // Grow extends the store to hold n mailboxes, preserving existing contents.
 // It locks every shard; no-op when n ≤ NumNodes.
 func (s *Sharded) Grow(n int) {

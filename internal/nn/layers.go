@@ -25,8 +25,12 @@ type Linear struct {
 	B *Tensor // 1×out
 }
 
-// NewLinear builds a Glorot-initialized in→out linear layer.
+// NewLinear builds a Glorot-initialized in→out linear layer. A nil rng
+// builds a storage-free shell to be bound to a ParamSet (see ParamShell).
 func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	if rng == nil {
+		return &Linear{W: ParamShell(in, out), B: ParamShell(1, out)}
+	}
 	l := &Linear{W: Param(in, out), B: Param(1, out)}
 	l.W.W.XavierInit(rng)
 	return l
@@ -120,8 +124,12 @@ type PositionTable struct {
 	P *Tensor
 }
 
-// NewPositionTable builds a small-variance random position table.
+// NewPositionTable builds a small-variance random position table. A nil rng
+// builds a storage-free shell to be bound to a ParamSet.
 func NewPositionTable(slots, dim int, rng *rand.Rand) *PositionTable {
+	if rng == nil {
+		return &PositionTable{P: ParamShell(slots, dim)}
+	}
 	pt := &PositionTable{P: Param(slots, dim)}
 	pt.P.W.RandN(rng, 0.02)
 	return pt
@@ -142,8 +150,12 @@ type TimeEncoder struct {
 }
 
 // NewTimeEncoder builds a dim-dimensional time encoder with log-spaced
-// initial frequencies, following the TGAT reference implementation.
+// initial frequencies, following the TGAT reference implementation. A nil
+// rng builds a storage-free shell to be bound to a ParamSet.
 func NewTimeEncoder(dim int, rng *rand.Rand) *TimeEncoder {
+	if rng == nil {
+		return &TimeEncoder{Omega: ParamShell(1, dim), Phi: ParamShell(1, dim)}
+	}
 	te := &TimeEncoder{Omega: Param(1, dim), Phi: Param(1, dim)}
 	for j := 0; j < dim; j++ {
 		// Frequencies 1/10^(j·9/dim) span ~[1, 1e-9]·(1+noise).

@@ -41,6 +41,46 @@ func NewParamSet(version uint64, params []*Tensor) *ParamSet {
 	return ps
 }
 
+// NewParamSetFrom snapshots params incrementally against a previously
+// published set: tensors whose values are bitwise-identical to prev's alias
+// prev's (immutable) matrices instead of being cloned, so a publish costs
+// O(tensors the trainer actually touched) in copied bytes instead of the
+// full model size. The fingerprint is still recomputed over every value, so
+// the no-torn-params invariant (Fingerprint == RecomputeFingerprint) is
+// exactly as strong as with a full clone. A nil prev, or a prev with a
+// different tensor layout, degrades to the full deep copy of NewParamSet.
+func NewParamSetFrom(version uint64, params []*Tensor, prev *ParamSet) *ParamSet {
+	if prev == nil || len(prev.values) != len(params) {
+		return NewParamSet(version, params)
+	}
+	values := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		old := prev.values[i]
+		if old.Rows == p.W.Rows && old.Cols == p.W.Cols && bitsEqual(old.Data, p.W.Data) {
+			values[i] = old
+			continue
+		}
+		values[i] = p.W.Clone()
+	}
+	ps := &ParamSet{version: version, values: values}
+	ps.fp = ps.RecomputeFingerprint()
+	return ps
+}
+
+// bitsEqual compares two float32 slices bit-for-bit (NaN == NaN, 0 != −0),
+// the equality that matters for fingerprint stability.
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Version returns the snapshot's publish version.
 func (ps *ParamSet) Version() uint64 { return ps.version }
 

@@ -38,6 +38,86 @@ func TestParamSetSnapshotIsolation(t *testing.T) {
 	}
 }
 
+// TestParamSetFromAliasesUnchanged: an incremental snapshot must alias the
+// previous set's matrices for untouched tensors, clone touched ones, and
+// carry a fingerprint identical to the full-clone snapshot of the same
+// values — so no_torn_params cannot tell the two publish paths apart.
+func TestParamSetFromAliasesUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	params := randomParams(rng, 5)
+	prev := NewParamSet(1, params)
+
+	// Trainer touches tensors 1 and 3 only.
+	params[1].W.Data[0] += 0.5
+	params[3].W.Fill(-2)
+
+	inc := NewParamSetFrom(2, params, prev)
+	full := NewParamSet(2, params)
+	if inc.Fingerprint() != full.Fingerprint() {
+		t.Fatalf("incremental fingerprint %016x, full-clone %016x", inc.Fingerprint(), full.Fingerprint())
+	}
+	if inc.Fingerprint() != inc.RecomputeFingerprint() {
+		t.Fatal("incremental snapshot fails its own torn-params re-hash")
+	}
+	for i := range params {
+		aliased := inc.Value(i) == prev.Value(i)
+		touched := i == 1 || i == 3
+		if touched && aliased {
+			t.Fatalf("tensor %d was touched but aliased to the previous set", i)
+		}
+		if !touched && !aliased {
+			t.Fatalf("tensor %d was untouched but cloned", i)
+		}
+		if inc.Value(i) == params[i].W {
+			t.Fatalf("tensor %d aliases the trainer's mutable matrix", i)
+		}
+	}
+
+	// Stepping the trainer copy afterwards must not leak into either set.
+	before := inc.Fingerprint()
+	for _, p := range params {
+		p.W.Fill(42)
+	}
+	if inc.RecomputeFingerprint() != before {
+		t.Fatal("incremental snapshot mutated by source update")
+	}
+	if prev.RecomputeFingerprint() != prev.Fingerprint() {
+		t.Fatal("previous snapshot mutated by source update")
+	}
+
+	// Degenerate inputs fall back to a full clone.
+	if got := NewParamSetFrom(3, params, nil).Fingerprint(); got != NewParamSet(3, params).Fingerprint() {
+		t.Fatalf("nil-prev fallback fingerprint %016x", got)
+	}
+	short := NewParamSet(1, params[:3])
+	if got := NewParamSetFrom(3, params, short).Fingerprint(); got != NewParamSet(3, params).Fingerprint() {
+		t.Fatalf("layout-mismatch fallback fingerprint %016x", got)
+	}
+}
+
+// TestParamShellBinds: a shell parameter carries shape but no storage, and
+// binding it to a set makes it indistinguishable from a bound full Param.
+func TestParamShellBinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	params := randomParams(rng, 3)
+	ps := NewParamSet(1, params)
+	shells := make([]*Tensor, len(params))
+	for i, p := range params {
+		shells[i] = ParamShell(p.W.Rows, p.W.Cols)
+		if shells[i].W.Data != nil || shells[i].G != nil {
+			t.Fatalf("shell %d allocated storage", i)
+		}
+	}
+	if err := BindParams(shells, ps); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shells {
+		if s.W != ps.Value(i) {
+			t.Fatalf("shell %d not aliased to the set's matrix", i)
+		}
+	}
+}
+
 // TestParamSetCopyToRoundTrip: CopyTo into a fresh parameter list must
 // reproduce the snapshot bitwise, and shape mismatches must be rejected.
 func TestParamSetCopyToRoundTrip(t *testing.T) {

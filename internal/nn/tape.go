@@ -48,6 +48,16 @@ func ParamFrom(m *tensor.Matrix) *Tensor {
 	return &Tensor{W: m, G: tensor.New(m.Rows, m.Cols), needGrad: true}
 }
 
+// ParamShell creates a rows×cols parameter tensor with shape but no value
+// or gradient storage. It exists for modules that are materialized only to
+// be bound to a published ParamSet (BindParams replaces W wholesale and the
+// read-only binding never touches G): skipping the two eager matrices makes
+// a parameter publish cost O(changed tensors) instead of O(model size). A
+// shell must be bound before any forward pass.
+func ParamShell(rows, cols int) *Tensor {
+	return &Tensor{W: &tensor.Matrix{Rows: rows, Cols: cols}, needGrad: true}
+}
+
 // Tape records operations so Backward can replay them in reverse. A plain
 // tape (NewTape/NewTrainingTape) is cheap to build fresh per forward pass.
 // A pooled tape (NewInferenceTape) is the opposite: it is built once, holds

@@ -53,7 +53,8 @@ func newModel(tr *Trace, o RunOptions) (*core.Model, error) {
 		NumNodes: tr.NumNodes, EdgeDim: tr.EdgeDim,
 		Slots: 6, Neighbors: 5, Hops: 2, Heads: 2, Hidden: 32,
 		BatchSize: o.BatchSize, Seed: o.Seed + 7, Shards: 8,
-		GraphBackend: o.GraphBackend,
+		GraphBackend:  o.GraphBackend,
+		EvictMaxNodes: o.EvictMaxNodes,
 	})
 }
 

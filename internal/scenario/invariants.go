@@ -57,6 +57,20 @@ const (
 	// (flat, sharded, remote-sim) reproduces scores and runtime digest
 	// bitwise per (seed, scenario).
 	InvBackendParity = "backend_parity"
+	// InvTenantIsolation: under a flash-crowd aggressor tenant, the victim
+	// tenant loses nothing (zero drops, bounded sync p99) while the
+	// aggressor is shed at its event-time rate gate — and the whole
+	// protocol replays bitwise per (seed, contract).
+	InvTenantIsolation = "tenant_isolation"
+	// InvTenantAccounting: per-tenant conservation after the final drain —
+	// every submission that entered a tenant's ledger is applied or
+	// dropped (submitted = applied + dropped), with empty queues.
+	InvTenantAccounting = "tenant_accounting"
+	// InvEvictionBounded: under a binding cold-state budget, the warm set
+	// never exceeds the budget, evicting runs are bitwise deterministic
+	// (scores and digest), and the labeled AP stays within a fixed loss
+	// bound of the unbounded-memory reference.
+	InvEvictionBounded = "eviction_bounded"
 	// InvFailover: a log-shipped warm-standby follower, promoted after the
 	// leader dies — with clean, torn, fsync-latched and follower-crash
 	// failure arms — lands on a batch boundary bitwise identical

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"apan/internal/async"
 	"apan/internal/core"
 	"apan/internal/eval"
 )
@@ -54,6 +55,19 @@ type Scenario struct {
 	// runtime must be bitwise identical (RuntimeDigest) to an uninterrupted
 	// run at the recovery point and again at end of stream.
 	KillRecover bool
+	// NoisyNeighbor runs the multi-tenant isolation protocol: the trace's
+	// flash-crowd burst is attributed to an aggressor tenant with a binding
+	// event-time rate cap while steady traffic belongs to an uncapped
+	// victim; the victim must lose nothing, the aggressor must be shed at
+	// the gate, each tenant's ledger must conserve (submitted = applied +
+	// dropped), and the whole protocol must replay bitwise.
+	NoisyNeighbor bool
+	// EvictPressure reruns the direct path under a binding cold-state
+	// eviction budget (a third of the node space): the warm set must stay
+	// within budget, evicting runs must be bitwise deterministic, and the
+	// labeled AP must stay within a fixed loss bound of the no-eviction
+	// reference run.
+	EvictPressure bool
 	// Failover runs the warm-standby protocol: the leader ships its WAL to a
 	// follower that replays continuously, lags behind a seeded pause point,
 	// and is promoted when the leader dies — under clean and torn shipped
@@ -93,6 +107,10 @@ func Bundled() []Scenario {
 			Description: "seeded process kill (clean + torn-write tails); checkpoint + WAL replay must be bitwise"},
 		{Name: "failover", Workload: FlashCrowd, Failover: true,
 			Description: "log-shipped warm standby promoted after leader death (torn/fsync/follower-crash arms); takeover must be bitwise"},
+		{Name: "noisy_neighbor", Workload: FlashCrowd, NoisyNeighbor: true,
+			Description: "flash-crowd aggressor tenant vs steady victim; rate-gate shedding, per-tenant conservation, bitwise replay"},
+		{Name: "eviction_pressure", Workload: FraudRing, Labeled: true, TrainFrac: 0.3, EvictPressure: true,
+			Description: "binding cold-state eviction budget; warm set bounded, bitwise-deterministic, AP loss vs no-eviction reference bounded"},
 	}
 }
 
@@ -112,6 +130,10 @@ type RunOptions struct {
 	// backend_parity invariant reruns the direct path on the other backends
 	// and requires bitwise score and digest agreement.
 	GraphBackend string
+	// EvictMaxNodes passes a cold-state eviction budget to every model the
+	// run constructs (0 disables); the eviction-pressure driver sets it on
+	// its A/B arm only.
+	EvictMaxNodes int
 }
 
 func (o *RunOptions) normalize() {
@@ -181,6 +203,15 @@ type Result struct {
 	// promotion had to catch up on from the shipped log.
 	PromotedBatch  int `json:"promoted_batch,omitempty"`
 	TakeoverEvents int `json:"takeover_events,omitempty"`
+	// Noisy-neighbor metrics: the per-tenant admission ledgers after the
+	// final drain.
+	Tenants map[string]async.TenantStats `json:"tenants,omitempty"`
+	// Eviction-pressure metrics: the binding budget, how many evictions
+	// fired, and the evicting run's labeled AP (AP above holds the
+	// no-eviction reference).
+	EvictBudget  int      `json:"evict_budget,omitempty"`
+	EvictEvicted uint64   `json:"evict_evicted,omitempty"`
+	EvictAP      *float64 `json:"evict_ap,omitempty"`
 
 	Invariants []InvariantResult `json:"invariants"`
 	Violations []Violation       `json:"violations,omitempty"`
@@ -421,6 +452,60 @@ func Run(sc Scenario, o RunOptions) (*Result, error) {
 		res.addInvariant(InvFailover, vs)
 	} else {
 		res.skipInvariant(InvFailover)
+	}
+
+	// Multi-tenant noisy neighbor: aggressor shed at the rate gate, victim
+	// isolated, per-tenant conservation, bitwise replay of the protocol.
+	if sc.NoisyNeighbor {
+		runA, err := runNoisyNeighbor(tr, o)
+		if err != nil {
+			return nil, err
+		}
+		runB, err := runNoisyNeighbor(tr, o)
+		if err != nil {
+			return nil, err
+		}
+		vs := checkTenantIsolation(runA, sc.Name, o.Seed)
+		vs = append(vs, compareScores(InvTenantIsolation, sc.Name, o.Seed, runA.batches, runA.scores, runB.scores, "tenants1", "tenants2")...)
+		if runA.digest != runB.digest {
+			vs = append(vs, Violation{Invariant: InvTenantIsolation, Scenario: sc.Name, Seed: o.Seed, EventIndex: -1,
+				Detail: fmt.Sprintf("tenant protocol digests differ: %016x vs %016x", runA.digest, runB.digest)})
+		}
+		res.addInvariant(InvTenantIsolation, vs)
+		res.addInvariant(InvTenantAccounting, checkTenantConservation(runA, sc.Name, o.Seed))
+		res.Tenants = runA.stats
+		// The table reports the tenanted path's stream accounting.
+		var applied, dropped int
+		for i, b := range runA.batches {
+			if runA.dropped[i] {
+				dropped += len(b)
+			} else {
+				applied += len(b)
+			}
+		}
+		res.Applied, res.Dropped = applied, dropped
+	} else {
+		res.skipInvariant(InvTenantIsolation)
+		res.skipInvariant(InvTenantAccounting)
+	}
+
+	// Cold-state eviction pressure: warm set bounded, bitwise determinism,
+	// labeled AP within the loss bound of the no-eviction reference.
+	if sc.EvictPressure {
+		vs, evRun, err := checkEvictionPressure(tr, o, sc, ref, batches)
+		if err != nil {
+			return nil, err
+		}
+		res.addInvariant(InvEvictionBounded, vs)
+		if st, ok := evRun.model.EvictionStats(); ok {
+			res.EvictBudget = st.Budget
+			res.EvictEvicted = st.Evicted
+		}
+		if ap := headAP(evRun.samples, o.Seed); !math.IsNaN(ap) {
+			res.EvictAP = &ap
+		}
+	} else {
+		res.skipInvariant(InvEvictionBounded)
 	}
 
 	// Mid-stream checkpoint/restore rewind.

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"apan/internal/async"
+	"apan/internal/core"
 	"apan/internal/replica"
 	"apan/internal/tgraph"
 	"apan/internal/train"
@@ -204,10 +205,14 @@ type EventJSON struct {
 }
 
 // ScoreRequest is the POST /v1/score body: either the single-event fields
-// inline, or a batch under "events" (mutually exclusive).
+// inline, or a batch under "events" (mutually exclusive). Tenant attributes
+// the request to a tenant when the pipeline runs multi-tenant admission; it
+// overrides the X-Tenant header, and both default to the pipeline's default
+// tenant when absent.
 type ScoreRequest struct {
 	EventJSON
 	Events []EventJSON `json:"events"`
+	Tenant string      `json:"tenant,omitempty"`
 }
 
 // ScoreResponse answers POST /v1/score. Score is set for single-event
@@ -225,13 +230,19 @@ type ScoreResponse struct {
 	// heartbeat. Absent on leader/standalone responses.
 	Role      string `json:"role,omitempty"`
 	LagEvents int64  `json:"lag_events,omitempty"`
+	// Tenant echoes the tenant the request was attributed to; present only
+	// when the pipeline runs multi-tenant admission.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ErrorBody is the structured error envelope of every non-2xx response.
+// Tenant is set on tenant-attributed rejections (429s) so a multi-tenant
+// client can tell whose budget was exhausted.
 type ErrorBody struct {
 	Error struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
+		Tenant  string `json:"tenant,omitempty"`
 	} `json:"error"`
 }
 
@@ -254,6 +265,13 @@ type StatsResponse struct {
 	// best-effort durability rather than failing applies; the operator sees
 	// it here). Absent when the model serves without a WAL.
 	WAL *wal.Stats `json:"wal,omitempty"`
+	// Tenants reports per-tenant admission accounting — submitted, applied,
+	// dropped, rate-limited, queue depths, weight and lane — keyed by tenant
+	// id. Absent when the pipeline runs without multi-tenant admission.
+	Tenants map[string]async.TenantStats `json:"tenants,omitempty"`
+	// Eviction reports the cold-state evictor's budget, warm-set size and
+	// eviction/re-admission counters. Absent when eviction is disabled.
+	Eviction *core.EvictionStats `json:"eviction,omitempty"`
 	// Role is "leader" or "follower" when replication is wired (absent on
 	// standalone servers); FollowerLagEvents is the ship-heartbeat lag and
 	// WALLatchedError surfaces the log's latched I/O error string at the top
@@ -382,6 +400,41 @@ func submitErr(w http.ResponseWriter, err error) {
 	}
 }
 
+// submitTenantErr is submitErr for tenant-attributed submissions: the two
+// per-tenant rejections — a spent rate bucket and a full tenant queue — are
+// that tenant's problem, not the server's, so they answer 429 with the
+// tenant id in the error envelope; everything else keeps the shared mapping.
+func submitTenantErr(w http.ResponseWriter, tenant string, err error) {
+	var code string
+	switch {
+	case errors.Is(err, async.ErrRateLimited):
+		code = "rate_limited"
+	case errors.Is(err, async.ErrQueueFull):
+		code = "tenant_queue_full"
+	default:
+		submitErr(w, err)
+		return
+	}
+	var body ErrorBody
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	body.Error.Tenant = tenant
+	writeJSON(w, http.StatusTooManyRequests, body)
+}
+
+// tenantFor resolves the tenant a score request is attributed to: the JSON
+// "tenant" field wins, then the X-Tenant header, then the pipeline's default
+// tenant. Only meaningful when the pipeline runs multi-tenant admission.
+func tenantFor(r *http.Request, req *ScoreRequest) string {
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		return h
+	}
+	return async.DefaultTenant
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	var req ScoreRequest
@@ -413,12 +466,26 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		var scores []float32
 		var lat time.Duration
 		var err error
-		if follower {
+		switch {
+		case follower:
 			// Read-only: score from the replayed state, apply nothing, stamp
 			// the staleness the caller is reading.
 			scores, lat, err = s.pipe.ScoreOnly(events)
 			resp.Role, resp.LagEvents = "follower", s.replication.LagEvents()
-		} else {
+		case s.pipe.Tenancy():
+			// Tenant-attributed, non-blocking: a spent rate bucket or a full
+			// tenant queue sheds the request with a structured 429 instead of
+			// parking the handler — one tenant's burst must not hold handler
+			// goroutines hostage while others wait.
+			tenant := tenantFor(r, &req)
+			s.admit(events)
+			scores, lat, err = s.pipe.TrySubmitTenant(tenant, events)
+			if err != nil {
+				submitTenantErr(w, tenant, err)
+				return
+			}
+			resp.Tenant = tenant
+		default:
 			s.admit(events)
 			scores, lat, err = s.pipe.Submit(r.Context(), events)
 		}
@@ -459,6 +526,27 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.pipe.Tenancy() {
+		// Tenant-attributed single events skip the micro-batcher: a coalesced
+		// flush mixes events from many requests into one submission, which
+		// would attribute every rider's cost to whichever tenant flushed.
+		tenant := tenantFor(r, &req)
+		s.admit([]tgraph.Event{ev})
+		scores, lat, err := s.pipe.TrySubmitTenant(tenant, []tgraph.Event{ev})
+		if err != nil {
+			submitTenantErr(w, tenant, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ScoreResponse{
+			Score:      &scores[0],
+			Count:      1,
+			SyncMicros: lat.Microseconds(),
+			BatchSize:  1,
+			QueueDepth: s.pipe.Stats().QueueDepth,
+			Tenant:     tenant,
+		})
+		return
+	}
 	s.admit([]tgraph.Event{ev})
 	score, lat, size, err := s.batcher.Score(r.Context(), ev)
 	if err != nil {
@@ -485,6 +573,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batcher:       s.batcher.Stats(),
 		ParamVersion:  s.pipe.ParamVersion(),
 		GraphBackend:  s.pipe.GraphBackend(),
+		Tenants:       s.pipe.TenantStats(),
+		Eviction:      s.pipe.EvictionStats(),
 		WAL:           s.pipe.WALStats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"apan/internal/async"
+	"apan/internal/tgraph"
+)
+
+// getStats fetches and decodes GET /v1/stats.
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestTenantRoundTrip proves the tenant id survives the wire in both
+// directions: the JSON field and the X-Tenant header attribute the request,
+// the response echoes the tenant, and /v1/stats carries its ledger.
+func TestTenantRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, Options{},
+		async.WithTenants(async.TenantConfig{ID: "acme", Weight: 2}))
+
+	// Batch body with the JSON field.
+	resp, raw := postScore(t, ts.URL, ScoreRequest{
+		Events: []EventJSON{{Src: 0, Dst: 1, Time: 1, Feat: feat()}},
+		Tenant: "acme",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tenant != "acme" {
+		t.Fatalf("response tenant %q, want acme: %s", sr.Tenant, raw)
+	}
+
+	// Single-event body with the header only.
+	buf, _ := json.Marshal(EventJSON{Src: 2, Dst: 3, Time: 2, Feat: feat()})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/score", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "acme")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hr ScoreResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hr.Tenant != "acme" {
+		t.Fatalf("header-attributed request: status %d tenant %q", hresp.StatusCode, hr.Tenant)
+	}
+
+	stats := getStats(t, ts.URL)
+	acme, ok := stats.Tenants["acme"]
+	if !ok {
+		t.Fatalf("stats missing tenants block for acme: %+v", stats.Tenants)
+	}
+	if acme.Submitted != 2 {
+		t.Fatalf("acme submitted %d, want 2", acme.Submitted)
+	}
+	if acme.Weight != 2 {
+		t.Fatalf("acme weight %d, want 2", acme.Weight)
+	}
+	if _, ok := stats.Tenants[async.DefaultTenant]; !ok {
+		t.Fatal("stats should always carry the default tenant")
+	}
+}
+
+// TestTenant429RateLimited proves a spent rate bucket answers a structured
+// 429 whose body names the tenant — the full wire round-trip of satellite
+// accounting: the drop also lands on the tenant's ledger in /v1/stats.
+func TestTenant429RateLimited(t *testing.T) {
+	ts, _ := newTestServer(t, Options{},
+		async.WithTenants(async.TenantConfig{ID: "burster", Rate: 0.5, Burst: 1}))
+
+	ev := []EventJSON{{Src: 0, Dst: 1, Time: 1, Feat: feat()}}
+	resp, raw := postScore(t, ts.URL, ScoreRequest{Events: ev, Tenant: "burster"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request should pass: %d %s", resp.StatusCode, raw)
+	}
+
+	// Same event time: the event-time bucket cannot have refilled.
+	resp, raw = postScore(t, ts.URL, ScoreRequest{Events: ev, Tenant: "burster"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "rate_limited" {
+		t.Fatalf("code %q, want rate_limited", eb.Error.Code)
+	}
+	if eb.Error.Tenant != "burster" {
+		t.Fatalf("429 body tenant %q, want burster: %s", eb.Error.Tenant, raw)
+	}
+
+	stats := getStats(t, ts.URL)
+	b := stats.Tenants["burster"]
+	if b.RateLimited != 1 || b.Dropped != 1 {
+		t.Fatalf("ledger after 429: %+v", b)
+	}
+	if b.Submitted != 2 {
+		t.Fatalf("submitted %d, want 2 (rate-limited attempts count)", b.Submitted)
+	}
+}
+
+// TestTenant429QueueFull proves a full tenant queue answers 429
+// tenant_queue_full (not the shared 503) with the tenant named.
+func TestTenant429QueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	parked := make(chan struct{}, 8)
+	ts, pipe := newTestServer(t, Options{},
+		async.WithTenants(async.TenantConfig{ID: "bulk", QueueCap: 1}),
+		async.WithBeforeApply(func(_ []tgraph.Event) { parked <- struct{}{}; <-gate }),
+	)
+	_ = pipe
+	defer close(gate)
+
+	ev := func(tm float64) ScoreRequest {
+		return ScoreRequest{Events: []EventJSON{{Src: 0, Dst: 1, Time: tm, Feat: feat()}}, Tenant: "bulk"}
+	}
+	// First submission is dequeued and parks the worker; wait until it has.
+	if resp, raw := postScore(t, ts.URL, ev(1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first: %d %s", resp.StatusCode, raw)
+	}
+	<-parked
+	// Second fills the 1-slot queue.
+	if resp, raw := postScore(t, ts.URL, ev(2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second: %d %s", resp.StatusCode, raw)
+	}
+	// Third must shed with a tenant-scoped 429.
+	resp, raw := postScore(t, ts.URL, ev(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "tenant_queue_full" || eb.Error.Tenant != "bulk" {
+		t.Fatalf("429 body: %s", raw)
+	}
+}

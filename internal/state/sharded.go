@@ -147,6 +147,16 @@ func (s *Sharded) Touched(n int32) bool {
 	return ok
 }
 
+// ClearNode resets node n to the cold-start condition (see Store.ClearNode),
+// locking only n's shard.
+func (s *Sharded) ClearNode(n int32) {
+	sh, local := s.locate(n)
+	sh.mu.Lock()
+	sh.st.ClearNode(local)
+	sh.gen++
+	sh.mu.Unlock()
+}
+
 // Grow extends the store to hold n nodes, preserving existing contents. It
 // locks every shard, so it must not be called while the caller holds any
 // per-node operation open. No-op when n ≤ NumNodes.

@@ -87,6 +87,19 @@ func (s *Store) LastTime(n int32) float64 { return s.lastTime[n] }
 // Touched reports whether node n has ever been updated.
 func (s *Store) Touched(n int32) bool { return s.touched[n] }
 
+// ClearNode resets node n to the never-updated cold-start condition: zero
+// embedding, zero update time, untouched. This is the state half of
+// cold-state eviction — an evicted node is indistinguishable from one the
+// stream has never named.
+func (s *Store) ClearNode(n int32) {
+	row := s.z[int(n)*s.dim : (int(n)+1)*s.dim]
+	for i := range row {
+		row[i] = 0
+	}
+	s.lastTime[n] = 0
+	s.touched[n] = false
+}
+
 // Reset zeroes the store.
 func (s *Store) Reset() {
 	for i := range s.z {
