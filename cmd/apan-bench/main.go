@@ -29,6 +29,8 @@ import (
 	"flag"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,8 +56,42 @@ func main() {
 		models      = flag.String("models", "", "comma-separated model subset (default: the paper's)")
 		jsonOut     = flag.Bool("json", false, "write the perf/scenarios experiment's results to -json-out")
 		jsonPath    = flag.String("json-out", "BENCH_apan.json", "path of the machine-readable experiment record")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		// log.Fatalf on an experiment error skips these; a truncated profile
+		// of a failed run is not worth keeping anyway.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("-cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("-memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live set, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	o := bench.Options{
 		Scale:        *scale,

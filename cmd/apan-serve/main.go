@@ -66,6 +66,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -76,6 +77,12 @@ import (
 	"apan/internal/serve"
 )
 
+// shardedBackendMinCores is the -graph-backend auto crossover: below this
+// core count the sharded store's per-partition locking costs more than the
+// flat store's single mutex saves (graph_{flat,sharded}_p1 in BENCH_apan.json;
+// docs/performance.md "Graph backend crossover").
+const shardedBackendMinCores = 4
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("apan-serve: ")
@@ -85,7 +92,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.02, "training dataset scale")
 		epochs      = flag.Int("epochs", 3, "training epochs before serving")
 		dbLatency   = flag.Duration("db-latency", 0, "simulated graph-DB latency per query on the async link")
-		graphBack   = flag.String("graph-backend", "flat", "temporal-graph store: flat|sharded|remote-sim (sharded lifts the serial apply point; docs/architecture.md)")
+		graphBack   = flag.String("graph-backend", "auto", "temporal-graph store: auto|flat|sharded|remote-sim (auto: sharded on ≥4 cores, flat below — the measured crossover; docs/performance.md)")
 		queueCap    = flag.Int("queue-cap", 256, "propagation queue capacity (backpressure bound)")
 		workers     = flag.Int("workers", 1, "asynchronous propagation workers")
 		batchWindow = flag.Duration("batch-window", time.Millisecond, "micro-batch coalescing window for single-event requests")
@@ -97,6 +104,8 @@ func main() {
 		demoBatch   = flag.Int("demo-batch", 50, "events per request in demo replay")
 		demo        = flag.Bool("demo", false, "replay the test stream over HTTP, print latency stats, then exit")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap, allocs, profile, trace — see docs/performance.md)")
+		quantize    = flag.Bool("quantize", false, "score with int8-quantized published weights: per-channel symmetric, quantized once per publish (≤0.02 AP drift bound; docs/performance.md)")
+		kernelTier  = flag.String("kernel-tier", "", "linear-algebra kernel tier: default|wide|asm where available (empty keeps the process default; docs/performance.md)")
 
 		loadPath  = flag.String("load", "", "start from this checkpoint (parameters + streaming state) instead of training")
 		ckptPath  = flag.String("checkpoint", "apan-serve.ckpt", "checkpoint path for -checkpoint-every")
@@ -126,10 +135,25 @@ func main() {
 	ds := apan.Wikipedia(apan.DatasetConfig{Scale: *scale, Seed: *seed})
 	split := ds.Split(0.70, 0.15)
 
+	backend := *graphBack
+	if backend == "auto" {
+		// All backends are bit-exact, so auto is purely a throughput choice:
+		// per-partition locking only pays for itself once appliers actually
+		// run concurrently. Below the crossover (measured in
+		// docs/performance.md) the flat store's single mutex is faster.
+		backend = apan.GraphBackendFlat
+		if runtime.NumCPU() >= shardedBackendMinCores {
+			backend = apan.GraphBackendSharded
+		}
+	}
+
 	cfg := apan.Config{
 		NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim, Seed: *seed,
 		Shards: *shards, InferWorkers: *inferWork,
-		GraphBackend: *graphBack,
+		GraphBackend: backend,
+
+		Quantize:   *quantize,
+		KernelTier: *kernelTier,
 
 		IncrementalCheckpoints: *ckptIncr,
 		EvictMaxNodes:          *evictMax,

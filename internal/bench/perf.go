@@ -114,6 +114,35 @@ func RunPerf(o Options) (*PerfReport, error) {
 		add(mode.name, len(batch), r)
 	}
 
+	// Int8 quantized scoring, same geometry as infer_batch_pooled: the
+	// dense-layer GEMMs run int8·int8→int32 over per-channel quantized
+	// published weights with on-the-fly activation quantization (quantized
+	// once per publish, not per batch). The delta vs infer_batch_pooled is
+	// the throughput the ≤0.02 AP quantized_drift budget buys.
+	{
+		cfg := core.Config{
+			NumNodes: ds.NumNodes, EdgeDim: ds.EdgeDim,
+			Slots: o.Slots, Neighbors: o.Fanout,
+			BatchSize: o.BatchSize, Seed: o.Seed,
+			Quantize: true,
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		warm := 1000
+		m.EvalStream(ds.Events[:warm], nil)
+		batch := ds.Events[warm : warm+o.BatchSize]
+		m.InferBatch(batch).Release() // warm the workspace pool
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.InferBatch(batch).Release()
+			}
+		})
+		add("infer_batch_int8", len(batch), r)
+	}
+
 	// Concurrent scoring throughput across a GOMAXPROCS sweep: the sharded,
 	// lock-striped stores are supposed to scale synchronous-link reads, and
 	// this row set records whether they do on this machine (flat beyond the
@@ -406,6 +435,13 @@ func RunPerf(o Options) (*PerfReport, error) {
 		}
 		tn.Observe(ds.Events[:1000])
 		tn.Pump() // fill the replay buffer without stepping
+		for i := 0; i < 3; i++ {
+			// Warm the trainer's reusable mini-batch buffers so the row
+			// records the steady state the zero-alloc guard enforces.
+			if !tn.TrainStep() {
+				return nil, fmt.Errorf("bench: train warm-up step skipped")
+			}
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
 
 // PositionalMode selects how mailbox slots are position-encoded before
 // attention.
@@ -106,6 +110,20 @@ type Config struct {
 	// arithmetic is identical — this knob exists as the benchmark baseline
 	// and as an escape hatch, like Shards=1 for the store layer.
 	NoWorkspacePool bool
+	// Quantize serves scores from per-channel symmetric int8 quantizations of
+	// the published dense-layer weights (int32-accumulator GEMMs, everything
+	// else float32). Each SwapParams publish quantizes the new set once; the
+	// serving forward pass then intercepts the dense MatMuls. Scores drift
+	// from float32 by the rounding of the int8 GEMMs — bounded at ≤ 0.02 AP
+	// on the fraud trace by the quantized_drift scenario invariant — so this
+	// knob trades exactness for throughput. Off by default.
+	Quantize bool
+	// KernelTier selects the process-wide linear-algebra kernel tier by name
+	// ("default", "wide", and "asm" where the hardware supports it; see
+	// tensor.SetTier). Empty leaves the process tier alone — the bit-exact
+	// default, unless APAN_KERNEL_TIER overrode it at init. Unknown names are
+	// a Normalize error.
+	KernelTier string
 	// NoExplain skips recording the per-pass attention copy that Explain
 	// serves. The copy happens under a model-wide mutex on every forward
 	// pass, so deployments that never query /v1/explain can turn it off;
@@ -184,6 +202,14 @@ func (c *Config) Normalize() error {
 	}
 	if c.Slots < 1 || c.Neighbors < 1 || c.Hops < 1 {
 		return fmt.Errorf("core: Slots/Neighbors/Hops must be ≥1")
+	}
+	if c.KernelTier != "" {
+		// Tier selection is process-wide by design (see tensor.SetTier); an
+		// empty KernelTier never touches it, so models that don't opt in keep
+		// whatever the process (or APAN_KERNEL_TIER) already chose.
+		if err := tensor.SetTier(c.KernelTier); err != nil {
+			return fmt.Errorf("core: Config.KernelTier: %w", err)
+		}
 	}
 	return nil
 }

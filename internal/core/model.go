@@ -292,6 +292,47 @@ func (m *Model) GatherInputs(nodes []tgraph.NodeID, times []float64) *EncodeInpu
 	return ReadInputsParallel(m.st, m.mbox, nodes, times, 1)
 }
 
+// GatherInputsInto is GatherInputs reusing the caller's bundle and timestamp
+// scratch across calls, so a steady-state online trainer assembles
+// mini-batch inputs without allocating. All buffers are grown in place as
+// needed; mail rows past each node's valid count are explicitly zeroed, so
+// the bundle is indistinguishable from a freshly allocated one.
+func (m *Model) GatherInputsInto(in *EncodeInput, ts *[]float64, nodes []tgraph.NodeID, times []float64) {
+	m.storeMu.RLock()
+	defer m.storeMu.RUnlock()
+	b := len(nodes)
+	d := m.st.Dim()
+	sl := m.mbox.Slots()
+	in.Nodes = nodes
+	in.Times = times
+	in.ZPrev = growMatrixRaw(in.ZPrev, b, d)
+	in.Mails = growMatrixRaw(in.Mails, b*sl, d)
+	in.DTs = grow(in.DTs, b*sl)
+	clear(in.DTs)
+	in.Counts = grow(in.Counts, b)
+	*ts = grow(*ts, sl)
+	gatherInto(m.st, m.mbox, nodes, times, 1, in, *ts)
+	// Stale data in the reused Mails rows past each node's valid count would
+	// leak into the encoder (fresh gathers hand it zeros there); clear them.
+	for i, c := range in.Counts[:b] {
+		if c < sl {
+			clear(in.Mails.Data[(i*sl+c)*d : (i+1)*sl*d])
+		}
+	}
+}
+
+// growMatrixRaw resizes mx to rows×cols, reusing its backing array when it
+// fits. Contents are unspecified — the caller must overwrite every row it
+// reads.
+func growMatrixRaw(mx *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if mx == nil || cap(mx.Data) < rows*cols {
+		return tensor.New(rows, cols)
+	}
+	mx.Rows, mx.Cols = rows, cols
+	mx.Data = mx.Data[:rows*cols]
+	return mx
+}
+
 // NumNodes returns the current node-ID space, which EnsureNodes may have
 // grown past Cfg.NumNodes.
 func (m *Model) NumNodes() int {
@@ -737,6 +778,7 @@ func (m *Model) InferBatch(events []tgraph.Event) *Inference {
 	ws.gather(m.st, m.mbox, ws.plan.nodes, ws.plan.times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
 	tp := ws.tape
+	tp.SetQuantized(pv.quant)
 	z, att := pv.enc.Forward(tp, &ws.in)
 	zsrc := tp.Gather(z, ws.plan.srcRow)
 	zdst := tp.Gather(z, ws.plan.dstRow)
@@ -904,6 +946,7 @@ func (m *Model) Embed(nodes []tgraph.NodeID, times []float64) *tensor.Matrix {
 	m.storeMu.RLock()
 	ws.gather(m.st, m.mbox, nodes, times, m.Cfg.InferWorkers)
 	m.storeMu.RUnlock()
+	ws.tape.SetQuantized(pv.quant)
 	z, _ := pv.enc.Forward(ws.tape, &ws.in)
 	out := z.Value().Clone()
 	ws.release()

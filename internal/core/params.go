@@ -15,6 +15,11 @@ type paramVersion struct {
 	set *nn.ParamSet
 	enc *Encoder
 	dec *LinkDecoder
+	// quant is the int8 quantization of set's dense-layer weights, built once
+	// at publish when Config.Quantize is on (nil otherwise). Serving tapes
+	// attach it per batch, so every quantized score is attributable to the
+	// same single version as its float32 counterpart would be.
+	quant *nn.QuantParamSet
 }
 
 // NewForwardModules constructs the encoder/decoder pair for cfg's
@@ -41,7 +46,11 @@ func (m *Model) newParamVersion(set *nn.ParamSet) (*paramVersion, error) {
 	if err := nn.BindParams(append(enc.Params(), dec.Params()...), set); err != nil {
 		return nil, err
 	}
-	return &paramVersion{set: set, enc: enc, dec: dec}, nil
+	pv := &paramVersion{set: set, enc: enc, dec: dec}
+	if m.Cfg.Quantize {
+		pv.quant = nn.QuantizeParamSet(set)
+	}
+	return pv, nil
 }
 
 // SwapParams snapshots params (copy-on-write: the caller keeps stepping its

@@ -57,6 +57,10 @@ type propScratch struct {
 	freelist []*mailAccum
 	mail     []float32
 	zScratch []float32
+	// khop and seeds back the per-event k-hop traversal; the returned hop
+	// slices alias khop and are consumed before the next event's query.
+	khop  tgraph.KHopScratch
+	seeds [2]tgraph.NodeID
 }
 
 // mailAccum accumulates the mails a node receives within one batch so ρ can
@@ -159,7 +163,8 @@ func (p *Propagator) ProcessBatch(events []tgraph.Event, zOf *state.Sharded) {
 		// Hops 1..k−1: neighbors by most-recent sampling, strictly before t,
 		// so the mail travels along pre-existing temporal edges.
 		if p.cfg.Hops > 1 {
-			hops := p.db.KHopMostRecent([]tgraph.NodeID{ev.Src, ev.Dst}, ev.Time, p.cfg.Neighbors, p.cfg.Hops-1)
+			s.seeds[0], s.seeds[1] = ev.Src, ev.Dst
+			hops := p.db.KHopMostRecentInto(&s.khop, s.seeds[:], ev.Time, p.cfg.Neighbors, p.cfg.Hops-1)
 			for _, level := range hops {
 				for _, inc := range level {
 					p.deliver(s, inc.Peer, mail, ev.Time)

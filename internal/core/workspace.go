@@ -52,7 +52,16 @@ func (m *Model) newInferWorkspace() *inferWorkspace {
 // pre-pooling allocation behavior while running the exact same arithmetic.
 func (m *Model) acquireWorkspace() *inferWorkspace {
 	if m.Cfg.NoWorkspacePool {
-		return &inferWorkspace{tape: nn.NewTape()}
+		ws := &inferWorkspace{}
+		if m.Cfg.Quantize {
+			// The int8 MatMul interception requires a nograd tape; under
+			// quantization the unpooled baseline uses a throwaway inference
+			// tape (its pool dies with the workspace) instead of NewTape.
+			ws.tape = nn.NewInferenceTape(&ws.pool)
+		} else {
+			ws.tape = nn.NewTape()
+		}
+		return ws
 	}
 	m.wsMu.Lock()
 	if n := len(m.wsFree); n > 0 {

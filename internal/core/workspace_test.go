@@ -173,6 +173,34 @@ func TestInferBatchZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestInferBatchZeroAllocQuantized extends the steady-state guard to int8
+// quantized serving (Config.Quantize): the int8 weight blocks are cached
+// per publish and activation scratch draws from the tape arenas, so the
+// quantized pass must be as allocation-free as the float32 one.
+func TestInferBatchZeroAllocQuantized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	ds := tinyData(1)
+	cfg := tinyConfig(ds.NumNodes)
+	cfg.Quantize = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EvalStream(ds.Events[:200], nil)
+	batch := ds.Events[200:240]
+	for i := 0; i < 3; i++ {
+		m.InferBatch(batch).Release()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		m.InferBatch(batch).Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state quantized InferBatch allocated %.2f times per op, want 0", allocs)
+	}
+}
+
 // TestInferBatchZeroAllocParallel extends the zero-alloc guard to
 // GOMAXPROCS > 1: concurrent scorers must keep reusing warm workspaces
 // instead of constructing fresh ones. This regressed once when the

@@ -71,16 +71,15 @@ func (db *DB) MostRecentNeighbors(n tgraph.NodeID, t float64, k int, out []tgrap
 	return out
 }
 
-// KHopMostRecent is Store.KHopMostRecent with batched-gather accounting:
+// chargeKHop records batched-gather accounting for one k-hop traversal:
 // each frontier node counts as one logical query, but the whole hop travels
 // as a single round trip, so the latency model is charged once per hop on
 // the hop's total item count — the protocol a remote graph DB would use
 // (gather the frontier, answer in one response).
-func (db *DB) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
-	out := db.G.KHopMostRecent(seeds, t, fanout, hops)
-	frontier := len(seeds)
-	for h := 0; h < hops; h++ {
-		items := len(out[h])
+func (db *DB) chargeKHop(out [][]tgraph.Incidence, seeds int) {
+	frontier := seeds
+	for _, hop := range out {
+		items := len(hop)
 		db.queries.Add(int64(frontier))
 		db.items.Add(int64(items))
 		if db.Latency != nil {
@@ -92,6 +91,22 @@ func (db *DB) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int)
 		}
 		frontier = items
 	}
+}
+
+// KHopMostRecent is Store.KHopMostRecent with batched-gather accounting
+// (see chargeKHop).
+func (db *DB) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
+	out := db.G.KHopMostRecent(seeds, t, fanout, hops)
+	db.chargeKHop(out, len(seeds))
+	return out
+}
+
+// KHopMostRecentInto is KHopMostRecent through the backend's scratch-reuse
+// path when it has one, with the same batched-gather accounting. The result
+// lifetime follows tgraph.KHopScratch.
+func (db *DB) KHopMostRecentInto(sc *tgraph.KHopScratch, seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
+	out := tgraph.KHopMostRecentInto(db.G, sc, seeds, t, fanout, hops)
+	db.chargeKHop(out, len(seeds))
 	return out
 }
 

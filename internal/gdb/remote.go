@@ -133,6 +133,17 @@ func (r *Remote) KHopMostRecent(seeds []tgraph.NodeID, t float64, fanout, hops i
 	return out
 }
 
+// KHopMostRecentInto is KHopMostRecent through the inner store's
+// scratch-reuse path when it has one, charged identically: one RPC per hop
+// on the hop's item count. The result lifetime follows tgraph.KHopScratch.
+func (r *Remote) KHopMostRecentInto(sc *tgraph.KHopScratch, seeds []tgraph.NodeID, t float64, fanout, hops int) [][]tgraph.Incidence {
+	out := tgraph.KHopMostRecentInto(r.inner, sc, seeds, t, fanout, hops)
+	for h := 0; h < hops; h++ {
+		r.rpc(len(out[h]))
+	}
+	return out
+}
+
 // EventsBetween is one RPC returning the range.
 func (r *Remote) EventsBetween(lo, hi float64) []tgraph.Event {
 	ev := r.inner.EventsBetween(lo, hi)

@@ -97,43 +97,11 @@ func (tp *Tape) MaskedMHA(q, k, v *Tensor, heads int, counts []int) *Attention {
 	}
 
 	if out.needGrad {
-		out.back = func() {
-			for qi := 0; qi < b; qi++ {
-				n := counts[qi]
-				if n <= 0 {
-					continue
-				}
-				qrow := q.W.Row(qi)
-				grow := out.G.Row(qi)
-				for h := 0; h < heads; h++ {
-					lo := h * dh
-					qh := qrow[lo : lo+dh]
-					gh := grow[lo : lo+dh]
-					w := weights[(qi*heads+h)*slots : (qi*heads+h)*slots+slots]
-					// dα_i = gh·v_i ; ds_i = α_i (dα_i − Σ_j α_j dα_j).
-					dalpha := make([]float32, n)
-					var dot float32
-					for i := 0; i < n; i++ {
-						vh := v.W.Row(qi*slots + i)[lo : lo+dh]
-						dalpha[i] = tensor.Dot(gh, vh)
-						dot += w[i] * dalpha[i]
-					}
-					for i := 0; i < n; i++ {
-						ds := w[i] * (dalpha[i] - dot) * scale
-						if q.needGrad {
-							kh := k.W.Row(qi*slots + i)[lo : lo+dh]
-							tensor.Axpy(q.Grad().Row(qi)[lo:lo+dh], kh, ds)
-						}
-						if k.needGrad {
-							tensor.Axpy(k.Grad().Row(qi*slots + i)[lo:lo+dh], qh, ds)
-						}
-						if v.needGrad {
-							tensor.Axpy(v.Grad().Row(qi*slots + i)[lo:lo+dh], gh, w[i])
-						}
-					}
-				}
-			}
-		}
+		// dα scratch for the backward pass (one slot-wide buffer reused
+		// across every (query, head) iteration; see backward.go).
+		out.op, out.a, out.b, out.c = opMaskedMHA, q, k, v
+		out.i0, out.i1, out.sc = heads, slots, scale
+		out.f0, out.f1, out.cnts = weights, tp.scratch(slots), counts
 	}
 	tp.record(out)
 	att := tp.newAttention()

@@ -33,15 +33,7 @@ func (tp *Tape) BCEWithLogits(logits *Tensor, targets []float32) *Tensor {
 	}
 	out.W.Data[0] = sum / float32(n)
 	if out.needGrad {
-		out.back = func() {
-			if logits.needGrad {
-				g := logits.Grad()
-				gv := out.G.Data[0] / float32(n)
-				for i, y := range targets {
-					g.Data[i] += gv * (tensor.Sigmoid32(logits.W.Data[i]) - y)
-				}
-			}
-		}
+		out.op, out.a, out.f0 = opBCE, logits, targets
 	}
 	return tp.record(out)
 }
@@ -64,15 +56,7 @@ func (tp *Tape) MSE(pred *Tensor, target *tensor.Matrix) *Tensor {
 	}
 	out.W.Data[0] = sum / float32(n)
 	if out.needGrad {
-		out.back = func() {
-			if pred.needGrad {
-				g := pred.Grad()
-				gv := out.G.Data[0] * 2 / float32(n)
-				for i, v := range pred.W.Data {
-					g.Data[i] += gv * (v - target.Data[i])
-				}
-			}
-		}
+		out.op, out.a, out.aux = opMSE, pred, target
 	}
 	return tp.record(out)
 }

@@ -27,75 +27,24 @@ func (tp *Tape) LayerNormOp(x, g, b *Tensor) *Tensor {
 		invStd = tp.scratch(x.W.Rows)
 	}
 
+	// The per-row mean/variance/normalize loop is the fused LayerNormRow
+	// kernel, dispatched through the active tier (the default tier matches
+	// the historical inline loops bit-for-bit).
 	for r := 0; r < x.W.Rows; r++ {
 		row := x.W.Row(r)
-		var mean float32
-		for _, v := range row {
-			mean += v
-		}
-		mean /= float32(d)
-		var vr float32
-		for _, v := range row {
-			dv := v - mean
-			vr += dv * dv
-		}
-		vr /= float32(d)
-		is := 1 / tensor.Sqrt32(vr+layerNormEps)
 		o := out.W.Row(r)
 		if out.needGrad {
-			invStd[r] = is
-			xh := xhat.Row(r)
-			for j, v := range row {
-				h := (v - mean) * is
-				xh[j] = h
-				o[j] = g.W.Data[j]*h + b.W.Data[j]
-			}
+			invStd[r] = tensor.LayerNormRow(o, xhat.Row(r), row, g.W.Data, b.W.Data, layerNormEps)
 		} else {
-			for j, v := range row {
-				h := (v - mean) * is
-				o[j] = g.W.Data[j]*h + b.W.Data[j]
-			}
+			tensor.LayerNormRow(o, nil, row, g.W.Data, b.W.Data, layerNormEps)
 		}
 	}
 
 	if out.needGrad {
-		out.back = func() {
-			n := float32(d)
-			for r := 0; r < out.G.Rows; r++ {
-				gr := out.G.Row(r)
-				xh := xhat.Row(r)
-				if g.needGrad {
-					gg := g.Grad().Data
-					for j, gv := range gr {
-						gg[j] += gv * xh[j]
-					}
-				}
-				if b.needGrad {
-					bg := b.Grad().Data
-					for j, gv := range gr {
-						bg[j] += gv
-					}
-				}
-				if x.needGrad {
-					// dxhat = dy ⊙ g; dx = invStd (dxhat − mean(dxhat) − xhat·mean(dxhat⊙xhat)).
-					var sum, sumXh float32
-					dxhat := make([]float32, d)
-					for j, gv := range gr {
-						dx := gv * g.W.Data[j]
-						dxhat[j] = dx
-						sum += dx
-						sumXh += dx * xh[j]
-					}
-					mean := sum / n
-					meanXh := sumXh / n
-					xg := x.Grad().Row(r)
-					is := invStd[r]
-					for j, dx := range dxhat {
-						xg[j] += is * (dx - mean - xh[j]*meanXh)
-					}
-				}
-			}
-		}
+		// f1 is the dx̂ backward scratch, one row-width buffer reused across
+		// rows (fully rewritten per row; see backward.go).
+		out.op, out.a, out.b, out.c = opLayerNorm, x, g, b
+		out.aux, out.f0, out.f1 = xhat, invStd, tp.scratch(d)
 	}
 	return tp.record(out)
 }

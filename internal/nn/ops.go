@@ -6,25 +6,33 @@ import (
 	"apan/internal/tensor"
 )
 
-// Every op guards its backward-closure construction behind out.needGrad:
-// the closure is a heap allocation, and on inference tapes (nograd) no
-// output ever needs gradients, which is what makes a warm pooled forward
-// pass allocation-free. On grad-enabled tapes the guard is a no-op change:
-// Backward only ever invokes back() on tensors with needGrad set.
+// Every op guards its backward-op recording behind out.needGrad: on
+// inference tapes (nograd) no output ever needs gradients, so the operand
+// stores are skipped entirely. The gradient rules themselves live in
+// backward.go's stepBack switch, keyed by the opKind each op stamps here —
+// encoding backward as data instead of a captured closure is what makes a
+// warm pooled training pass allocation-free.
 
-// MatMul returns a·b.
+// MatMul returns a·b. On an inference tape carrying a quantized weight set,
+// a multiply against one of the published matrices takes the int8 GEMM path
+// instead (see quant.go).
 func (tp *Tape) MatMul(a, b *Tensor) *Tensor {
-	out := tp.newResultRaw(a.W.Rows, b.W.Cols, a, b)
-	tensor.MatMul(out.W, a.W, b.W)
-	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				tensor.MatMulBTAcc(a.Grad(), out.G, b.W) // dA += dOut·Bᵀ
-			}
-			if b.needGrad {
-				tensor.MatMulATAcc(b.Grad(), a.W, out.G) // dB += Aᵀ·dOut
-			}
+	if tp.quant != nil {
+		if qm := tp.quant.byPtr[b.W]; qm != nil {
+			return tp.matMulInt8(a, b, qm)
 		}
+	}
+	out := tp.newResultRaw(a.W.Rows, b.W.Cols, a, b)
+	if tp.training {
+		// Training-mode tapes run the fastest GEMM in the process (the asm
+		// tier when present): gradients are self-consistent, only serving
+		// forwards carry the bit-exact default-tier contract.
+		tensor.FastMatMul(out.W, a.W, b.W)
+	} else {
+		tensor.MatMul(out.W, a.W, b.W)
+	}
+	if out.needGrad {
+		out.op, out.a, out.b = opMatMul, a, b
 	}
 	return tp.record(out)
 }
@@ -34,14 +42,7 @@ func (tp *Tape) Add(a, b *Tensor) *Tensor {
 	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, b)
 	tensor.AddScaledTo(out.W.Data, a.W.Data, b.W.Data, 1)
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().Add(out.G)
-			}
-			if b.needGrad {
-				b.Grad().Add(out.G)
-			}
-		}
+		out.op, out.a, out.b = opAdd, a, b
 	}
 	return tp.record(out)
 }
@@ -51,14 +52,7 @@ func (tp *Tape) Sub(a, b *Tensor) *Tensor {
 	out := tp.newResultRaw(a.W.Rows, a.W.Cols, a, b)
 	tensor.AddScaledTo(out.W.Data, a.W.Data, b.W.Data, -1)
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().Add(out.G)
-			}
-			if b.needGrad {
-				b.Grad().AddScaled(out.G, -1)
-			}
-		}
+		out.op, out.a, out.b = opSub, a, b
 	}
 	return tp.record(out)
 }
@@ -71,20 +65,7 @@ func (tp *Tape) Mul(a, b *Tensor) *Tensor {
 		out.W.Data[i] = v * bd[i]
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					g.Data[i] += v * b.W.Data[i]
-				}
-			}
-			if b.needGrad {
-				g := b.Grad()
-				for i, v := range out.G.Data {
-					g.Data[i] += v * a.W.Data[i]
-				}
-			}
-		}
+		out.op, out.a, out.b = opMulElem, a, b
 	}
 	return tp.record(out)
 }
@@ -96,11 +77,7 @@ func (tp *Tape) Scale(a *Tensor, s float32) *Tensor {
 		out.W.Data[i] = v * s
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().AddScaled(out.G, s)
-			}
-		}
+		out.op, out.a, out.sc = opScale, a, s
 	}
 	return tp.record(out)
 }
@@ -112,11 +89,7 @@ func (tp *Tape) AddConst(a *Tensor, c float32) *Tensor {
 		out.W.Data[i] = v + c
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().Add(out.G)
-			}
-		}
+		out.op, out.a = opAddConst, a
 	}
 	return tp.record(out)
 }
@@ -136,25 +109,7 @@ func (tp *Tape) ScalarAffine(a, g, b *Tensor) *Tensor {
 		out.W.Data[i] = v*gv + bv
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().AddScaled(out.G, gv)
-			}
-			if g.needGrad {
-				var s float32
-				for i, v := range out.G.Data {
-					s += v * a.W.Data[i]
-				}
-				g.Grad().Data[0] += s
-			}
-			if b.needGrad {
-				var s float32
-				for _, v := range out.G.Data {
-					s += v
-				}
-				b.Grad().Data[0] += s
-			}
-		}
+		out.op, out.a, out.b, out.c, out.sc = opScalarAffine, a, g, b, gv
 	}
 	return tp.record(out)
 }
@@ -173,20 +128,7 @@ func (tp *Tape) AddRowVec(a, v *Tensor) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().Add(out.G)
-			}
-			if v.needGrad {
-				g := v.Grad().Data
-				for r := 0; r < out.G.Rows; r++ {
-					row := out.G.Row(r)
-					for j, gv := range row {
-						g[j] += gv
-					}
-				}
-			}
-		}
+		out.op, out.a, out.b = opAddRowVec, a, v
 	}
 	return tp.record(out)
 }
@@ -206,24 +148,7 @@ func (tp *Tape) MulRowVec(a, v *Tensor) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			for r := 0; r < out.G.Rows; r++ {
-				gr := out.G.Row(r)
-				if a.needGrad {
-					ag := a.Grad().Row(r)
-					for j, gv := range gr {
-						ag[j] += gv * v.W.Data[j]
-					}
-				}
-				if v.needGrad {
-					vg := v.Grad().Data
-					ar := a.W.Row(r)
-					for j, gv := range gr {
-						vg[j] += gv * ar[j]
-					}
-				}
-			}
-		}
+		out.op, out.a, out.b = opMulRowVec, a, v
 	}
 	return tp.record(out)
 }
@@ -246,17 +171,7 @@ func (tp *Tape) AddRowsTiled(a, p *Tensor) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				a.Grad().Add(out.G)
-			}
-			if p.needGrad {
-				pg := p.Grad()
-				for r := 0; r < out.G.Rows; r++ {
-					tensor.Axpy(pg.Row(r%m), out.G.Row(r), 1)
-				}
-			}
-		}
+		out.op, out.a, out.b = opAddRowsTiled, a, p
 	}
 	return tp.record(out)
 }
@@ -274,17 +189,7 @@ func (tp *Tape) ConcatCols(a, b *Tensor) *Tensor {
 		copy(dst[ac:], b.W.Row(r))
 	}
 	if out.needGrad {
-		out.back = func() {
-			for r := 0; r < out.G.Rows; r++ {
-				src := out.G.Row(r)
-				if a.needGrad {
-					tensor.Axpy(a.Grad().Row(r), src[:ac], 1)
-				}
-				if b.needGrad {
-					tensor.Axpy(b.Grad().Row(r), src[ac:], 1)
-				}
-			}
-		}
+		out.op, out.a, out.b, out.i0 = opConcatCols, a, b, ac
 	}
 	return tp.record(out)
 }
@@ -304,13 +209,7 @@ func (tp *Tape) SliceCols(a *Tensor, lo, hi int) *Tensor {
 		copy(out.W.Row(r), a.W.Row(r)[lo:hi])
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				for r := 0; r < out.G.Rows; r++ {
-					tensor.Axpy(a.Grad().Row(r)[lo:hi], out.G.Row(r), 1)
-				}
-			}
-		}
+		out.op, out.a, out.i0, out.i1 = opSliceCols, a, lo, hi
 	}
 	return tp.record(out)
 }
@@ -324,16 +223,7 @@ func (tp *Tape) ReLU(a *Tensor) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					if a.W.Data[i] > 0 {
-						g.Data[i] += v
-					}
-				}
-			}
-		}
+		out.op, out.a = opReLU, a
 	}
 	return tp.record(out)
 }
@@ -349,18 +239,7 @@ func (tp *Tape) LeakyReLU(a *Tensor, slope float32) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					if a.W.Data[i] > 0 {
-						g.Data[i] += v
-					} else {
-						g.Data[i] += slope * v
-					}
-				}
-			}
-		}
+		out.op, out.a, out.sc = opLeakyReLU, a, slope
 	}
 	return tp.record(out)
 }
@@ -372,15 +251,7 @@ func (tp *Tape) Sigmoid(a *Tensor) *Tensor {
 		out.W.Data[i] = tensor.Sigmoid32(v)
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					s := out.W.Data[i]
-					g.Data[i] += v * s * (1 - s)
-				}
-			}
-		}
+		out.op, out.a = opSigmoid, a
 	}
 	return tp.record(out)
 }
@@ -392,15 +263,7 @@ func (tp *Tape) Tanh(a *Tensor) *Tensor {
 		out.W.Data[i] = tensor.Tanh32(v)
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					t := out.W.Data[i]
-					g.Data[i] += v * (1 - t*t)
-				}
-			}
-		}
+		out.op, out.a = opTanh, a
 	}
 	return tp.record(out)
 }
@@ -412,14 +275,7 @@ func (tp *Tape) Exp(a *Tensor) *Tensor {
 		out.W.Data[i] = tensor.Exp32(v)
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					g.Data[i] += v * out.W.Data[i]
-				}
-			}
-		}
+		out.op, out.a = opExp, a
 	}
 	return tp.record(out)
 }
@@ -431,14 +287,7 @@ func (tp *Tape) Square(a *Tensor) *Tensor {
 		out.W.Data[i] = v * v
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					g.Data[i] += 2 * v * a.W.Data[i]
-				}
-			}
-		}
+		out.op, out.a = opSquare, a
 	}
 	return tp.record(out)
 }
@@ -454,7 +303,7 @@ func (tp *Tape) Dropout(a *Tensor, rate float32) *Tensor {
 	}
 	keep := 1 - rate
 	inv := 1 / keep
-	mask := make([]float32, len(a.W.Data))
+	mask := tp.scratch(len(a.W.Data))
 	out := tp.newResult(a.W.Rows, a.W.Cols, a)
 	for i, v := range a.W.Data {
 		if tp.rng.Float32() < keep {
@@ -463,14 +312,7 @@ func (tp *Tape) Dropout(a *Tensor, rate float32) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				for i, v := range out.G.Data {
-					g.Data[i] += v * mask[i]
-				}
-			}
-		}
+		out.op, out.a, out.f0 = opDropout, a, mask
 	}
 	return tp.record(out)
 }
@@ -484,15 +326,7 @@ func (tp *Tape) SumAll(a *Tensor) *Tensor {
 	}
 	out.W.Data[0] = s
 	if out.needGrad {
-		out.back = func() {
-			if a.needGrad {
-				g := a.Grad()
-				gv := out.G.Data[0]
-				for i := range g.Data {
-					g.Data[i] += gv
-				}
-			}
-		}
+		out.op, out.a = opSumAll, a
 	}
 	return tp.record(out)
 }
@@ -514,14 +348,7 @@ func (tp *Tape) Gather(table *Tensor, idx []int32) *Tensor {
 		copy(out.W.Row(r), table.W.Row(int(id)))
 	}
 	if out.needGrad {
-		out.back = func() {
-			if table.needGrad {
-				g := table.Grad()
-				for r, id := range idx {
-					tensor.Axpy(g.Row(int(id)), out.G.Row(r), 1)
-				}
-			}
-		}
+		out.op, out.a, out.idx = opGather, table, idx
 	}
 	return tp.record(out)
 }
@@ -533,7 +360,7 @@ func (tp *Tape) SegmentMean(x *Tensor, segOf []int32, numSeg int) *Tensor {
 	if len(segOf) != x.W.Rows {
 		panic(fmt.Sprintf("nn: SegmentMean %d rows, %d segment ids", x.W.Rows, len(segOf)))
 	}
-	counts := make([]float32, numSeg)
+	counts := tp.scratch(numSeg)
 	for _, s := range segOf {
 		counts[s]++
 	}
@@ -551,14 +378,7 @@ func (tp *Tape) SegmentMean(x *Tensor, segOf []int32, numSeg int) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			if x.needGrad {
-				g := x.Grad()
-				for r, s := range segOf {
-					tensor.Axpy(g.Row(r), out.G.Row(int(s)), 1/counts[s])
-				}
-			}
-		}
+		out.op, out.a, out.idx, out.f0 = opSegmentMean, x, segOf, counts
 	}
 	return tp.record(out)
 }
@@ -577,7 +397,7 @@ func (tp *Tape) OverlayRows(base, overlay *Tensor, rows []int32) *Tensor {
 	out := tp.newResultRaw(base.W.Rows, base.W.Cols, base, overlay)
 	out.W.CopyFrom(base.W)
 	// winner[r] records which overlay row owns base row r (-1: base).
-	winner := make([]int32, base.W.Rows)
+	winner := tp.scratchI32(base.W.Rows)
 	for r := range winner {
 		winner[r] = -1
 	}
@@ -586,17 +406,7 @@ func (tp *Tape) OverlayRows(base, overlay *Tensor, rows []int32) *Tensor {
 		winner[r] = int32(i)
 	}
 	if out.needGrad {
-		out.back = func() {
-			for r := 0; r < out.G.Rows; r++ {
-				if w := winner[r]; w >= 0 {
-					if overlay.needGrad {
-						tensor.Axpy(overlay.Grad().Row(int(w)), out.G.Row(r), 1)
-					}
-				} else if base.needGrad {
-					tensor.Axpy(base.Grad().Row(r), out.G.Row(r), 1)
-				}
-			}
-		}
+		out.op, out.a, out.b, out.idx = opOverlayRows, base, overlay, winner
 	}
 	return tp.record(out)
 }
@@ -612,17 +422,7 @@ func (tp *Tape) RowDot(a, b *Tensor) *Tensor {
 		out.W.Data[r] = tensor.Dot(a.W.Row(r), b.W.Row(r))
 	}
 	if out.needGrad {
-		out.back = func() {
-			for r := 0; r < out.G.Rows; r++ {
-				gv := out.G.Data[r]
-				if a.needGrad {
-					tensor.Axpy(a.Grad().Row(r), b.W.Row(r), gv)
-				}
-				if b.needGrad {
-					tensor.Axpy(b.Grad().Row(r), a.W.Row(r), gv)
-				}
-			}
-		}
+		out.op, out.a, out.b = opRowDot, a, b
 	}
 	return tp.record(out)
 }

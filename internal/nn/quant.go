@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+
+	"apan/internal/tensor"
+)
+
+// Int8 quantized inference (Config.Quantize / apan-serve -quantize).
+//
+// Published weights are quantized once per ParamSet publish — per output
+// channel, symmetric, scale = column maxabs / 127 — into transposed int8
+// blocks (QuantizeParamSet). At serve time an inference tape carrying a
+// QuantParamSet intercepts MatMul calls whose right-hand side is one of the
+// quantized matrices: the activation rows are quantized on the fly
+// (per-row symmetric scales), the product runs through the int8 GEMM with
+// int32 accumulators, and the result is rescaled to float32. Everything
+// around the dense layers — bias adds, attention, layer norm, the decoder
+// head — stays float32, which keeps the accuracy loss to the weight/
+// activation rounding of the GEMMs (bounded by the quantized_drift scenario
+// invariant at ≤ 0.02 AP on the fraud trace).
+//
+// The interception keys on matrix pointer identity: BindParams aliases each
+// module weight to the published ParamSet matrix, so the module's b.W *is*
+// the map key. Training tapes never carry a QuantParamSet, and the tape
+// must be nograd — there is no backward rule through the int8 path.
+
+// QuantMatrix is a per-channel symmetrically quantized weight matrix in
+// transposed layout: BT[j*K+i] ≈ W[i][j] / Scales[j] for a K×N original.
+type QuantMatrix struct {
+	K, N   int
+	BT     []int8
+	Scales []float32
+}
+
+// QuantizeMatrix quantizes a K×N weight matrix per output column.
+func QuantizeMatrix(w *tensor.Matrix) *QuantMatrix {
+	bT, scales := tensor.QuantizeColsInt8(w)
+	return &QuantMatrix{K: w.Rows, N: w.Cols, BT: bT, Scales: scales}
+}
+
+// Dequantize reconstructs the float32 weight matrix (test support: the
+// round-trip error per weight is bounded by scale/2 plus clamping at ±127).
+func (q *QuantMatrix) Dequantize() *tensor.Matrix {
+	m := tensor.New(q.K, q.N)
+	for j := 0; j < q.N; j++ {
+		s := q.Scales[j]
+		col := q.BT[j*q.K : (j+1)*q.K]
+		for i := 0; i < q.K; i++ {
+			m.Data[i*q.N+j] = float32(col[i]) * s
+		}
+	}
+	return m
+}
+
+// QuantParamSet holds the int8 blocks for one published ParamSet, keyed by
+// the set's (immutable, aliased-everywhere) value matrices. Built once per
+// publish, never per batch.
+type QuantParamSet struct {
+	version uint64
+	byPtr   map[*tensor.Matrix]*QuantMatrix
+}
+
+// QuantizeParamSet quantizes every weight-shaped matrix (Rows > 1 and
+// Cols > 1 — the dense-layer weights; vectors like biases, gains, and time
+// encodings stay float32) of a published set. Matrices that never appear as
+// a MatMul right-hand side simply go unused: the lookup is by pointer.
+func QuantizeParamSet(ps *ParamSet) *QuantParamSet {
+	q := &QuantParamSet{version: ps.Version(), byPtr: make(map[*tensor.Matrix]*QuantMatrix)}
+	for i := 0; i < ps.NumTensors(); i++ {
+		m := ps.Value(i)
+		if m.Rows > 1 && m.Cols > 1 {
+			q.byPtr[m] = QuantizeMatrix(m)
+		}
+	}
+	return q
+}
+
+// Version returns the publish version the set was quantized from.
+func (q *QuantParamSet) Version() uint64 { return q.version }
+
+// NumQuantized returns how many matrices were quantized.
+func (q *QuantParamSet) NumQuantized() int { return len(q.byPtr) }
+
+// Lookup returns the quantized form of m, or nil.
+func (q *QuantParamSet) Lookup(m *tensor.Matrix) *QuantMatrix { return q.byPtr[m] }
+
+// SetQuantized attaches (or detaches, with nil) a quantized weight set to an
+// inference tape: subsequent MatMul calls whose right-hand side is one of
+// the set's matrices run the int8 GEMM. Panics on grad-enabled tapes —
+// quantized inference has no backward path.
+func (tp *Tape) SetQuantized(q *QuantParamSet) {
+	if q != nil && !tp.nograd {
+		panic("nn: SetQuantized on a grad-enabled tape (int8 inference has no backward path)")
+	}
+	tp.quant = q
+}
+
+// matMulInt8 is the quantized MatMul body: quantize activation rows, run the
+// int8 GEMM, rescale. Scratch draws come from the tape arenas, so a warm
+// pass stays allocation-free.
+func (tp *Tape) matMulInt8(a, b *Tensor, qm *QuantMatrix) *Tensor {
+	m, k := a.W.Rows, a.W.Cols
+	if k != qm.K {
+		panic(fmt.Sprintf("nn: quantized MatMul %dx%d · %dx%d", m, k, qm.K, qm.N))
+	}
+	out := tp.newResultRaw(m, qm.N, a, b)
+	aq := tp.scratchI8(m * k)
+	as := tp.scratch(m)
+	for i := 0; i < m; i++ {
+		as[i] = tensor.QuantizeRowInt8(aq[i*k:(i+1)*k], a.W.Row(i))
+	}
+	tensor.Int8MatMul(out.W, aq, as, qm.BT, qm.Scales, m, k, qm.N)
+	return tp.record(out)
+}

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apan/internal/tensor"
+)
+
+// TestQuickQuantizeRoundTrip is the per-channel symmetric quantization
+// property: for every weight, |dequantize(quantize(w)) − w| ≤ scale/2 of its
+// output column — the half-step rounding bound. Symmetric scaling at column
+// maxabs/127 means no value lands outside the clamp range, so the bound is
+// unconditional; a zero column must round-trip exactly (scale 0).
+func TestQuickQuantizeRoundTrip(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k, n := int(kRaw%32)+2, int(nRaw%32)+2
+		w := tensor.New(k, n)
+		for i := range w.Data {
+			// Mixed magnitudes per column stress the shared column scale.
+			w.Data[i] = float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(5)-2)))
+		}
+		// One all-zero column: scale 0 must reproduce exact zeros.
+		for i := 0; i < k; i++ {
+			w.Data[i*n] = 0
+		}
+		q := QuantizeMatrix(w)
+		rt := q.Dequantize()
+		for j := 0; j < n; j++ {
+			bound := float64(q.Scales[j]) / 2
+			for i := 0; i < k; i++ {
+				d := math.Abs(float64(rt.At(i, j) - w.At(i, j)))
+				// A whisker of float32 slack: the bound itself is computed
+				// in float32 (scale = maxabs/127, value = int8*scale).
+				if d > bound*(1+1e-6)+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

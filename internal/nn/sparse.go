@@ -36,13 +36,7 @@ func (tp *Tape) SpMM(s *SparseMatrix, x *Tensor) *Tensor {
 	out := tp.newResultRaw(s.N, x.W.Cols, x)
 	s.MulDense(out.W, x.W)
 	if out.needGrad {
-		out.back = func() {
-			if x.needGrad {
-				tmp := tensor.New(s.N, x.W.Cols)
-				s.MulDense(tmp, out.G)
-				x.Grad().Add(tmp)
-			}
-		}
+		out.op, out.a, out.sp = opSpMM, x, s
 	}
 	return tp.record(out)
 }

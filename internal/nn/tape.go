@@ -9,11 +9,30 @@ import (
 
 // Tensor is a node in the autograd graph: a value matrix plus an optional
 // gradient of the final scalar loss with respect to it.
+//
+// The backward pass is encoded as data, not closures: op identifies the
+// operation that produced this tensor (opNone for leaves) and the remaining
+// fields hold its operands — see backward.go for the dispatch. A captured
+// closure heap-allocates per op per forward pass, which is what kept pooled
+// training tapes at ~200 allocs/step; plain field stores on arena-reused
+// nodes allocate nothing.
 type Tensor struct {
 	W        *tensor.Matrix // value
 	G        *tensor.Matrix // gradient, allocated lazily
 	needGrad bool
-	back     func() // accumulates input gradients; nil for leaves
+
+	op     opKind
+	a      *Tensor        // first operand
+	b      *Tensor        // second operand
+	c      *Tensor        // third operand
+	sc     float32        // scalar operand (Scale factor, LeakyReLU slope, MHA scale, …)
+	i0, i1 int            // int operands (ConcatCols split, SliceCols bounds, MHA heads/slots)
+	idx    []int32        // int32 operand (Gather indices, SegmentMean ids, OverlayRows winners)
+	f0     []float32      // float operand (Dropout mask, BCE targets, MHA weights, LayerNorm invStd)
+	f1     []float32      // backward scratch drawn at forward time (MHA dα, LayerNorm dx̂)
+	aux    *tensor.Matrix // matrix operand (LayerNorm x̂ cache, MSE target)
+	cnts   []int          // MHA per-query valid-slot counts
+	sp     *SparseMatrix  // SpMM operand
 }
 
 // Value returns the underlying value matrix.
@@ -70,9 +89,13 @@ type Tape struct {
 	rng      *rand.Rand
 
 	// nograd marks an inference-only tape: op outputs never need
-	// gradients, so the ops skip building their backward closures (each
-	// closure is a heap allocation) and Backward panics.
+	// gradients, so the ops skip recording their backward operands and
+	// Backward panics.
 	nograd bool
+
+	// quant, when non-nil on a nograd tape, routes MatMul against quantized
+	// published weights through the int8 GEMM (see quant.go).
+	quant *QuantParamSet
 
 	// pool, when non-nil, supplies op-output matrices and scratch buffers;
 	// everything drawn is tracked in owned and returned on Reset. The tape
@@ -87,10 +110,23 @@ type Tape struct {
 	// attArena recycles the Attention records MaskedMHA returns.
 	attArena []*Attention
 	attUsed  int
+
+	// i32buf and i8buf are bump allocators for int-typed op scratch
+	// (OverlayRows winner maps, int8 activation quantization); like the
+	// float scratch they live until Reset and are reused across passes.
+	i32buf  []int32
+	i32used int
+	i8buf   []int8
+	i8used  int
+
+	// tmT is a reusable matrix header over tape scratch for the transposed
+	// operands the fast-GEMM backward path materializes (see stepBack); its
+	// two uses per MatMul node are strictly sequential.
+	tmT tensor.Matrix
 }
 
 // NewTape returns an inference-mode tape (dropout disabled) that still
-// records backward closures, so Backward works when any input needs
+// records backward ops, so Backward works when any input needs
 // gradients. Build a fresh one per forward pass.
 func NewTape() *Tape { return &Tape{} }
 
@@ -101,9 +137,9 @@ func NewTrainingTape(rng *rand.Rand) *Tape { return &Tape{training: true, rng: r
 // gradients recorded) whose op outputs and gradient matrices draw from pool
 // and are recycled wholesale by Reset — the per-step tape of the online
 // trainer, which runs one mini-batch forward/backward every few applied
-// batches for the lifetime of the process. Backward closures are still
-// rebuilt per pass; only the matrix storage is pooled. The tape takes
-// exclusive ownership of pool.
+// batches for the lifetime of the process. Together with the opcode-encoded
+// backward pass (backward.go) this makes a warm train step allocation-free.
+// The tape takes exclusive ownership of pool.
 func NewReusableTrainingTape(pool *tensor.Pool, rng *rand.Rand) *Tape {
 	return &Tape{training: true, rng: rng, pool: pool}
 }
@@ -134,6 +170,8 @@ func (tp *Tape) Reset() {
 	tp.nodes = tp.nodes[:0]
 	tp.used = 0
 	tp.attUsed = 0
+	tp.i32used = 0
+	tp.i8used = 0
 }
 
 // alloc hands out a zeroed Tensor node, reusing the arena on pooled tapes.
@@ -175,6 +213,32 @@ func (tp *Tape) newMatrixRaw(rows, cols int) *tensor.Matrix {
 // the pool on Reset) for op-internal caches like attention weights.
 func (tp *Tape) scratch(n int) []float32 {
 	return tp.newMatrix(1, n).Data
+}
+
+// scratchI32 hands out an int32 buffer with tape lifetime from a bump arena
+// reused across Reset. Contents are stale; callers must overwrite. Growth
+// mid-pass abandons the old backing (still referenced by earlier slices,
+// which stay valid until Reset) and converges to zero allocations once the
+// arena has seen a full pass.
+func (tp *Tape) scratchI32(n int) []int32 {
+	if tp.i32used+n > len(tp.i32buf) {
+		tp.i32buf = make([]int32, max(2*len(tp.i32buf), tp.i32used+n, 64))
+		tp.i32used = 0
+	}
+	s := tp.i32buf[tp.i32used : tp.i32used+n : tp.i32used+n]
+	tp.i32used += n
+	return s
+}
+
+// scratchI8 is scratchI32 for int8 buffers (int8 activation quantization).
+func (tp *Tape) scratchI8(n int) []int8 {
+	if tp.i8used+n > len(tp.i8buf) {
+		tp.i8buf = make([]int8, max(2*len(tp.i8buf), tp.i8used+n, 64))
+		tp.i8used = 0
+	}
+	s := tp.i8buf[tp.i8used : tp.i8used+n : tp.i8used+n]
+	tp.i8used += n
+	return s
 }
 
 // Input wraps a constant matrix as a leaf tensor with no gradient.
@@ -257,8 +321,8 @@ func (tp *Tape) Backward(loss *Tensor) {
 	// inputs exist), so a reverse sweep visits consumers before producers.
 	for i := len(tp.nodes) - 1; i >= 0; i-- {
 		n := tp.nodes[i]
-		if n.back != nil && n.needGrad && n.G != nil {
-			n.back()
+		if n.op != opNone && n.needGrad && n.G != nil {
+			tp.stepBack(n)
 		}
 	}
 }

@@ -24,22 +24,7 @@ func (tp *Tape) TimeEncode(dts []float32, omega, phi *Tensor) *Tensor {
 		}
 	}
 	if out.needGrad {
-		out.back = func() {
-			og := omega.Grad()
-			pg := phi.Grad()
-			for i, dt := range dts {
-				gr := out.G.Row(i)
-				for j, gv := range gr {
-					s := -tensor.Sin32(omega.W.Data[j]*dt+phi.W.Data[j]) * gv
-					if omega.needGrad {
-						og.Data[j] += s * dt
-					}
-					if phi.needGrad {
-						pg.Data[j] += s
-					}
-				}
-			}
-		}
+		out.op, out.a, out.b, out.f0 = opTimeEncode, omega, phi, dts
 	}
 	return tp.record(out)
 }

@@ -55,6 +55,7 @@ func newModel(tr *Trace, o RunOptions) (*core.Model, error) {
 		BatchSize: o.BatchSize, Seed: o.Seed + 7, Shards: 8,
 		GraphBackend:  o.GraphBackend,
 		EvictMaxNodes: o.EvictMaxNodes,
+		Quantize:      o.Quantize,
 	})
 }
 

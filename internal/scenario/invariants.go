@@ -71,6 +71,10 @@ const (
 	// (scores and digest), and the labeled AP stays within a fixed loss
 	// bound of the unbounded-memory reference.
 	InvEvictionBounded = "eviction_bounded"
+	// InvQuantizedDrift: int8-quantized serving (Config.Quantize) must be
+	// bitwise deterministic run-to-run (scores and digest) and its labeled AP
+	// must stay within maxQuantAPLoss of the float32 reference run.
+	InvQuantizedDrift = "quantized_drift_bounded"
 	// InvFailover: a log-shipped warm-standby follower, promoted after the
 	// leader dies — with clean, torn, fsync-latched and follower-crash
 	// failure arms — lands on a batch boundary bitwise identical

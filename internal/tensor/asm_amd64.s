@@ -1,0 +1,268 @@
+//go:build !apan_noasm
+
+#include "textflag.h"
+
+// func cpuHasAvx2Fma() bool
+//
+// CPUID feature probe for the asm kernel tier: FMA (leaf 1 ECX bit 12),
+// OSXSAVE (leaf 1 ECX bit 27), OS-enabled XMM+YMM state (XGETBV XCR0 bits
+// 1–2), and AVX2 (leaf 7 EBX bit 5).
+TEXT ·cpuHasAvx2Fma(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	TESTL $(1<<12), R8 // FMA
+	JZ   no
+	TESTL $(1<<27), R8 // OSXSAVE
+	JZ   no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX        // XCR0: XMM and YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX  // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmAccAsm(dst, a, b []float32, m, k, n int)
+//
+// dst[m×n] += a[m×k] · b[k×n], row-major contiguous. The k loop is blocked
+// four rows deep (each dst row is loaded/stored once per four k steps) and
+// the j loop runs eight lanes wide with VFMADD231PS. All-zero 4-blocks of
+// the a row are skipped (post-ReLU sparsity), matching the Go kernel's
+// skip up to the sign of zero. FMA contraction means results differ from
+// the Go tiers within the documented float32 tolerance.
+//
+// Register map:
+//   DI dst row    SI a row      BX (unused after load)
+//   R9 k          R10 n         R13 n*4 (row stride bytes)
+//   R11 b row0    CX b row1     R12 b row2    R8 b row3
+//   AX j index    DX vector end (n&^7)
+//   mleft-16(SP) rows remaining, kleft-8(SP) k-blocks remaining
+TEXT ·gemmAccAsm(SB), NOSPLIT, $16-96
+	MOVQ m+72(FP), AX
+	TESTQ AX, AX
+	JLE  done
+	MOVQ n+88(FP), R10
+	TESTQ R10, R10
+	JLE  done
+	MOVQ AX, mleft-16(SP)
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ k+80(FP), R9
+	MOVQ R10, R13
+	SHLQ $2, R13       // row stride in bytes
+	MOVQ R10, DX
+	ANDQ $-8, DX       // vectorizable j prefix
+
+rowloop:
+	MOVQ b_base+48(FP), R11
+	MOVQ R9, CX
+	SHRQ $2, CX        // k/4 four-row blocks
+	MOVQ CX, kleft-8(SP)
+	TESTQ CX, CX
+	JZ   ktail_setup
+
+kblock:
+	// Skip the block if all four a coefficients are +0.0 bits.
+	MOVL (SI), AX
+	ORL  4(SI), AX
+	ORL  8(SI), AX
+	ORL  12(SI), AX
+	TESTL AX, AX
+	JZ   kblock_next
+	VBROADCASTSS (SI), Y0
+	VBROADCASTSS 4(SI), Y1
+	VBROADCASTSS 8(SI), Y2
+	VBROADCASTSS 12(SI), Y3
+	LEAQ (R11)(R13*1), CX  // b row1
+	LEAQ (R11)(R13*2), R12 // b row2
+	LEAQ (CX)(R13*2), R8   // b row3
+	XORQ AX, AX
+	TESTQ DX, DX
+	JZ   jtail
+
+jloop8:
+	VMOVUPS (DI)(AX*4), Y7
+	VMOVUPS (R11)(AX*4), Y4
+	VFMADD231PS Y4, Y0, Y7
+	VMOVUPS (CX)(AX*4), Y5
+	VFMADD231PS Y5, Y1, Y7
+	VMOVUPS (R12)(AX*4), Y6
+	VFMADD231PS Y6, Y2, Y7
+	VMOVUPS (R8)(AX*4), Y4
+	VFMADD231PS Y4, Y3, Y7
+	VMOVUPS Y7, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JL   jloop8
+
+jtail:
+	CMPQ AX, R10
+	JGE  kblock_next
+
+jtail1:
+	VMOVSS (DI)(AX*4), X7
+	VMOVSS (R11)(AX*4), X4
+	VFMADD231SS X4, X0, X7
+	VMOVSS (CX)(AX*4), X5
+	VFMADD231SS X5, X1, X7
+	VMOVSS (R12)(AX*4), X6
+	VFMADD231SS X6, X2, X7
+	VMOVSS (R8)(AX*4), X4
+	VFMADD231SS X4, X3, X7
+	VMOVSS X7, (DI)(AX*4)
+	INCQ AX
+	CMPQ AX, R10
+	JL   jtail1
+
+kblock_next:
+	ADDQ $16, SI           // four a coefficients consumed
+	LEAQ (R11)(R13*4), R11 // four b rows consumed
+	DECQ kleft-8(SP)
+	JNZ  kblock
+
+ktail_setup:
+	MOVQ R9, CX
+	ANDQ $3, CX            // leftover k rows
+	JZ   rownext
+
+ktailrow:
+	MOVL (SI), AX
+	TESTL AX, AX
+	JZ   ktail_next
+	VBROADCASTSS (SI), Y0
+	XORQ AX, AX
+	TESTQ DX, DX
+	JZ   kt_jtail
+
+kt_j8:
+	VMOVUPS (DI)(AX*4), Y7
+	VMOVUPS (R11)(AX*4), Y4
+	VFMADD231PS Y4, Y0, Y7
+	VMOVUPS Y7, (DI)(AX*4)
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JL   kt_j8
+
+kt_jtail:
+	CMPQ AX, R10
+	JGE  ktail_next
+
+kt_j1:
+	VMOVSS (DI)(AX*4), X7
+	VMOVSS (R11)(AX*4), X4
+	VFMADD231SS X4, X0, X7
+	VMOVSS X7, (DI)(AX*4)
+	INCQ AX
+	CMPQ AX, R10
+	JL   kt_j1
+
+ktail_next:
+	ADDQ $4, SI
+	ADDQ R13, R11
+	DECQ CX
+	JNZ  ktailrow
+
+rownext:
+	ADDQ R13, DI
+	DECQ mleft-16(SP)
+	JNZ  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func int8Dot4Kernel(a, b []int8, k, kv int) (c0, c1, c2, c3 int32)
+//
+// Four length-kv int8 inner products of a against the four rows of the
+// contiguous n×k block b (rows at byte offsets 0, k, 2k, 3k): sixteen
+// bytes per step are sign-extended to words (VPMOVSXBW) and multiply-
+// accumulated pairwise into int32 lanes (VPMADDWD + VPADDD). kv must be a
+// multiple of 16 and ≤ k; the caller handles the scalar tail. Integer
+// accumulation is exact, so the result is bit-identical to the Go loop in
+// any order — the int8 path has no asm/Go numeric divergence.
+//
+// Register map:
+//   SI a    R11/CX/R12/R8 the four b rows    R9 k (row stride)
+//   DX kv (vector end)    AX element index
+//   Y0-Y3 int32 accumulators    Y4 a words    Y5-Y8 b words
+TEXT ·int8Dot4Kernel(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), R11
+	MOVQ k+48(FP), R9
+	MOVQ kv+56(FP), DX
+	LEAQ (R11)(R9*1), CX
+	LEAQ (CX)(R9*1), R12
+	LEAQ (R12)(R9*1), R8
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	XORQ AX, AX
+	CMPQ AX, DX
+	JGE  reduce
+
+vloop:
+	VPMOVSXBW (SI)(AX*1), Y4
+	VPMOVSXBW (R11)(AX*1), Y5
+	VPMADDWD Y4, Y5, Y5
+	VPADDD Y5, Y0, Y0
+	VPMOVSXBW (CX)(AX*1), Y6
+	VPMADDWD Y4, Y6, Y6
+	VPADDD Y6, Y1, Y1
+	VPMOVSXBW (R12)(AX*1), Y7
+	VPMADDWD Y4, Y7, Y7
+	VPADDD Y7, Y2, Y2
+	VPMOVSXBW (R8)(AX*1), Y8
+	VPMADDWD Y4, Y8, Y8
+	VPADDD Y8, Y3, Y3
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JLT  vloop
+
+reduce:
+	// Horizontal-sum each accumulator's eight int32 lanes to one scalar.
+	VEXTRACTI128 $1, Y0, X4
+	VPADDD X4, X0, X0
+	VPSHUFD $0x4E, X0, X4
+	VPADDD X4, X0, X0
+	VPSHUFD $0xB1, X0, X4
+	VPADDD X4, X0, X0
+	VMOVD X0, R10
+	MOVL R10, c0+64(FP)
+	VEXTRACTI128 $1, Y1, X4
+	VPADDD X4, X1, X1
+	VPSHUFD $0x4E, X1, X4
+	VPADDD X4, X1, X1
+	VPSHUFD $0xB1, X1, X4
+	VPADDD X4, X1, X1
+	VMOVD X1, R10
+	MOVL R10, c1+68(FP)
+	VEXTRACTI128 $1, Y2, X4
+	VPADDD X4, X2, X2
+	VPSHUFD $0x4E, X2, X4
+	VPADDD X4, X2, X2
+	VPSHUFD $0xB1, X2, X4
+	VPADDD X4, X2, X2
+	VMOVD X2, R10
+	MOVL R10, c2+72(FP)
+	VEXTRACTI128 $1, Y3, X4
+	VPADDD X4, X3, X3
+	VPSHUFD $0x4E, X3, X4
+	VPADDD X4, X3, X3
+	VPSHUFD $0xB1, X3, X4
+	VPADDD X4, X3, X3
+	VMOVD X3, R10
+	MOVL R10, c3+76(FP)
+	VZEROUPPER
+	RET

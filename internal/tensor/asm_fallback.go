@@ -1,0 +1,7 @@
+//go:build !amd64 || apan_noasm
+
+package tensor
+
+// asmKernels reports no asm tier on platforms without the AVX2+FMA GEMM
+// (non-amd64, or amd64 built with -tags apan_noasm).
+func asmKernels() *Kernels { return nil }

@@ -1,0 +1,58 @@
+//go:build !apan_noasm
+
+package tensor
+
+// The AVX2+FMA GEMM micro-kernel (asm_amd64.s) is compiled into every amd64
+// build and gated at runtime by CPUID — there is nothing to cross-compile
+// wrong, and machines without AVX2/FMA silently keep the pure-Go tiers.
+// Build with -tags apan_noasm to force the pure-Go fallback everywhere.
+
+// cpuHasAvx2Fma reports whether the CPU and OS support the AVX2+FMA kernel
+// (implemented in asm_amd64.s).
+func cpuHasAvx2Fma() bool
+
+//go:noescape
+func gemmAccAsm(dst, a, b []float32, m, k, n int)
+
+// asmKernels returns the asm tier when the CPU supports it, else nil.
+// Called once from the dispatch init.
+func asmKernels() *Kernels {
+	if !cpuHasAvx2Fma() {
+		return nil
+	}
+	return &Kernels{
+		Name:      TierASM,
+		MatMulAcc: matMulAccAsm,
+	}
+}
+
+func matMulAccAsm(dst, a, b *Matrix) {
+	gemmAccAsm(dst.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
+}
+
+//go:noescape
+func int8Dot4Kernel(a, b []int8, k, kv int) (c0, c1, c2, c3 int32)
+
+func init() {
+	if cpuHasAvx2Fma() {
+		int8Dot4 = int8Dot4Avx2
+	}
+}
+
+// int8Dot4Avx2 runs the VPMADDWD micro-kernel over the 16-wide prefix and a
+// scalar Go tail. Integer accumulation is exact, so the split changes
+// nothing: the result is bit-identical to int8Dot4Go.
+func int8Dot4Avx2(a, b []int8, k int) (c0, c1, c2, c3 int32) {
+	kv := k &^ 15
+	if kv > 0 {
+		c0, c1, c2, c3 = int8Dot4Kernel(a, b, k, kv)
+	}
+	for t := kv; t < k; t++ {
+		av := int32(a[t])
+		c0 += av * int32(b[t])
+		c1 += av * int32(b[k+t])
+		c2 += av * int32(b[2*k+t])
+		c3 += av * int32(b[3*k+t])
+	}
+	return
+}

@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAsmGemmMatchesGo: the AVX2 GEMM must agree with the default kernel
+// within FMA-contraction tolerance on awkward shapes (odd n for the scalar
+// tail, k%4 leftovers, zero blocks for the skip path). Skips on machines
+// without the asm tier.
+func TestAsmGemmMatchesGo(t *testing.T) {
+	if !HasAsmGemm() {
+		t.Skip("no asm GEMM on this machine/build")
+	}
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 7}, {8, 16, 8}, {13, 172, 9},
+		{92, 172, 172}, {17, 6, 31}, {2, 3, 173},
+	}
+	for _, s := range shapes {
+		a, b := New(s.m, s.k), New(s.k, s.n)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.NormFloat64())
+			if rng.Intn(4) == 0 {
+				a.Data[i] = 0 // exercise the zero-block skip
+			}
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		want, got := New(s.m, s.n), New(s.m, s.n)
+		matMulAccKernel(want, a, b)
+		FastMatMulAcc(got, a, b)
+		for i := range want.Data {
+			w, g := float64(want.Data[i]), float64(got.Data[i])
+			if diff := math.Abs(w - g); diff > 1e-4+1e-4*math.Abs(w) {
+				t.Fatalf("%dx%d·%dx%d: elem %d: go %g vs asm %g", s.m, s.k, s.k, s.n, i, w, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Kernels is a runtime-dispatched kernel tier: the full set of hot-loop
+// function pointers behind the public linear-algebra entry points (Dot,
+// MatMulAcc, MatMulBTAcc, Axpy/AddScaledTo, SoftmaxRow, LayerNormRow).
+// Exactly one tier is active at a time, selected once at process init (or
+// explicitly via SetTier); every entry point loads the active table through
+// one atomic pointer, so switching tiers is safe against concurrent readers
+// even though it is intended as an init-time decision.
+//
+// Two tiers are built in:
+//
+//   - "default" — the existing unrolled Go kernels, bit-for-bit identical to
+//     the pre-dispatch output. This is the serving default; scenario score
+//     parity across releases is defined against it.
+//   - "wide"    — 8-lane wide-accumulator variants of the reduction kernels
+//     plus fused softmax/layernorm loops. Summation order differs, so results
+//     match the default tier only within float32 tolerance (mixed rel+abs
+//     1e-4; see dispatch_test.go) — opt in via Config.KernelTier or the
+//     APAN_KERNEL_TIER environment variable.
+//
+// One architecture tier exists today:
+//
+//   - "asm" — the AVX2+FMA GEMM micro-kernel (asm_amd64.s), registered only
+//     when CPUID shows the CPU and OS support it, so the name is present
+//     exactly when it works. Build with -tags apan_noasm to leave it out
+//     entirely. Non-GEMM entries fall back to the default tier.
+//
+// The pure-Go tiers are the mandatory fallback: on machines or builds
+// without the assembly, SetTier("asm") reports an unknown tier and the
+// process keeps the bit-exact default.
+type Kernels struct {
+	// Name is the tier's registry key.
+	Name string
+
+	// Dot is the inner product of two equal-length vectors.
+	Dot func(a, b []float32) float32
+	// Dot4 computes four inner products of a against b0..b3 in one pass.
+	Dot4 func(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32)
+	// Axpy computes y += s*x.
+	Axpy func(y, x []float32, s float32)
+	// AddScaledTo computes dst = a + s*b element-wise.
+	AddScaledTo func(dst, a, b []float32, s float32)
+	// MatMulAcc computes dst += a·b.
+	MatMulAcc func(dst, a, b *Matrix)
+	// MatMulBTAcc computes dst += a·bᵀ (b stored untransposed).
+	MatMulBTAcc func(dst, a, b *Matrix)
+	// SoftmaxInPlace overwrites row with softmax(row), max-subtracted.
+	SoftmaxInPlace func(row []float32)
+	// LayerNormRow normalizes one row: dst = g⊙(x−mean)/std + b, returning
+	// the inverse standard deviation. When xhat is non-nil the normalized
+	// values are also written there (the training-path cache).
+	LayerNormRow func(dst, xhat, x, g, b []float32, eps float32) (invStd float32)
+}
+
+// TierDefault and TierWide are the built-in pure-Go tier names; TierASM is
+// the amd64 AVX2+FMA tier, registered only where the hardware supports it.
+const (
+	TierDefault = "default"
+	TierWide    = "wide"
+	TierASM     = "asm"
+)
+
+var (
+	tierRegistry = map[string]*Kernels{}
+	activeTier   atomic.Pointer[Kernels]
+
+	// fastGemm is the fastest MatMulAcc available in this process — the asm
+	// tier's when registered, else the default kernel. Training paths use it
+	// regardless of the active serving tier (gradients carry no cross-release
+	// bit-exactness contract; serving inference does).
+	fastGemm    func(dst, a, b *Matrix)
+	fastGemmAsm bool
+)
+
+func defaultKernels() *Kernels {
+	return &Kernels{
+		Name:           TierDefault,
+		Dot:            dotKernel,
+		Dot4:           dot4Kernel,
+		Axpy:           axpyKernel,
+		AddScaledTo:    addScaledToKernel,
+		MatMulAcc:      matMulAccKernel,
+		MatMulBTAcc:    matMulBTAccKernel,
+		SoftmaxInPlace: softmaxRowKernel,
+		LayerNormRow:   layerNormRowKernel,
+	}
+}
+
+func wideKernels() *Kernels {
+	return &Kernels{
+		Name:           TierWide,
+		Dot:            dotWide,
+		Dot4:           dot4Wide,
+		Axpy:           axpyWide,
+		AddScaledTo:    addScaledToKernel, // element-wise: bitwise identical at any width
+		MatMulAcc:      matMulAccWide,
+		MatMulBTAcc:    matMulBTAccWide,
+		SoftmaxInPlace: softmaxRowWide,
+		LayerNormRow:   layerNormRowWide,
+	}
+}
+
+func init() {
+	RegisterTier(defaultKernels())
+	RegisterTier(wideKernels())
+	fastGemm = tierRegistry[TierDefault].MatMulAcc
+	if k := asmKernels(); k != nil {
+		RegisterTier(k)
+		fastGemm = k.MatMulAcc
+		fastGemmAsm = true
+	}
+	activeTier.Store(tierRegistry[TierDefault])
+	// APAN_KERNEL_TIER selects the tier before main runs. An unknown name is
+	// ignored (the process keeps the bit-exact default) rather than crashing
+	// serving on a typo; Config.KernelTier goes through SetTier and does
+	// report the error.
+	if name := os.Getenv("APAN_KERNEL_TIER"); name != "" {
+		_ = SetTier(name)
+	}
+}
+
+// RegisterTier adds (or replaces) a named kernel tier. Build-tagged
+// architecture-specific implementations (e.g. amd64 assembly) call this from
+// their init; any function left nil falls back to the default tier's entry,
+// so a partial assembly tier is valid.
+func RegisterTier(k *Kernels) {
+	if k.Name == "" {
+		panic("tensor: RegisterTier with empty name")
+	}
+	if d, ok := tierRegistry[TierDefault]; ok {
+		if k.Dot == nil {
+			k.Dot = d.Dot
+		}
+		if k.Dot4 == nil {
+			k.Dot4 = d.Dot4
+		}
+		if k.Axpy == nil {
+			k.Axpy = d.Axpy
+		}
+		if k.AddScaledTo == nil {
+			k.AddScaledTo = d.AddScaledTo
+		}
+		if k.MatMulAcc == nil {
+			k.MatMulAcc = d.MatMulAcc
+		}
+		if k.MatMulBTAcc == nil {
+			k.MatMulBTAcc = d.MatMulBTAcc
+		}
+		if k.SoftmaxInPlace == nil {
+			k.SoftmaxInPlace = d.SoftmaxInPlace
+		}
+		if k.LayerNormRow == nil {
+			k.LayerNormRow = d.LayerNormRow
+		}
+	}
+	tierRegistry[k.Name] = k
+}
+
+// SetTier activates the named kernel tier ("" means default). It is meant to
+// be called once at startup (core.Config.KernelTier does); concurrent
+// in-flight kernel calls keep the table they loaded.
+func SetTier(name string) error {
+	if name == "" {
+		name = TierDefault
+	}
+	k, ok := tierRegistry[name]
+	if !ok {
+		return fmt.Errorf("tensor: unknown kernel tier %q (have %v)", name, TierNames())
+	}
+	activeTier.Store(k)
+	return nil
+}
+
+// Tier returns the name of the active kernel tier.
+func Tier() string { return activeTier.Load().Name }
+
+// TierNames lists the registered tiers, sorted.
+func TierNames() []string {
+	names := make([]string, 0, len(tierRegistry))
+	for n := range tierRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TierKernels returns the registered tier by name (nil if absent) — test and
+// benchmark access to a specific tier without switching the process default.
+func TierKernels(name string) *Kernels { return tierRegistry[name] }
+
+func active() *Kernels { return activeTier.Load() }
+
+// HasAsmGemm reports whether the AVX2+FMA GEMM is available in this process
+// (amd64, CPU support, not built with apan_noasm).
+func HasAsmGemm() bool { return fastGemmAsm }
+
+// FastMatMulAcc computes dst += a·b through the fastest GEMM in the process
+// — the asm micro-kernel when available, else the default kernel — ignoring
+// the active tier. Training paths call it: gradient arithmetic is
+// self-consistent within a process and carries no bit-exactness contract,
+// unlike the serving default tier.
+func FastMatMulAcc(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: FastMatMulAcc shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	fastGemm(dst, a, b)
+}
+
+// FastMatMul computes dst = a·b through the fastest GEMM (see FastMatMulAcc).
+func FastMatMul(dst, a, b *Matrix) {
+	dst.Zero()
+	FastMatMulAcc(dst, a, b)
+}

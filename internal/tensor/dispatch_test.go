@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The wide-tier contract (see Kernels): every reduction kernel agrees with
+// the bit-exact default tier within the mixed relative-or-absolute 1e-4
+// tolerance of close32 — the absolute escape is what makes the contract
+// honest under catastrophic cancellation, where no summation order keeps
+// more correct bits than float32 has. testing/quick drives the properties
+// over cancellation-heavy inputs: large-magnitude values in alternating
+// signs, so partial sums swing far above the final result.
+
+// cancelSlice generates unit-scale values in alternating-sign near-canceling
+// pairs, so reductions over it cancel heavily and summation-order
+// differences between tiers are maximally visible. Magnitudes stay at unit
+// scale: the 1e-4 absolute escape in close32 is calibrated for it.
+func cancelSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		v := float32(rng.NormFloat64())
+		if i%2 == 1 {
+			v = -s[i-1] + float32(rng.NormFloat64())*0.01
+		}
+		s[i] = v
+	}
+	return s
+}
+
+// TestQuickWideDotMatchesDefault: wide Dot and Dot4 vs the default tier.
+func TestQuickWideDotMatchesDefault(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) + 1
+		a := cancelSlice(rng, n)
+		b0, b1, b2, b3 := cancelSlice(rng, n), cancelSlice(rng, n), cancelSlice(rng, n), cancelSlice(rng, n)
+		if !close32(dotWide(a, b0), dotKernel(a, b0)) {
+			return false
+		}
+		w0, w1, w2, w3 := dot4Wide(a, b0, b1, b2, b3)
+		d0, d1, d2, d3 := dot4Kernel(a, b0, b1, b2, b3)
+		return close32(w0, d0) && close32(w1, d1) && close32(w2, d2) && close32(w3, d3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWideGemmMatchesDefault: wide MatMulAcc/MatMulBTAcc vs default on
+// awkward shapes, accumulating onto a non-zero dst.
+func TestQuickWideGemmMatchesDefault(t *testing.T) {
+	f := func(seed int64, mRaw, kRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := int(mRaw%17)+1, int(kRaw%23)+1, int(nRaw%17)+1
+		a, b := New(m, k), New(k, n)
+		a.Data = cancelSlice(rng, len(a.Data))
+		b.Data = cancelSlice(rng, len(b.Data))
+		base := cancelSlice(rng, m*n)
+		dw, dd := New(m, n), New(m, n)
+		copy(dw.Data, base)
+		copy(dd.Data, base)
+		matMulAccWide(dw, a, b)
+		matMulAccKernel(dd, a, b)
+		for i := range dw.Data {
+			if !close32(dw.Data[i], dd.Data[i]) {
+				return false
+			}
+		}
+		bt := New(n, k)
+		bt.Data = cancelSlice(rng, len(bt.Data))
+		copy(dw.Data, base)
+		copy(dd.Data, base)
+		matMulBTAccWide(dw, a, bt)
+		matMulBTAccKernel(dd, a, bt)
+		for i := range dw.Data {
+			if !close32(dw.Data[i], dd.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWideRowOpsMatchDefault: wide softmax and layer norm vs default.
+func TestQuickWideRowOpsMatchDefault(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) + 1
+		row := cancelSlice(rng, n)
+		sw := append([]float32(nil), row...)
+		sd := append([]float32(nil), row...)
+		softmaxRowWide(sw)
+		softmaxRowKernel(sd)
+		for i := range sw {
+			if !close32(sw[i], sd[i]) {
+				return false
+			}
+		}
+		x := cancelSlice(rng, n)
+		g, b := randSlice(rng, n), randSlice(rng, n)
+		dw, dd := make([]float32, n), make([]float32, n)
+		xw, xd := make([]float32, n), make([]float32, n)
+		iw := layerNormRowWide(dw, xw, x, g, b, 1e-5)
+		id := layerNormRowKernel(dd, xd, x, g, b, 1e-5)
+		if !close32(iw, id) {
+			return false
+		}
+		for i := range dw {
+			if !close32(dw[i], dd[i]) || !close32(xw[i], xd[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInt8Dot4BitIdentical: the active int8Dot4 (the VPMADDWD kernel on
+// amd64) is exact integer arithmetic, so it must equal the pure-Go reference
+// bit for bit — including k<16 (vector loop skipped) and ragged tails.
+func TestQuickInt8Dot4BitIdentical(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw) + 1
+		a, b := make([]int8, k), make([]int8, 4*k)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		c0, c1, c2, c3 := int8Dot4(a, b, k)
+		g0, g1, g2, g3 := int8Dot4Go(a, b, k)
+		return c0 == g0 && c1 == g1 && c2 == g2 && c3 == g3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetTier: the registry round-trips known names, rejects unknown ones
+// without disturbing the active tier, and "" means default.
+func TestSetTier(t *testing.T) {
+	defer func() {
+		if err := SetTier(TierDefault); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := SetTier(TierWide); err != nil {
+		t.Fatal(err)
+	}
+	if Tier() != TierWide {
+		t.Fatalf("Tier() = %q after SetTier(wide)", Tier())
+	}
+	if err := SetTier("no-such-tier"); err == nil {
+		t.Fatal("SetTier accepted an unknown tier")
+	}
+	if Tier() != TierWide {
+		t.Fatalf("failed SetTier changed the active tier to %q", Tier())
+	}
+	if err := SetTier(""); err != nil {
+		t.Fatal(err)
+	}
+	if Tier() != TierDefault {
+		t.Fatalf("Tier() = %q after SetTier(\"\")", Tier())
+	}
+}

@@ -1,0 +1,157 @@
+package tensor
+
+import "fmt"
+
+// Int8 GEMM with per-channel symmetric quantization, the inference-only
+// fast path behind Config.Quantize. Weights are quantized once per publish
+// (per output column: scale = maxabs/127, zero-point 0) into a transposed
+// N×K int8 layout so the GEMM inner loop walks both operands contiguously;
+// activations are quantized per row at call time. Accumulation is int32 —
+// at K ≤ ~260k the worst case |Σ q_a·q_w| ≤ K·127·127 stays far inside
+// int32 range, so the product is exact until the final float32 rescale by
+// as[i]·bs[j].
+
+// QuantizeRowInt8 symmetrically quantizes src into dst (round-to-nearest,
+// clamped to ±127) and returns the scale such that src[i] ≈ dst[i]*scale.
+// An all-zero row quantizes to zeros with scale 0.
+func QuantizeRowInt8(dst []int8, src []float32) float32 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: QuantizeRowInt8 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	var mx float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := mx / 127
+	inv := 127 / mx
+	for i, v := range src {
+		r := v * inv
+		if r >= 0 {
+			r += 0.5
+		} else {
+			r -= 0.5
+		}
+		q := int32(r)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// QuantizeColsInt8 quantizes a K×N weight matrix per output column
+// (symmetric, scale = column maxabs / 127) into a transposed N×K int8
+// layout plus per-column scales: bT[j*K+i] ≈ w[i][j] / scales[j].
+func QuantizeColsInt8(w *Matrix) (bT []int8, scales []float32) {
+	k, n := w.Rows, w.Cols
+	bT = make([]int8, n*k)
+	scales = make([]float32, n)
+	for j := 0; j < n; j++ {
+		var mx float32
+		for i := 0; i < k; i++ {
+			v := w.Data[i*n+j]
+			if v < 0 {
+				v = -v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		col := bT[j*k : (j+1)*k]
+		if mx == 0 {
+			continue // col already zero, scale 0
+		}
+		scales[j] = mx / 127
+		inv := 127 / mx
+		for i := 0; i < k; i++ {
+			r := w.Data[i*n+j] * inv
+			if r >= 0 {
+				r += 0.5
+			} else {
+				r -= 0.5
+			}
+			q := int32(r)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			col[i] = int8(q)
+		}
+	}
+	return bT, scales
+}
+
+// int8Dot4 computes four length-k int8 inner products of a against the four
+// rows of the contiguous 4×k block b (rows at offsets 0, k, 2k, 3k). The
+// amd64 build replaces it with the VPMADDWD micro-kernel at init when the
+// CPU supports AVX2; integer accumulation is exact, so both implementations
+// return bit-identical results and the swap carries no numeric contract.
+var int8Dot4 = int8Dot4Go
+
+func int8Dot4Go(a, b []int8, k int) (c0, c1, c2, c3 int32) {
+	b0, b1, b2, b3 := b[:k], b[k:2*k], b[2*k:3*k], b[3*k:4*k]
+	t := 0
+	for ; t+2 <= k; t += 2 {
+		a0 := int32(a[t])
+		a1 := int32(a[t+1])
+		c0 += a0*int32(b0[t]) + a1*int32(b0[t+1])
+		c1 += a0*int32(b1[t]) + a1*int32(b1[t+1])
+		c2 += a0*int32(b2[t]) + a1*int32(b2[t+1])
+		c3 += a0*int32(b3[t]) + a1*int32(b3[t+1])
+	}
+	for ; t < k; t++ {
+		a0 := int32(a[t])
+		c0 += a0 * int32(b0[t])
+		c1 += a0 * int32(b1[t])
+		c2 += a0 * int32(b2[t])
+		c3 += a0 * int32(b3[t])
+	}
+	return
+}
+
+// Int8MatMul computes dst[i][j] = (Σ_t aq[i*k+t]·bT[j*k+t]) · as[i] · bs[j]
+// with int32 accumulators: an m×k int8 activation block (row scales as)
+// against a transposed n×k int8 weight block (column scales bs). Four
+// weight columns are produced per pass so each activation row is loaded
+// once per four outputs, mirroring the float dot4 kernel.
+func Int8MatMul(dst *Matrix, aq []int8, as []float32, bT []int8, bs []float32, m, k, n int) {
+	if dst.Rows != m || dst.Cols != n || len(aq) < m*k || len(bT) < n*k || len(as) < m || len(bs) < n {
+		panic(fmt.Sprintf("tensor: Int8MatMul shapes %dx%d · (%dx%d)ᵀ -> %dx%d", m, k, n, k, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < m; i++ {
+		arow := aq[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		ascale := as[i]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			c0, c1, c2, c3 := int8Dot4(arow, bT[j*k:(j+4)*k], k)
+			drow[j] = float32(c0) * ascale * bs[j]
+			drow[j+1] = float32(c1) * ascale * bs[j+1]
+			drow[j+2] = float32(c2) * ascale * bs[j+2]
+			drow[j+3] = float32(c3) * ascale * bs[j+3]
+		}
+		for ; j < n; j++ {
+			bcol := bT[j*k : (j+1)*k]
+			var c int32
+			for t, av := range arow {
+				c += int32(av) * int32(bcol[t])
+			}
+			drow[j] = float32(c) * ascale * bs[j]
+		}
+	}
+}

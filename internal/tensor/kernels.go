@@ -16,6 +16,7 @@ import "fmt"
 // dotKernel is the 4-accumulator inner product.
 func dotKernel(a, b []float32) float32 {
 	n := len(a)
+	b = b[:n] // hoist the bounds check out of the loop
 	var s0, s1, s2, s3 float32
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -35,6 +36,8 @@ func dotKernel(a, b []float32) float32 {
 // over a, so a is loaded once per four outputs (the a·Bᵀ access pattern of
 // attention K·Q scoring, where four key rows share one query row).
 func dot4Kernel(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32) {
+	// Reslicing to len(a) hoists the four per-element bounds checks.
+	b0, b1, b2, b3 = b0[:len(a)], b1[:len(a)], b2[:len(a)], b3[:len(a)]
 	for i, av := range a {
 		d0 += av * b0[i]
 		d1 += av * b1[i]
@@ -66,9 +69,81 @@ func AddScaledTo(dst, a, b []float32, s float32) {
 	if len(dst) != len(a) || len(dst) != len(b) {
 		panic(fmt.Sprintf("tensor: AddScaledTo length mismatch %d/%d/%d", len(dst), len(a), len(b)))
 	}
+	active().AddScaledTo(dst, a, b, s)
+}
+
+// addScaledToKernel is the default AddScaledTo loop (element-wise, so any
+// tier computes the same bits; kept as a named kernel for symmetry).
+func addScaledToKernel(dst, a, b []float32, s float32) {
 	for i, av := range a {
 		dst[i] = av + s*b[i]
 	}
+}
+
+// softmaxRowKernel is the default fused softmax: max-subtraction, a single
+// sequential exp-sum accumulator, then one normalization pass. This is the
+// historical SoftmaxRow body verbatim — the default tier must stay bit-exact.
+func softmaxRowKernel(row []float32) {
+	if len(row) == 0 {
+		return
+	}
+	mx := row[0]
+	for _, v := range row[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float32
+	for i, v := range row {
+		e := Exp32(v - mx)
+		row[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] *= inv
+	}
+}
+
+// layerNormRowKernel is the default fused layer-norm row: sequential mean and
+// variance accumulators matching the historical nn.LayerNormOp inline loops
+// bit-for-bit. When xhat is non-nil the normalized values are cached there
+// for the backward pass.
+func layerNormRowKernel(dst, xhat, x, g, b []float32, eps float32) float32 {
+	d := len(x)
+	var mean float32
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float32(d)
+	var vr float32
+	for _, v := range x {
+		dv := v - mean
+		vr += dv * dv
+	}
+	vr /= float32(d)
+	is := 1 / Sqrt32(vr+eps)
+	if xhat != nil {
+		for j, v := range x {
+			h := (v - mean) * is
+			xhat[j] = h
+			dst[j] = g[j]*h + b[j]
+		}
+	} else {
+		for j, v := range x {
+			h := (v - mean) * is
+			dst[j] = g[j]*h + b[j]
+		}
+	}
+	return is
+}
+
+// LayerNormRow normalizes one row through the active kernel tier:
+// dst = g⊙(x−mean)/std + b, returning the inverse standard deviation.
+// A non-nil xhat additionally receives the normalized values (the
+// backward-pass cache used by training tapes).
+func LayerNormRow(dst, xhat, x, g, b []float32, eps float32) float32 {
+	return active().LayerNormRow(dst, xhat, x, g, b, eps)
 }
 
 // matMulAccKernel computes dst += a·b with the ikj loop order blocked four
@@ -90,6 +165,8 @@ func matMulAccKernel(dst, a, b *Matrix) {
 			b1 := b.Data[(k+1)*n : (k+2)*n]
 			b2 := b.Data[(k+2)*n : (k+3)*n]
 			b3 := b.Data[(k+3)*n : (k+4)*n]
+			// Reslicing to the output width hoists the bounds checks.
+			b0, b1, b2, b3 = b0[:len(drow)], b1[:len(drow)], b2[:len(drow)], b3[:len(drow)]
 			for j := range drow {
 				drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}

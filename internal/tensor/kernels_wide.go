@@ -1,0 +1,240 @@
+package tensor
+
+// This file holds the "wide" kernel tier: 8-lane wide-accumulator variants
+// of the reduction kernels in kernels.go plus fused softmax/layernorm row
+// loops. Wider accumulator fans hide more FMA latency on modern cores and
+// give the compiler straight-line bodies it can keep in registers; the cost
+// is a different summation order, so wide-tier results match the default
+// tier only within float32 tolerance (see the equivalence properties in
+// dispatch_test.go). Element-wise kernels (Axpy, AddScaledTo) have no
+// reduction, so their wide variants are bitwise identical to the default.
+
+// dotWide is the 8-accumulator inner product.
+func dotWide(a, b []float32) float32 {
+	n := len(a)
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	s := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// dot4Wide computes four inner products of a against b0..b3 in one pass,
+// two accumulators per output (eight live accumulators total).
+func dot4Wide(a, b0, b1, b2, b3 []float32) (d0, d1, d2, d3 float32) {
+	n := len(a)
+	var e0, e1, e2, e3 float32
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0, a1 := a[i], a[i+1]
+		d0 += a0 * b0[i]
+		e0 += a1 * b0[i+1]
+		d1 += a0 * b1[i]
+		e1 += a1 * b1[i+1]
+		d2 += a0 * b2[i]
+		e2 += a1 * b2[i+1]
+		d3 += a0 * b3[i]
+		e3 += a1 * b3[i+1]
+	}
+	d0 += e0
+	d1 += e1
+	d2 += e2
+	d3 += e3
+	for ; i < n; i++ {
+		av := a[i]
+		d0 += av * b0[i]
+		d1 += av * b1[i]
+		d2 += av * b2[i]
+		d3 += av * b3[i]
+	}
+	return
+}
+
+// axpyWide computes y += s*x, unrolled by eight. Element-wise independent,
+// so bitwise identical to the default kernel.
+func axpyWide(y, x []float32, s float32) {
+	n := len(y)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		y[i] += s * x[i]
+		y[i+1] += s * x[i+1]
+		y[i+2] += s * x[i+2]
+		y[i+3] += s * x[i+3]
+		y[i+4] += s * x[i+4]
+		y[i+5] += s * x[i+5]
+		y[i+6] += s * x[i+6]
+		y[i+7] += s * x[i+7]
+	}
+	for ; i < n; i++ {
+		y[i] += s * x[i]
+	}
+}
+
+// matMulAccWide computes dst += a·b blocked eight k-steps deep: each dst row
+// is streamed once per eight rows of b. All-zero k-blocks of a are skipped
+// (the post-ReLU sparsity win), matching the default kernel's structure.
+func matMulAccWide(dst, a, b *Matrix) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*n : (i+1)*n]
+		k := 0
+		for ; k+8 <= len(arow); k += 8 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			a4, a5, a6, a7 := arow[k+4], arow[k+5], arow[k+6], arow[k+7]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 &&
+				a4 == 0 && a5 == 0 && a6 == 0 && a7 == 0 {
+				continue
+			}
+			b0 := b.Data[k*n : (k+1)*n]
+			b1 := b.Data[(k+1)*n : (k+2)*n]
+			b2 := b.Data[(k+2)*n : (k+3)*n]
+			b3 := b.Data[(k+3)*n : (k+4)*n]
+			b4 := b.Data[(k+4)*n : (k+5)*n]
+			b5 := b.Data[(k+5)*n : (k+6)*n]
+			b6 := b.Data[(k+6)*n : (k+7)*n]
+			b7 := b.Data[(k+7)*n : (k+8)*n]
+			for j := range drow {
+				drow[j] += ((a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])) +
+					((a4*b4[j] + a5*b5[j]) + (a6*b6[j] + a7*b7[j]))
+			}
+		}
+		for ; k < len(arow); k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulBTAccWide computes dst += a·bᵀ, four b-rows per pass through the
+// 8-accumulator dot4Wide.
+func matMulBTAccWide(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[j*b.Cols : (j+1)*b.Cols]
+			b1 := b.Data[(j+1)*b.Cols : (j+2)*b.Cols]
+			b2 := b.Data[(j+2)*b.Cols : (j+3)*b.Cols]
+			b3 := b.Data[(j+3)*b.Cols : (j+4)*b.Cols]
+			d0, d1, d2, d3 := dot4Wide(arow, b0, b1, b2, b3)
+			drow[j] += d0
+			drow[j+1] += d1
+			drow[j+2] += d2
+			drow[j+3] += d3
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			drow[j] += dotWide(arow, brow)
+		}
+	}
+}
+
+// softmaxRowWide is the fused softmax with a 4-accumulator exp-sum.
+func softmaxRowWide(row []float32) {
+	if len(row) == 0 {
+		return
+	}
+	mx := row[0]
+	for _, v := range row[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(row); i += 4 {
+		e0 := Exp32(row[i] - mx)
+		e1 := Exp32(row[i+1] - mx)
+		e2 := Exp32(row[i+2] - mx)
+		e3 := Exp32(row[i+3] - mx)
+		row[i] = e0
+		row[i+1] = e1
+		row[i+2] = e2
+		row[i+3] = e3
+		s0 += e0
+		s1 += e1
+		s2 += e2
+		s3 += e3
+	}
+	sum := (s0 + s1) + (s2 + s3)
+	for ; i < len(row); i++ {
+		e := Exp32(row[i] - mx)
+		row[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] *= inv
+	}
+}
+
+// layerNormRowWide is the fused layer-norm row with 4-accumulator mean and
+// variance reductions.
+func layerNormRowWide(dst, xhat, x, g, b []float32, eps float32) float32 {
+	d := len(x)
+	var m0, m1, m2, m3 float32
+	i := 0
+	for ; i+4 <= d; i += 4 {
+		m0 += x[i]
+		m1 += x[i+1]
+		m2 += x[i+2]
+		m3 += x[i+3]
+	}
+	mean := (m0 + m1) + (m2 + m3)
+	for ; i < d; i++ {
+		mean += x[i]
+	}
+	mean /= float32(d)
+	var v0, v1, v2, v3 float32
+	i = 0
+	for ; i+4 <= d; i += 4 {
+		d0 := x[i] - mean
+		d1 := x[i+1] - mean
+		d2 := x[i+2] - mean
+		d3 := x[i+3] - mean
+		v0 += d0 * d0
+		v1 += d1 * d1
+		v2 += d2 * d2
+		v3 += d3 * d3
+	}
+	vr := (v0 + v1) + (v2 + v3)
+	for ; i < d; i++ {
+		dv := x[i] - mean
+		vr += dv * dv
+	}
+	vr /= float32(d)
+	is := 1 / Sqrt32(vr+eps)
+	if xhat != nil {
+		for j, v := range x {
+			h := (v - mean) * is
+			xhat[j] = h
+			dst[j] = g[j]*h + b[j]
+		}
+	} else {
+		for j, v := range x {
+			h := (v - mean) * is
+			dst[j] = g[j]*h + b[j]
+		}
+	}
+	return is
+}

@@ -31,27 +31,10 @@ func Sigmoid32(x float32) float32 {
 	return z / (1 + z)
 }
 
-// SoftmaxRow overwrites row with softmax(row) using the max-subtraction trick.
+// SoftmaxRow overwrites row with softmax(row) using the max-subtraction
+// trick, dispatched through the active kernel tier.
 func SoftmaxRow(row []float32) {
-	if len(row) == 0 {
-		return
-	}
-	mx := row[0]
-	for _, v := range row[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	var sum float32
-	for i, v := range row {
-		e := Exp32(v - mx)
-		row[i] = e
-		sum += e
-	}
-	inv := 1 / sum
-	for i := range row {
-		row[i] *= inv
-	}
+	active().SoftmaxInPlace(row)
 }
 
 // LogSumExp returns log(Σ exp(x_i)) computed stably.

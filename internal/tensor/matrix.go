@@ -126,17 +126,46 @@ func MatMulAcc(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulAcc shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	matMulAccKernel(dst, a, b)
+	active().MatMulAcc(dst, a, b)
 }
 
-// MatMulATAcc computes dst += aᵀ·b where a is stored untransposed.
+// MatMulATAcc computes dst += aᵀ·b where a is stored untransposed — the
+// weight-gradient accumulation dW += Xᵀ·dY (backward pass only; no serving
+// path calls it). The k loop is blocked four rows deep so each dst row is
+// streamed once per four k-steps, which quarters the dominant load/store
+// traffic; all-zero 4-blocks of the input column (post-ReLU activations,
+// empty mail slots) are skipped. Summation order differs from the naive
+// kij loop, so gradients match it only up to float32 rounding.
 func MatMulATAcc(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATAcc shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	n := b.Cols
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+	ac := a.Cols
+	k := 0
+	for ; k+4 <= a.Rows; k += 4 {
+		a0 := a.Data[k*ac : (k+1)*ac]
+		a1 := a.Data[(k+1)*ac : (k+2)*ac]
+		a2 := a.Data[(k+2)*ac : (k+3)*ac]
+		a3 := a.Data[(k+3)*ac : (k+4)*ac]
+		b0 := b.Data[k*n : (k+1)*n]
+		b1 := b.Data[(k+1)*n : (k+2)*n]
+		b2 := b.Data[(k+2)*n : (k+3)*n]
+		b3 := b.Data[(k+3)*n : (k+4)*n]
+		for i := 0; i < ac; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : (i+1)*n]
+			b0, b1, b2, b3 := b0[:len(drow)], b1[:len(drow)], b2[:len(drow)], b3[:len(drow)]
+			for j := range drow {
+				drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; k < a.Rows; k++ {
+		arow := a.Data[k*ac : (k+1)*ac]
 		brow := b.Data[k*n : (k+1)*n]
 		for i, av := range arow {
 			if av == 0 {
@@ -150,13 +179,37 @@ func MatMulATAcc(dst, a, b *Matrix) {
 	}
 }
 
+// TransposeInto writes aᵀ into dst (which must be a.Cols×a.Rows), in 8×8
+// tiles so both matrices stream through cache. Training backward uses it to
+// turn the transposed-operand GEMMs (G·Bᵀ, Aᵀ·G) into plain dst += a·b
+// calls for the fast GEMM path.
+func TransposeInto(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto shapes %dx%d -> %dx%d", a.Rows, a.Cols, dst.Rows, dst.Cols))
+	}
+	const tile = 8
+	r, c := a.Rows, a.Cols
+	for i0 := 0; i0 < r; i0 += tile {
+		i1 := min(i0+tile, r)
+		for j0 := 0; j0 < c; j0 += tile {
+			j1 := min(j0+tile, c)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*c : (i+1)*c]
+				for j := j0; j < j1; j++ {
+					dst.Data[j*r+i] = arow[j]
+				}
+			}
+		}
+	}
+}
+
 // MatMulBTAcc computes dst += a·bᵀ where b is stored untransposed (the
 // attention K·Q access pattern; four b-rows per pass, see kernels.go).
 func MatMulBTAcc(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulBTAcc shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	matMulBTAccKernel(dst, a, b)
+	active().MatMulBTAcc(dst, a, b)
 }
 
 // Dot returns the inner product of equal-length vectors a and b
@@ -165,7 +218,7 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	return dotKernel(a, b)
+	return active().Dot(a, b)
 }
 
 // Axpy accumulates s*x into y.
@@ -173,7 +226,7 @@ func Axpy(y, x []float32, s float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(y), len(x)))
 	}
-	axpyKernel(y, x, s)
+	active().Axpy(y, x, s)
 }
 
 // Transpose returns a new matrix mᵀ.

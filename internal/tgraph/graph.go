@@ -184,6 +184,28 @@ func (g *Graph) KHopMostRecent(seeds []NodeID, t float64, fanout, hops int) [][]
 	return out
 }
 
+// KHopMostRecentInto is KHopMostRecent building each hop directly into the
+// scratch's level buffers — identical incidences in identical order, no
+// per-call allocation once the scratch is warm. See KHopScratch for the
+// result lifetime.
+func (g *Graph) KHopMostRecentInto(sc *KHopScratch, seeds []NodeID, t float64, fanout, hops int) [][]Incidence {
+	out := sc.grow(hops)
+	frontier := seeds
+	for h := 0; h < hops; h++ {
+		lvl := out[h][:0]
+		for _, n := range frontier {
+			lvl = g.MostRecentNeighbors(n, t, fanout, lvl)
+		}
+		out[h] = lvl
+		sc.frontier = sc.frontier[:0]
+		for _, inc := range lvl {
+			sc.frontier = append(sc.frontier, inc.Peer)
+		}
+		frontier = sc.frontier
+	}
+	return out
+}
+
 // EventsBetween returns the slice of events with Time in [lo, hi). Events
 // must have been inserted in non-decreasing time order for this to be exact.
 func (g *Graph) EventsBetween(lo, hi float64) []Event {

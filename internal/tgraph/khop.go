@@ -1,0 +1,39 @@
+package tgraph
+
+// KHopScratch holds the reusable buffers of a k-hop traversal so steady-state
+// callers (the mail propagator runs one traversal per event) allocate nothing.
+// The slices returned by a *Into call alias the scratch and stay valid only
+// until the next call with the same scratch; callers that need the results to
+// outlive that must copy, or use the allocating KHopMostRecent.
+type KHopScratch struct {
+	levels   [][]Incidence
+	frontier []NodeID
+}
+
+// grow returns a per-hop output slice backed by the scratch, preserving the
+// capacity of previously used level buffers.
+func (sc *KHopScratch) grow(hops int) [][]Incidence {
+	for len(sc.levels) < hops {
+		sc.levels = append(sc.levels, nil)
+	}
+	return sc.levels[:hops]
+}
+
+// KHopInto is implemented by stores whose KHopMostRecent can run through a
+// caller-owned KHopScratch. The result contract matches KHopMostRecent
+// bit-for-bit — same incidences, same order — only the buffer ownership
+// differs (see KHopScratch).
+type KHopInto interface {
+	KHopMostRecentInto(sc *KHopScratch, seeds []NodeID, t float64, fanout, hops int) [][]Incidence
+}
+
+// KHopMostRecentInto routes a k-hop query through the scratch-reuse path when
+// s implements KHopInto and falls back to the allocating Store method
+// otherwise, so wrappers can offer the fast path without constraining their
+// inner store.
+func KHopMostRecentInto(s Store, sc *KHopScratch, seeds []NodeID, t float64, fanout, hops int) [][]Incidence {
+	if ki, ok := s.(KHopInto); ok {
+		return ki.KHopMostRecentInto(sc, seeds, t, fanout, hops)
+	}
+	return s.KHopMostRecent(seeds, t, fanout, hops)
+}

@@ -1,0 +1,121 @@
+// The scratch-reuse k-hop path (KHopMostRecentInto) must answer every query
+// bit-identically to the allocating KHopMostRecent on every backend, charge
+// the same accounting through the gdb wrappers, and allocate nothing once
+// the scratch is warm — that is what lets the mail propagator run one
+// traversal per event without garbage.
+package tgraph_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"apan/internal/gdb"
+	"apan/internal/tgraph"
+)
+
+// TestKHopIntoMatchesAllocating drives randomized streams through every
+// backend and compares the scratch path against the allocating path on each,
+// reusing one scratch across all queries so stale level contents from prior
+// queries would surface as mismatches.
+func TestKHopIntoMatchesAllocating(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const base, max = 16, 48
+		stream := randomStream(rng, 300, base, max)
+		stores := backends(base)
+		for name, s := range stores {
+			apply(s, stream)
+			maxT := 0.0
+			for _, ev := range stream {
+				if ev.Src != -1 && ev.Time > maxT {
+					maxT = ev.Time
+				}
+			}
+			var sc tgraph.KHopScratch
+			qrng := rand.New(rand.NewSource(seed + 1))
+			for q := 0; q < 60; q++ {
+				seeds := []tgraph.NodeID{
+					tgraph.NodeID(qrng.Intn(s.NumNodes())),
+					tgraph.NodeID(qrng.Intn(s.NumNodes())),
+				}
+				qt := qrng.Float64() * (maxT + 1)
+				fanout := 1 + qrng.Intn(6)
+				hops := 1 + qrng.Intn(3)
+				want := s.KHopMostRecent(seeds, qt, fanout, hops)
+				got := tgraph.KHopMostRecentInto(s, &sc, seeds, qt, fanout, hops)
+				if len(got) != len(want) {
+					t.Fatalf("%s seed %d: %d hops vs %d", name, seed, len(got), len(want))
+				}
+				for h := range want {
+					sameIncidences(t, name+": KHopMostRecentInto", got[h], want[h])
+				}
+			}
+		}
+	}
+}
+
+// TestKHopIntoDispatch proves the Into path actually engages on every
+// backend (none silently falls back to the allocating method).
+func TestKHopIntoDispatch(t *testing.T) {
+	for name, s := range backends(16) {
+		if _, ok := s.(tgraph.KHopInto); !ok {
+			t.Errorf("%s does not implement tgraph.KHopInto", name)
+		}
+	}
+}
+
+// TestKHopIntoZeroAlloc: once the scratch has seen the traversal shape, the
+// flat and sharded Into paths allocate nothing per call.
+func TestKHopIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := randomStream(rng, 500, 16, 48)
+	for name, s := range map[string]tgraph.Store{
+		"flat":    tgraph.New(16),
+		"sharded": tgraph.NewSharded(16, 4),
+	} {
+		apply(s, stream)
+		var sc tgraph.KHopScratch
+		seeds := []tgraph.NodeID{3, 11}
+		tgraph.KHopMostRecentInto(s, &sc, seeds, 200, 8, 3) // warm the scratch
+		allocs := testing.AllocsPerRun(100, func() {
+			tgraph.KHopMostRecentInto(s, &sc, seeds, 200, 8, 3)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: KHopMostRecentInto allocates %v per call after warm-up", name, allocs)
+		}
+	}
+}
+
+// TestKHopIntoAccountingParity: the gdb.DB and gdb.Remote wrappers must
+// charge the Into path exactly like the allocating path — same query, item,
+// RPC and simulated-latency counters for the same traversal.
+func TestKHopIntoAccountingParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	stream := randomStream(rng, 300, 16, 48)
+	remote := gdb.NewRemote(tgraph.NewSharded(16, 4),
+		gdb.RemoteOptions{Latency: gdb.PerItem(time.Millisecond, time.Microsecond)})
+	apply(remote, stream)
+	db := gdb.New(remote)
+	db.Latency = gdb.PerItem(2*time.Millisecond, time.Microsecond)
+
+	seeds := []tgraph.NodeID{2, 9}
+	db.KHopMostRecent(seeds, 150, 6, 2)
+	wantDB, wantRPC := db.Stats(), remote.Stats()
+
+	db.ResetStats()
+	var sc tgraph.KHopScratch
+	db.KHopMostRecentInto(&sc, seeds, 150, 6, 2)
+	gotDB := db.Stats()
+	gotRPC := remote.Stats()
+	gotRPC.RPCs -= wantRPC.RPCs
+	gotRPC.Items -= wantRPC.Items
+	gotRPC.Simulated -= wantRPC.Simulated
+
+	if gotDB != wantDB {
+		t.Errorf("DB accounting: Into path %+v, allocating path %+v", gotDB, wantDB)
+	}
+	if gotRPC != wantRPC {
+		t.Errorf("Remote accounting: Into path %+v, allocating path %+v", gotRPC, wantRPC)
+	}
+}

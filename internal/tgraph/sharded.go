@@ -302,6 +302,29 @@ func (s *Sharded) KHopMostRecent(seeds []NodeID, t float64, fanout, hops int) []
 	return out
 }
 
+// KHopMostRecentInto is KHopMostRecent building each hop directly into the
+// scratch's level buffers — identical incidences in identical order, no
+// per-call allocation once the scratch is warm. MostRecentNeighbors still
+// copies incidence values out under each partition's read lock, so hops alias
+// only the caller's scratch, never partition storage.
+func (s *Sharded) KHopMostRecentInto(sc *KHopScratch, seeds []NodeID, t float64, fanout, hops int) [][]Incidence {
+	out := sc.grow(hops)
+	frontier := seeds
+	for h := 0; h < hops; h++ {
+		lvl := out[h][:0]
+		for _, n := range frontier {
+			lvl = s.MostRecentNeighbors(n, t, fanout, lvl)
+		}
+		out[h] = lvl
+		sc.frontier = sc.frontier[:0]
+		for _, inc := range lvl {
+			sc.frontier = append(sc.frontier, inc.Peer)
+		}
+		frontier = sc.frontier
+	}
+	return out
+}
+
 // EventsBetween returns the events with Time in [lo, hi) from the global
 // log. Entries are immutable and the binary search runs under the log's
 // read lock, so the result stays valid across subsequent appends.

@@ -1,0 +1,44 @@
+package train
+
+import (
+	"testing"
+)
+
+// TestOnlineTrainStepZeroAllocSteadyState: after warm-up, a full online
+// training step — replay sampling, negative draws, batch planning, live
+// state gather, forward, backward, clip, Adam — must run without a single
+// heap allocation. This is the train-side counterpart of the core
+// zero-alloc serving guards and is enforced in CI.
+func TestOnlineTrainStepZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	m, events := testModel(t, 11)
+	tr, err := New(m, fastConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the replay buffer without triggering publish-side work.
+	tr.qmu.Lock()
+	for i := range events[200:800] {
+		tr.buf.Add(events[200+i])
+		tr.ns.Observe(&events[200+i])
+	}
+	tr.qmu.Unlock()
+
+	// Warm up: grow the reused batch buffers, the tape arenas, and the
+	// tensor pool to steady state.
+	for i := 0; i < 3; i++ {
+		if !tr.TrainStep() {
+			t.Fatal("warm-up TrainStep did not run")
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if !tr.TrainStep() {
+			t.Fatal("TrainStep did not run")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("online train step allocates %.1f times per step; want 0", allocs)
+	}
+}

@@ -70,7 +70,13 @@ func (b *ReplayBuffer) Seen() int64 { return b.seen }
 // smaller node space than the buffer remembers); the result may therefore be
 // shorter than k.
 func (b *ReplayBuffer) Sample(rng *rand.Rand, k int, recencyBias float64, maxNode int) []tgraph.Event {
-	out := make([]tgraph.Event, 0, k)
+	return b.SampleInto(make([]tgraph.Event, 0, k), rng, k, recencyBias, maxNode)
+}
+
+// SampleInto is Sample appending into out (pass a reused buffer sliced to
+// [:0]), so a steady-state caller draws mini-batches without allocating.
+// The rng consumption is identical to Sample's.
+func (b *ReplayBuffer) SampleInto(out []tgraph.Event, rng *rand.Rand, k int, recencyBias float64, maxNode int) []tgraph.Event {
 	if len(b.reservoir) == 0 && len(b.recent) == 0 {
 		return out
 	}

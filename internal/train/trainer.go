@@ -193,6 +193,17 @@ type OnlineTrainer struct {
 	refDec    *core.LinkDecoder
 	refParams []*nn.Tensor
 
+	// Mini-batch assembly state, reused across steps so the steady-state
+	// train loop allocates nothing (TestOnlineTrainStepZeroAllocSteadyState
+	// holds it to 0 allocs/op). All guarded by runMu.
+	sampleBuf []tgraph.Event
+	negsBuf   []tgraph.NodeID
+	pl        plan
+	in        core.EncodeInput
+	gts       []float64 // gather timestamp scratch
+	ones      []float32
+	zeros     []float32
+
 	holdout     []holdoutSample
 	holdoutIdx  int
 	sinceStep   int
@@ -396,6 +407,15 @@ func (t *OnlineTrainer) ingest(events []tgraph.Event) {
 	}
 }
 
+// grow returns s resized to n elements, reusing its backing array when it
+// fits. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // sampleNeg draws a negative destination from the observed pool, guarded
 // against a rolled-back node space.
 func (t *OnlineTrainer) sampleNeg(exclude tgraph.NodeID) tgraph.NodeID {
@@ -409,37 +429,56 @@ func (t *OnlineTrainer) sampleNeg(exclude tgraph.NodeID) tgraph.NodeID {
 
 // plan is the deduplicated node bookkeeping of one trainer batch (each node
 // encoded once at its latest query time, mirroring the model's batch plan).
+// build reuses every slice and the rowOf map, so a long-lived plan assembles
+// batch after batch without allocating.
 type plan struct {
 	nodes  []tgraph.NodeID
 	times  []float64
 	srcRow []int32
 	dstRow []int32
 	negRow []int32
+	rowOf  map[tgraph.NodeID]int
+}
+
+// row returns (registering if new) the encode row of node n, keeping the
+// row's query time at the max over its mentions.
+func (p *plan) row(n tgraph.NodeID, tm float64) int32 {
+	if r, ok := p.rowOf[n]; ok {
+		if tm > p.times[r] {
+			p.times[r] = tm
+		}
+		return int32(r)
+	}
+	r := len(p.nodes)
+	p.rowOf[n] = r
+	p.nodes = append(p.nodes, n)
+	p.times = append(p.times, tm)
+	return int32(r)
+}
+
+func (p *plan) build(events []tgraph.Event, negs []tgraph.NodeID) {
+	if p.rowOf == nil {
+		p.rowOf = make(map[tgraph.NodeID]int, 3*len(events))
+	} else {
+		clear(p.rowOf)
+	}
+	p.nodes = p.nodes[:0]
+	p.times = p.times[:0]
+	p.srcRow = p.srcRow[:0]
+	p.dstRow = p.dstRow[:0]
+	p.negRow = p.negRow[:0]
+	for i := range events {
+		p.srcRow = append(p.srcRow, p.row(events[i].Src, events[i].Time))
+		p.dstRow = append(p.dstRow, p.row(events[i].Dst, events[i].Time))
+	}
+	for i := range events {
+		p.negRow = append(p.negRow, p.row(negs[i], events[i].Time))
+	}
 }
 
 func planEvents(events []tgraph.Event, negs []tgraph.NodeID) *plan {
 	p := &plan{}
-	rowOf := make(map[tgraph.NodeID]int, 3*len(events))
-	row := func(n tgraph.NodeID, tm float64) int32 {
-		if r, ok := rowOf[n]; ok {
-			if tm > p.times[r] {
-				p.times[r] = tm
-			}
-			return int32(r)
-		}
-		r := len(p.nodes)
-		rowOf[n] = r
-		p.nodes = append(p.nodes, n)
-		p.times = append(p.times, tm)
-		return int32(r)
-	}
-	for i := range events {
-		p.srcRow = append(p.srcRow, row(events[i].Src, events[i].Time))
-		p.dstRow = append(p.dstRow, row(events[i].Dst, events[i].Time))
-	}
-	for i := range events {
-		p.negRow = append(p.negRow, row(negs[i], events[i].Time))
-	}
+	p.build(events, negs)
 	return p
 }
 
@@ -448,17 +487,21 @@ func planEvents(events []tgraph.Event, negs []tgraph.NodeID) *plan {
 // (read-only, shard-locked), forward/backward on the reusable training
 // tape, clip and step. Reports whether a step actually ran.
 func (t *OnlineTrainer) step() bool {
-	batch := t.buf.Sample(t.rng, t.cfg.MiniBatch, t.cfg.RecencyBias, t.m.NumNodes())
+	batch := t.buf.SampleInto(t.sampleBuf[:0], t.rng, t.cfg.MiniBatch, t.cfg.RecencyBias, t.m.NumNodes())
+	t.sampleBuf = batch
 	if len(batch) < t.cfg.MiniBatch/2 || len(batch) == 0 {
 		return false
 	}
 	start := time.Now()
-	negs := make([]tgraph.NodeID, len(batch))
+	negs := grow(t.negsBuf, len(batch))
+	t.negsBuf = negs
 	for i := range negs {
 		negs[i] = t.sampleNeg(batch[i].Dst)
 	}
-	p := planEvents(batch, negs)
-	in := t.m.GatherInputs(p.nodes, p.times)
+	p := &t.pl
+	p.build(batch, negs)
+	t.m.GatherInputsInto(&t.in, &t.gts, p.nodes, p.times)
+	in := &t.in
 
 	tp := t.tape
 	tp.Reset()
@@ -470,10 +513,13 @@ func (t *OnlineTrainer) step() bool {
 	negLogits := t.dec.Forward(tp, zsrc, zneg)
 
 	n := len(batch)
-	ones := make([]float32, n)
-	zeros := make([]float32, n)
+	ones := grow(t.ones, n)
+	t.ones = ones
+	zeros := grow(t.zeros, n)
+	t.zeros = zeros
 	for i := range ones {
 		ones[i] = 1
+		zeros[i] = 0
 	}
 	loss := tp.Scale(tp.Add(tp.BCEWithLogits(posLogits, ones), tp.BCEWithLogits(negLogits, zeros)), 0.5)
 	tp.Backward(loss)
